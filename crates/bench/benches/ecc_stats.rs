@@ -1,0 +1,53 @@
+//! Criterion benches for the supporting substrates: SECDED coding, row-level
+//! ECC analysis, and the statistics toolkit (KDE, quantiles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hammervolt_ecc::analysis::analyze_row;
+use hammervolt_ecc::hamming::Codeword;
+use hammervolt_stats::quantile;
+use hammervolt_stats::KernelDensity;
+use std::hint::black_box;
+
+fn bench_secded_encode_decode(c: &mut Criterion) {
+    c.bench_function("secded_encode", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            black_box(Codeword::encode(black_box(x)))
+        })
+    });
+    c.bench_function("secded_decode_corrupted", |b| {
+        let cw = Codeword::encode(0xDEAD_BEEF_0123_4567).with_bit_flipped(13);
+        b.iter(|| black_box(cw.decode()))
+    });
+}
+
+fn bench_row_analysis(c: &mut Criterion) {
+    let reference = vec![0xAAAA_AAAA_AAAA_AAAAu64; 1024];
+    let mut readout = reference.clone();
+    readout[100] ^= 1;
+    readout[500] ^= 1 << 40;
+    c.bench_function("ecc_analyze_row_8kb", |b| {
+        b.iter(|| black_box(analyze_row(black_box(&reference), black_box(&readout))))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let data: Vec<f64> = (0..4096).map(|i| ((i * 37) % 101) as f64 / 101.0).collect();
+    c.bench_function("kde_fit_and_grid_4096", |b| {
+        b.iter(|| {
+            let kde = KernelDensity::fit(black_box(&data)).unwrap();
+            black_box(kde.grid(0.0, 1.0, 64).unwrap())
+        })
+    });
+    c.bench_function("quantiles_4096", |b| {
+        b.iter(|| black_box(quantile::quantiles(&data, &[0.05, 0.5, 0.9, 0.95, 0.99]).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_secded_encode_decode, bench_row_analysis, bench_stats
+}
+criterion_main!(benches);

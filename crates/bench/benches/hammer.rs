@@ -1,0 +1,80 @@
+//! Criterion benches for the hot paths of the RowHammer methodology:
+//! the bulk hammer operation, a single BER measurement, and the full
+//! Alg. 1 `HC_first` binary search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hammervolt_core::alg1::{self, Alg1Config};
+use hammervolt_core::patterns::DataPattern;
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_softmc::SoftMc;
+use std::hint::black_box;
+
+fn session() -> SoftMc {
+    let module =
+        DramModule::with_geometry(registry::spec(ModuleId::B0), 3, Geometry::small_test()).unwrap();
+    SoftMc::new(module)
+}
+
+fn bench_hammer_bulk(c: &mut Criterion) {
+    let mut mc = session();
+    mc.init_row(0, 100, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+    c.bench_function("hammer_double_sided_300k", |b| {
+        b.iter(|| {
+            mc.hammer_double_sided(0, black_box(99), black_box(101), 300_000)
+                .unwrap();
+        })
+    });
+}
+
+fn bench_measure_ber(c: &mut Criterion) {
+    let mut mc = session();
+    c.bench_function("alg1_measure_ber_300k", |b| {
+        b.iter(|| {
+            alg1::measure_ber(
+                &mut mc,
+                0,
+                black_box(100),
+                DataPattern::CheckerboardAa,
+                300_000,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_hc_first_search(c: &mut Criterion) {
+    let mut mc = session();
+    let cfg = Alg1Config::fast();
+    c.bench_function("alg1_hc_first_search", |b| {
+        b.iter(|| {
+            alg1::search_hc_first(
+                &mut mc,
+                0,
+                black_box(120),
+                DataPattern::CheckerboardAa,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_row_init_and_read(c: &mut Criterion) {
+    let mut mc = session();
+    c.bench_function("init_plus_read_row_8kb", |b| {
+        b.iter(|| {
+            mc.init_row(0, black_box(60), 0x5555_5555_5555_5555)
+                .unwrap();
+            black_box(mc.read_row(0, 60).unwrap());
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hammer_bulk, bench_measure_ber, bench_hc_first_search, bench_row_init_and_read
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for the SPICE-class simulator: raw transient stepping
+//! and the full DRAM-cell activation experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hammervolt_spice::dram_cell::{ActivationSim, DramCellParams};
+use hammervolt_spice::netlist::Circuit;
+use hammervolt_spice::transient::{Transient, TransientConfig};
+use hammervolt_spice::waveform::Waveform;
+use std::hint::black_box;
+
+fn bench_rc_transient(c: &mut Criterion) {
+    let mut circuit = Circuit::new();
+    let a = circuit.node("in");
+    let b = circuit.node("out");
+    circuit.voltage_source("V1", a, Circuit::GROUND, Waveform::Dc(1.0));
+    circuit.resistor("R1", a, b, 1_000.0);
+    circuit.capacitor("C1", b, Circuit::GROUND, 1e-9, 0.0);
+    let cfg = TransientConfig {
+        t_stop: 1e-6,
+        dt: 1e-9,
+        record_stride: 100,
+        ..TransientConfig::default()
+    };
+    c.bench_function("transient_rc_1000_steps", |b| {
+        b.iter(|| {
+            black_box(Transient::new(&circuit, cfg).unwrap().run().unwrap());
+        })
+    });
+}
+
+fn bench_activation(c: &mut Criterion) {
+    let params = DramCellParams {
+        dt: 20e-12,
+        t_stop: 40e-9,
+        ..DramCellParams::default()
+    };
+    let sim = ActivationSim::new(params);
+    c.bench_function("dram_cell_activation_2000_steps", |b| {
+        b.iter(|| black_box(sim.run(black_box(2.5)).unwrap()))
+    });
+}
+
+fn bench_activation_low_vpp(c: &mut Criterion) {
+    let params = DramCellParams {
+        dt: 20e-12,
+        t_stop: 40e-9,
+        ..DramCellParams::default()
+    };
+    let sim = ActivationSim::new(params);
+    c.bench_function("dram_cell_activation_low_vpp", |b| {
+        b.iter(|| black_box(sim.run(black_box(1.7)).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_rc_transient, bench_activation, bench_activation_low_vpp
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates Fig. 3: normalized RowHammer BER across `V_PP` levels, one
+//! curve per module, with 90 % confidence bands.
+
+use hammervolt_bench::Scale;
+use hammervolt_core::study::rowhammer_sweep;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::Series;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 3: Normalized BER values across different V_PP levels");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let mut series = Vec::new();
+    for &id in &cfg.modules {
+        let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+        let mut s = Series::new(id.label());
+        for p in sweep.normalized_ber() {
+            s.push_with_band(p.vpp, p.mean, p.band);
+        }
+        if !s.is_empty() {
+            println!(
+                "{}: normalized BER at V_PPmin ({:.1} V) = {:.3} [{:.3}, {:.3}]",
+                id.label(),
+                sweep.vpp_min,
+                s.points.last().unwrap().y,
+                s.points
+                    .last()
+                    .unwrap()
+                    .band
+                    .map(|b| b.lo)
+                    .unwrap_or(f64::NAN),
+                s.points
+                    .last()
+                    .unwrap()
+                    .band
+                    .map(|b| b.hi)
+                    .unwrap_or(f64::NAN),
+            );
+            series.push(s);
+        }
+    }
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: "normalized BER vs V_PP (1.0 = BER at 2.5 V)".into(),
+            x_label: "V_PP (V)".into(),
+            y_label: "normalized BER".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+    println!(
+        "{}",
+        serde_json::to_string(&series).expect("series serialize")
+    );
+}

@@ -1,0 +1,61 @@
+//! Regenerates Fig. 4: population density of per-row normalized BER at
+//! `V_PPmin`, per manufacturer.
+
+use hammervolt_bench::{paper, Scale};
+use hammervolt_core::study::{ratios_by_manufacturer, rowhammer_sweep};
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::{KernelDensity, Series};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 4: Population density of normalized BER at V_PPmin, per Mfr.");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let sweeps: Vec<_> = cfg
+        .modules
+        .iter()
+        .map(|&m| rowhammer_sweep(&cfg, m).expect("sweep"))
+        .collect();
+    let grouped = ratios_by_manufacturer(&sweeps);
+    let mut series = Vec::new();
+    for mfr in Manufacturer::ALL {
+        let Some((ber, _)) = grouped.get(&mfr) else {
+            continue;
+        };
+        if ber.is_empty() {
+            continue;
+        }
+        let min = ber.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ber.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let paper_range = paper::BER_RANGES
+            .iter()
+            .find(|(l, _, _)| l.starts_with(mfr.letter()))
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or((0.0, 0.0));
+        println!(
+            "{mfr}: {} rows, normalized BER range [{min:.2}, {max:.2}] (paper: [{:.2}, {:.2}])",
+            ber.len(),
+            paper_range.0,
+            paper_range.1
+        );
+        let kde = KernelDensity::fit(ber).expect("kde");
+        let grid = kde.grid(0.2, 1.3, 64).expect("grid");
+        let mut s = Series::new(format!("Mfr. {}", mfr.letter()));
+        for (x, d) in grid {
+            s.push(x, d);
+        }
+        series.push(s);
+    }
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: "row population density vs normalized BER at V_PPmin".into(),
+            x_label: "normalized BER (1.0 = nominal)".into(),
+            y_label: "density".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+    println!("{}", serde_json::to_string(&series).expect("serialize"));
+}

@@ -1,0 +1,45 @@
+//! Regenerates Fig. 5: normalized `HC_first` across `V_PP` levels, one curve
+//! per module, with 90 % confidence bands.
+
+use hammervolt_bench::Scale;
+use hammervolt_core::study::rowhammer_sweep;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::Series;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 5: Normalized HC_first values across different V_PP levels");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let mut series = Vec::new();
+    for &id in &cfg.modules {
+        let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+        let mut s = Series::new(id.label());
+        for p in sweep.normalized_hc_first() {
+            s.push_with_band(p.vpp, p.mean, p.band);
+        }
+        if let Some(last) = s.points.last() {
+            println!(
+                "{}: normalized HC_first at V_PPmin ({:.1} V) = {:.3}",
+                id.label(),
+                sweep.vpp_min,
+                last.y,
+            );
+            series.push(s);
+        }
+    }
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: "normalized HC_first vs V_PP (1.0 = HC_first at 2.5 V)".into(),
+            x_label: "V_PP (V)".into(),
+            y_label: "normalized HC_first".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+    println!(
+        "{}",
+        serde_json::to_string(&series).expect("series serialize")
+    );
+}

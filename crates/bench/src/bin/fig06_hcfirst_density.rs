@@ -1,0 +1,66 @@
+//! Regenerates Fig. 6: population density of per-row normalized `HC_first`
+//! at `V_PPmin`, per manufacturer.
+
+use hammervolt_bench::{paper, Scale};
+use hammervolt_core::study::{ratios_by_manufacturer, rowhammer_sweep};
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_stats::descriptive::fraction_where;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::{KernelDensity, Series};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 6: Population density of normalized HC_first at V_PPmin, per Mfr.");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let sweeps: Vec<_> = cfg
+        .modules
+        .iter()
+        .map(|&m| rowhammer_sweep(&cfg, m).expect("sweep"))
+        .collect();
+    let grouped = ratios_by_manufacturer(&sweeps);
+    let mut series = Vec::new();
+    for mfr in Manufacturer::ALL {
+        let Some((_, hc)) = grouped.get(&mfr) else {
+            continue;
+        };
+        if hc.is_empty() {
+            continue;
+        }
+        let min = hc.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = hc.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let increased = fraction_where(hc, |v| v > 1.01).unwrap_or(0.0);
+        let paper_range = paper::HC_RANGES
+            .iter()
+            .find(|(l, _, _)| l.starts_with(mfr.letter()))
+            .map(|&(_, lo, hi)| (lo, hi))
+            .unwrap_or((0.0, 0.0));
+        println!(
+            "{mfr}: {} rows, range [{min:.2}, {max:.2}] (paper [{:.2}, {:.2}]), \
+             {:.1} % rows increased",
+            hc.len(),
+            paper_range.0,
+            paper_range.1,
+            increased * 100.0
+        );
+        let kde = KernelDensity::fit(hc).expect("kde");
+        let grid = kde.grid(0.8, 2.0, 64).expect("grid");
+        let mut s = Series::new(format!("Mfr. {}", mfr.letter()));
+        for (x, d) in grid {
+            s.push(x, d);
+        }
+        series.push(s);
+    }
+    println!("\n(paper: HC_first increases in 83.5 % of Mfr. C rows vs 50.9 % of Mfr. A rows)");
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: "row population density vs normalized HC_first at V_PPmin".into(),
+            x_label: "normalized HC_first (1.0 = nominal)".into(),
+            y_label: "density".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+    println!("{}", serde_json::to_string(&series).expect("serialize"));
+}

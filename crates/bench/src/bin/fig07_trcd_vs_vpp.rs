@@ -1,0 +1,63 @@
+//! Regenerates Fig. 7: minimum reliable `t_RCD` across `V_PP` levels, one
+//! curve per module, with the nominal 13.5 ns annotated.
+
+use hammervolt_bench::Scale;
+use hammervolt_core::study::trcd_sweep;
+use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::Series;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 7: Minimum reliable t_RCD across different V_PP levels");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let levels_cap = match scale {
+        Scale::Paper => 12,
+        _ => 4,
+    };
+    let mut series = Vec::new();
+    let mut exceeders = Vec::new();
+    for &id in &cfg.modules {
+        let sweep = trcd_sweep(&cfg, id, levels_cap).expect("sweep");
+        let mut s = Series::new(id.label());
+        for (vpp, worst) in sweep.worst_per_level() {
+            if let Some(t) = worst {
+                s.push(vpp, t);
+            }
+        }
+        if let Some(last) = s.points.last() {
+            if last.y > NOMINAL_T_RCD_NS {
+                exceeders.push(format!("{} ({:.1} ns)", id.label(), last.y));
+            }
+            println!(
+                "{}: worst t_RCDmin {:.1} ns at 2.5 V → {:.1} ns at V_PPmin {:.1} V",
+                id.label(),
+                s.points.first().unwrap().y,
+                last.y,
+                sweep.vpp_min,
+            );
+        }
+        series.push(s);
+    }
+    println!(
+        "\nmodules exceeding nominal 13.5 ns at V_PPmin: {} \
+         (paper: A0, A1, A2, B2, B5)",
+        if exceeders.is_empty() {
+            "none".to_string()
+        } else {
+            exceeders.join(", ")
+        }
+    );
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: format!("t_RCDmin vs V_PP (nominal t_RCD = {NOMINAL_T_RCD_NS} ns)"),
+            x_label: "V_PP (V)".into(),
+            y_label: "t_RCDmin (ns)".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+    println!("{}", serde_json::to_string(&series).expect("serialize"));
+}

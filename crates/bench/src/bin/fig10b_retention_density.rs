@@ -1,0 +1,75 @@
+//! Regenerates Fig. 10b: population density of per-row retention BER at a
+//! 4 s refresh window, per manufacturer, at nominal and reduced `V_PP`.
+
+use hammervolt_bench::Scale;
+use hammervolt_core::study::retention_sweep;
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_stats::plot::{render, PlotConfig};
+use hammervolt_stats::{KernelDensity, Series};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 10b: Per-row retention BER distribution at t_REFW = 4 s (80 °C)");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    // (mfr, vpp mV) → row BERs at 4 s
+    let mut pops: BTreeMap<(char, u64), Vec<f64>> = BTreeMap::new();
+    for &id in &cfg.modules {
+        let sweep = retention_sweep(&cfg, id).expect("sweep");
+        for &vpp in &sweep.vpp_levels {
+            let rows = sweep.row_bers_at(vpp, 4.0);
+            pops.entry((id.manufacturer().letter(), (vpp * 1000.0) as u64))
+                .or_default()
+                .extend(rows);
+        }
+    }
+    let paper_4s = [
+        ("A", 0.003, 0.008),
+        ("B", 0.002, 0.005),
+        ("C", 0.014, 0.025),
+    ];
+    let mut series = Vec::new();
+    for mfr in Manufacturer::ALL {
+        for &vpp_mv in &[2500u64, 1500] {
+            let Some(bers) = pops.get(&(mfr.letter(), vpp_mv)) else {
+                continue;
+            };
+            if bers.is_empty() {
+                continue;
+            }
+            let mean = bers.iter().sum::<f64>() / bers.len() as f64;
+            let (_, p_nom, p_red) = paper_4s
+                .iter()
+                .find(|(l, _, _)| l.starts_with(mfr.letter()))
+                .copied()
+                .unwrap_or(("", 0.0, 0.0));
+            println!(
+                "{mfr} at {:.1} V: mean 4 s BER {mean:.2e} (paper: {:.1e} nominal → {:.1e} at 1.5 V)",
+                vpp_mv as f64 / 1000.0,
+                p_nom,
+                p_red
+            );
+            if let Ok(kde) = KernelDensity::fit(bers) {
+                if let Ok(grid) = kde.auto_grid(64) {
+                    let mut s =
+                        Series::new(format!("{} {:.1}V", mfr.letter(), vpp_mv as f64 / 1000.0));
+                    for (x, d) in grid {
+                        s.push(x, d);
+                    }
+                    series.push(s);
+                }
+            }
+        }
+    }
+    let plot = render(
+        &series,
+        &PlotConfig {
+            title: "row population density vs retention BER at 4 s".into(),
+            x_label: "retention BER".into(),
+            y_label: "density".into(),
+            ..PlotConfig::default()
+        },
+    );
+    println!("\n{plot}");
+}

@@ -1,0 +1,90 @@
+//! Regenerates the §6.1 guardband analysis: average `t_RCD` guardband
+//! reduction at `V_PPmin` across modules that stay reliable at the nominal
+//! latency, plus the 24 ns / 15 ns fixes for the failing modules.
+
+use hammervolt_bench::{compare_line, paper, Scale};
+use hammervolt_core::mitigation::{guardband, guardband_reduction};
+use hammervolt_core::study::trcd_sweep;
+use hammervolt_dram::physics::VPP_NOMINAL;
+use hammervolt_stats::table::AsciiTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("§6.1: t_RCD guardband under reduced V_PP");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let mut t = AsciiTable::new(vec![
+        "DIMM".into(),
+        "worst@2.5V (ns)".into(),
+        "worst@VPPmin (ns)".into(),
+        "guardband loss".into(),
+        "nominal OK?".into(),
+        "fix".into(),
+    ]);
+    let mut reductions = Vec::new();
+    let mut failing = Vec::new();
+    for &id in &cfg.modules {
+        let sweep = trcd_sweep(&cfg, id, 2).expect("sweep");
+        let at = |vpp: f64| -> Vec<Option<f64>> {
+            sweep
+                .records
+                .iter()
+                .filter(|r| (r.vpp - vpp).abs() < 1e-9)
+                .map(|r| r.t_rcd_min_ns)
+                .collect()
+        };
+        let nominal = guardband(&at(VPP_NOMINAL)).expect("nominal guardband");
+        let reduced = guardband(&at(sweep.vpp_min)).expect("reduced guardband");
+        let loss = guardband_reduction(&nominal, &reduced);
+        if reduced.reliable_at_nominal {
+            if let Some(l) = loss {
+                reductions.push(l);
+            }
+        } else {
+            failing.push(id.label());
+        }
+        let fix = if reduced.reliable_at_nominal {
+            "-".to_string()
+        } else if reduced.worst_t_rcd_ns <= 15.0 {
+            "t_RCD = 15 ns".to_string()
+        } else {
+            "t_RCD = 24 ns".to_string()
+        };
+        t.add_row(vec![
+            id.label(),
+            format!("{:.1}", nominal.worst_t_rcd_ns),
+            format!("{:.1}", reduced.worst_t_rcd_ns),
+            loss.map(|l| format!("{:.1} %", l * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            if reduced.reliable_at_nominal {
+                "yes"
+            } else {
+                "NO"
+            }
+            .into(),
+            fix,
+        ]);
+    }
+    print!("{}", t.render());
+    let mean_loss = if reductions.is_empty() {
+        f64::NAN
+    } else {
+        reductions.iter().sum::<f64>() / reductions.len() as f64
+    };
+    println!(
+        "\nmodules failing nominal t_RCD at V_PPmin: {} (paper: A0, A1, A2, B2, B5)",
+        if failing.is_empty() {
+            "none".into()
+        } else {
+            failing.join(", ")
+        }
+    );
+    println!(
+        "{}",
+        compare_line(
+            "mean guardband reduction (reliable modules)",
+            paper::GUARDBAND_REDUCTION,
+            mean_loss
+        )
+    );
+}

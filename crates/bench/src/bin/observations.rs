@@ -1,0 +1,95 @@
+//! Regenerates the paper's headline findings (Takeaway 1, Obsvs. 1–6):
+//! aggregate BER/`HC_first` statistics at `V_PPmin` across all modules.
+
+use hammervolt_bench::{compare_line, paper, Scale};
+use hammervolt_core::study::{aggregate_findings, rowhammer_sweep};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Takeaway 1: effect of V_PP on RowHammer — aggregate findings");
+    println!("{}\n", scale.banner());
+    let cfg = scale.config();
+    let mut sweeps = Vec::new();
+    for &id in &cfg.modules {
+        let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+        let (ber, hc) = sweep.row_ratios_at_vppmin();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                f64::NAN
+            } else {
+                v.iter().sum::<f64>() / v.len() as f64
+            }
+        };
+        println!(
+            "{}: V_PPmin {:.1} V | mean normalized BER {:.3} | mean normalized HC_first {:.3}",
+            id.label(),
+            sweep.vpp_min,
+            mean(&ber),
+            mean(&hc),
+        );
+        sweeps.push(sweep);
+    }
+    let f = aggregate_findings(&sweeps).expect("aggregate");
+    println!("\n--- paper vs measured (fractional changes at V_PPmin) ---");
+    println!(
+        "{}",
+        compare_line("mean BER change", paper::MEAN_BER_CHANGE, f.mean_ber_change)
+    );
+    println!(
+        "{}",
+        compare_line(
+            "max module BER reduction",
+            paper::MAX_BER_REDUCTION,
+            f.max_ber_reduction
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "mean HC_first change",
+            paper::MEAN_HC_CHANGE,
+            f.mean_hc_change
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "max row HC_first increase",
+            paper::MAX_HC_INCREASE,
+            f.max_hc_increase
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "fraction rows BER decreased",
+            paper::FRAC_BER_DECREASED,
+            f.frac_rows_ber_decreased
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "fraction rows BER increased",
+            paper::FRAC_BER_INCREASED,
+            f.frac_rows_ber_increased
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "fraction rows HC_first increased",
+            paper::FRAC_HC_INCREASED,
+            f.frac_rows_hc_increased
+        )
+    );
+    println!(
+        "{}",
+        compare_line(
+            "fraction rows HC_first decreased",
+            paper::FRAC_HC_DECREASED,
+            f.frac_rows_hc_decreased
+        )
+    );
+    println!("\n{}", serde_json::to_string_pretty(&f).expect("serialize"));
+}

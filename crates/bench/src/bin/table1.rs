@@ -1,0 +1,70 @@
+//! Regenerates Table 1: summary of the tested DDR4 DRAM chips per vendor.
+
+use hammervolt_dram::registry::{spec, ModuleId};
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_stats::table::AsciiTable;
+use std::collections::BTreeMap;
+
+fn main() {
+    println!("Table 1: Summary of the tested DDR4 DRAM chips\n");
+    let mut t = AsciiTable::new(vec![
+        "Mfr.".into(),
+        "#DIMMs".into(),
+        "#Chips".into(),
+        "Density".into(),
+        "Die Rev.".into(),
+        "Org.".into(),
+        "Date".into(),
+    ]);
+    // group identical (density, die rev, org, date) lines per vendor
+    let mut groups: BTreeMap<(char, String, String, String, String), (u32, u32)> = BTreeMap::new();
+    for id in ModuleId::ALL {
+        let s = spec(id);
+        let key = (
+            s.mfr.letter(),
+            s.density.to_string(),
+            s.die_revision
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            s.org.to_string(),
+            s.mfr_date
+                .map(|(w, y)| format!("{w:02}-{y:02}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        let e = groups.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.chips;
+    }
+    let mut totals: BTreeMap<char, (u32, u32)> = BTreeMap::new();
+    for ((mfr, density, rev, org, date), (dimms, chips)) in &groups {
+        let name = Manufacturer::ALL
+            .iter()
+            .find(|m| m.letter() == *mfr)
+            .map(|m| format!("Mfr. {} ({})", m.letter(), m.name()))
+            .unwrap_or_default();
+        t.add_row(vec![
+            name,
+            dimms.to_string(),
+            chips.to_string(),
+            density.clone(),
+            rev.clone(),
+            org.clone(),
+            date.clone(),
+        ]);
+        let e = totals.entry(*mfr).or_insert((0, 0));
+        e.0 += dimms;
+        e.1 += chips;
+    }
+    print!("{}", t.render());
+    println!();
+    let mut grand = (0, 0);
+    for (mfr, (dimms, chips)) in &totals {
+        println!("Mfr. {mfr}: {dimms} DIMMs, {chips} chips");
+        grand.0 += dimms;
+        grand.1 += chips;
+    }
+    println!(
+        "total: {} DIMMs, {} chips (paper: 30 DIMMs, 272 chips)",
+        grand.0, grand.1
+    );
+}

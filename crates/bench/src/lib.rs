@@ -1,0 +1,126 @@
+//! Shared plumbing for the figure- and table-regeneration harnesses.
+//!
+//! Every table and figure in the paper's evaluation has a bin target in this
+//! crate (see `src/bin/`); each prints the regenerated rows/series as ASCII
+//! tables/plots plus a JSON block for machine consumption. This library holds
+//! the pieces the bins share: scale selection, paper reference values, and
+//! output helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hammervolt_core::study::StudyConfig;
+use hammervolt_dram::registry::ModuleId;
+
+/// Run scale, selected with the `HAMMERVOLT_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// `HAMMERVOLT_SCALE=smoke` — minutes-scale: a module subset, few rows.
+    Smoke,
+    /// default — tens of minutes: all 30 modules, reduced rows/iterations.
+    Quick,
+    /// `HAMMERVOLT_SCALE=paper` — the paper's full protocol (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Self {
+        match std::env::var("HAMMERVOLT_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("smoke") => Scale::Smoke,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The study configuration for this scale.
+    pub fn config(&self) -> StudyConfig {
+        match self {
+            Scale::Smoke => StudyConfig {
+                rows_per_chunk: 4,
+                modules: vec![
+                    ModuleId::A0,
+                    ModuleId::A5,
+                    ModuleId::B3,
+                    ModuleId::B6,
+                    ModuleId::C5,
+                    ModuleId::C8,
+                ],
+                ..StudyConfig::quick()
+            },
+            Scale::Quick => StudyConfig {
+                rows_per_chunk: 8,
+                ..StudyConfig::quick()
+            },
+            Scale::Paper => StudyConfig::paper(),
+        }
+    }
+
+    /// Human-readable banner line for harness output.
+    pub fn banner(&self) -> String {
+        let cfg = self.config();
+        format!(
+            "scale = {:?} | modules = {} | rows/module = {} | alg1 iterations = {}",
+            self,
+            cfg.modules.len(),
+            cfg.rows_per_chunk * 4,
+            cfg.alg1.iterations,
+        )
+    }
+}
+
+/// Paper-reported reference values, used to print "paper vs measured"
+/// comparison lines in every harness.
+pub mod paper {
+    /// Mean BER change at `V_PPmin` across rows (−15.2 %).
+    pub const MEAN_BER_CHANGE: f64 = -0.152;
+    /// Maximum module BER reduction (−66.9 %, B3).
+    pub const MAX_BER_REDUCTION: f64 = -0.669;
+    /// Mean `HC_first` change (+7.4 %).
+    pub const MEAN_HC_CHANGE: f64 = 0.074;
+    /// Maximum per-row `HC_first` increase (+85.8 %).
+    pub const MAX_HC_INCREASE: f64 = 0.858;
+    /// Fraction of rows with decreased BER (81.2 %).
+    pub const FRAC_BER_DECREASED: f64 = 0.812;
+    /// Fraction of rows with increased BER (15.4 %).
+    pub const FRAC_BER_INCREASED: f64 = 0.154;
+    /// Fraction of rows with increased `HC_first` (69.3 %).
+    pub const FRAC_HC_INCREASED: f64 = 0.693;
+    /// Fraction of rows with decreased `HC_first` (14.2 %).
+    pub const FRAC_HC_DECREASED: f64 = 0.142;
+    /// Average `t_RCD` guardband reduction (21.9 %).
+    pub const GUARDBAND_REDUCTION: f64 = 0.219;
+    /// CV at P90 / P95 / P99 (§4.6).
+    pub const CV_PERCENTILES: (f64, f64, f64) = (0.08, 0.13, 0.24);
+    /// Normalized `HC_first` ranges at `V_PPmin` per manufacturer (Obsv. 6).
+    pub const HC_RANGES: [(&str, f64, f64); 3] =
+        [("A", 0.94, 1.52), ("B", 0.92, 1.86), ("C", 0.91, 1.35)];
+    /// Normalized BER ranges at `V_PPmin` per manufacturer (Obsv. 3).
+    pub const BER_RANGES: [(&str, f64, f64); 3] =
+        [("A", 0.43, 1.11), ("B", 0.33, 1.03), ("C", 0.74, 0.94)];
+}
+
+/// Prints a "paper vs measured" comparison line.
+pub fn compare_line(label: &str, paper_value: f64, measured: f64) -> String {
+    format!("{label:<42} paper {paper_value:>8.3}   measured {measured:>8.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_build_configs() {
+        assert_eq!(Scale::Smoke.config().rows_per_chunk, 4);
+        assert_eq!(Scale::Quick.config().modules.len(), 30);
+        assert!(!Scale::Paper.config().reduced_geometry);
+        assert!(Scale::Smoke.banner().contains("Smoke"));
+    }
+
+    #[test]
+    fn compare_line_formats() {
+        let l = compare_line("mean BER change", -0.152, -0.161);
+        assert!(l.contains("-0.152"));
+        assert!(l.contains("-0.161"));
+    }
+}

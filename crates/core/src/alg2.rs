@@ -1,0 +1,299 @@
+//! Alg. 2: minimum reliable activation latency (`t_RCDmin`).
+//!
+//! §4.3: starting from the nominal 13.5 ns, sweep `t_RCD` in SoftMC's 1.5 ns
+//! command slots — decrementing while reads stay clean, incrementing while
+//! they are faulty — until the smallest `t_RCD` with *no* bit flip anywhere
+//! in the row is pinned down. Repeated `num_iterations` times; the largest
+//! observed requirement across iterations is recorded (worst case).
+
+use crate::error::StudyError;
+use crate::patterns::{self, DataPattern};
+use hammervolt_dram::timing::{COMMAND_SLOT_NS, NOMINAL_T_RCD_NS};
+use hammervolt_softmc::SoftMc;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Alg. 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Alg2Config {
+    /// Sweep start (paper: the nominal 13.5 ns).
+    pub start_ns: f64,
+    /// Sweep step (paper: 1.5 ns, the SoftMC command-slot size).
+    pub step_ns: f64,
+    /// Smallest `t_RCD` the sweep will try (one command slot).
+    pub floor_ns: f64,
+    /// Largest `t_RCD` the sweep will try before giving up.
+    pub ceiling_ns: f64,
+    /// Repetitions; the largest requirement across them is recorded
+    /// (paper: 10).
+    pub iterations: u32,
+    /// Skip per-row WCDP selection and use this pattern.
+    pub wcdp_override: Option<DataPattern>,
+}
+
+impl Default for Alg2Config {
+    fn default() -> Self {
+        Alg2Config {
+            start_ns: NOMINAL_T_RCD_NS,
+            step_ns: COMMAND_SLOT_NS,
+            floor_ns: COMMAND_SLOT_NS,
+            ceiling_ns: 30.0,
+            iterations: 10,
+            wcdp_override: None,
+        }
+    }
+}
+
+impl Alg2Config {
+    /// Reduced-cost configuration for tests and smoke runs.
+    pub fn fast() -> Self {
+        Alg2Config {
+            iterations: 2,
+            ..Alg2Config::default()
+        }
+    }
+}
+
+/// Result of Alg. 2 on one row at one `V_PP` level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrcdMeasurement {
+    /// The row measured.
+    pub row: u32,
+    /// Data pattern used.
+    pub wcdp: DataPattern,
+    /// Minimum reliable `t_RCD` (ns), quantized to the sweep step; `None`
+    /// when even the sweep ceiling was unreliable.
+    pub t_rcd_min_ns: Option<f64>,
+}
+
+/// Reads the whole row with the given `t_RCD` and reports whether any bit
+/// flipped.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+fn row_is_faulty_at(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    wcdp: DataPattern,
+    t_rcd_ns: f64,
+) -> Result<bool, StudyError> {
+    mc.init_row(bank, row, wcdp.word())?;
+    let saved = mc.timing();
+    mc.set_timing(saved.with_t_rcd(t_rcd_ns));
+    let readout = mc.read_row(bank, row);
+    mc.set_timing(saved);
+    Ok(patterns::count_flips(&readout?, wcdp) > 0)
+}
+
+/// Selects the WCDP for the `t_RCD` experiment: the pattern with the largest
+/// observed `t_RCDmin` (§4.3). Ties resolve to the first pattern in listing
+/// order.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn select_wcdp(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    config: &Alg2Config,
+) -> Result<DataPattern, StudyError> {
+    if let Some(p) = config.wcdp_override {
+        return Ok(p);
+    }
+    let mut best = DataPattern::RowStripeOnes;
+    let mut best_trcd = -1.0f64;
+    let probe = Alg2Config {
+        iterations: 1,
+        ..*config
+    };
+    for pattern in DataPattern::ALL {
+        let t = sweep_once(mc, bank, row, pattern, &probe)?.unwrap_or(f64::INFINITY);
+        if t > best_trcd {
+            best = pattern;
+            best_trcd = t;
+        }
+    }
+    Ok(best)
+}
+
+/// One full sweep of Alg. 2's inner loop: returns the smallest reliable
+/// `t_RCD` or `None` if even the ceiling is faulty.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+fn sweep_once(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    wcdp: DataPattern,
+    config: &Alg2Config,
+) -> Result<Option<f64>, StudyError> {
+    let mut t_rcd = config.start_ns;
+    let mut best_reliable: Option<f64> = None;
+    let mut found_faulty = false;
+    loop {
+        let faulty = row_is_faulty_at(mc, bank, row, wcdp, t_rcd)?;
+        if faulty {
+            found_faulty = true;
+            t_rcd += config.step_ns;
+            if t_rcd > config.ceiling_ns + 1e-9 {
+                return Ok(best_reliable);
+            }
+            if best_reliable.is_some() {
+                // walked back up to a known-reliable point
+                return Ok(best_reliable);
+            }
+        } else {
+            best_reliable = Some(best_reliable.map_or(t_rcd, |b: f64| b.min(t_rcd)));
+            if found_faulty {
+                return Ok(best_reliable);
+            }
+            t_rcd -= config.step_ns;
+            if t_rcd < config.floor_ns - 1e-9 {
+                return Ok(best_reliable);
+            }
+        }
+    }
+}
+
+/// Full Alg. 2 for one row: WCDP selection plus `iterations` sweeps, keeping
+/// the *largest* requirement (the reliability-relevant worst case).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors; fails fast on zero iterations.
+pub fn measure_row(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    config: &Alg2Config,
+) -> Result<TrcdMeasurement, StudyError> {
+    if config.iterations == 0 {
+        return Err(StudyError::InvalidConfig {
+            reason: "iterations must be at least 1".to_string(),
+        });
+    }
+    let wcdp = select_wcdp(mc, bank, row, config)?;
+    let mut worst: Option<f64> = None;
+    for _ in 0..config.iterations {
+        match sweep_once(mc, bank, row, wcdp, config)? {
+            Some(t) => worst = Some(worst.map_or(t, |w: f64| w.max(t))),
+            None => {
+                return Ok(TrcdMeasurement {
+                    row,
+                    wcdp,
+                    t_rcd_min_ns: None,
+                })
+            }
+        }
+    }
+    Ok(TrcdMeasurement {
+        row,
+        wcdp,
+        t_rcd_min_ns: worst,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn session(id: ModuleId, seed: u64) -> SoftMc {
+        let module =
+            DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap();
+        SoftMc::new(module)
+    }
+
+    #[test]
+    fn nominal_vpp_trcd_is_under_nominal_everywhere() {
+        let mut mc = session(ModuleId::A0, 1);
+        let cfg = Alg2Config::fast();
+        for row in [10, 50, 90] {
+            let m = measure_row(&mut mc, 0, row, &cfg).unwrap();
+            let t = m.t_rcd_min_ns.expect("sweep converges");
+            assert!(
+                t <= NOMINAL_T_RCD_NS,
+                "row {row}: t_RCDmin {t} ns exceeds nominal at 2.5 V"
+            );
+            // quantized to command slots
+            let slots = t / COMMAND_SLOT_NS;
+            assert!((slots - slots.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn a0_exceeds_nominal_at_vppmin_but_24ns_works() {
+        let mut mc = session(ModuleId::A0, 3);
+        mc.set_vpp(1.4).unwrap();
+        let cfg = Alg2Config::fast();
+        let m = measure_row(&mut mc, 0, 40, &cfg).unwrap();
+        let t = m.t_rcd_min_ns.expect("A0 still converges below 30 ns");
+        assert!(
+            t > NOMINAL_T_RCD_NS,
+            "A0 at V_PPmin must exceed nominal, got {t} ns"
+        );
+        assert!(t <= 24.0, "§6.1: 24 ns suffices for Mfr. A, got {t} ns");
+    }
+
+    #[test]
+    fn healthy_module_keeps_guardband_at_vppmin() {
+        let mut mc = session(ModuleId::C0, 5);
+        mc.set_vpp(1.7).unwrap(); // C0's V_PPmin
+        let cfg = Alg2Config::fast();
+        let m = measure_row(&mut mc, 0, 33, &cfg).unwrap();
+        let t = m.t_rcd_min_ns.unwrap();
+        assert!(
+            t <= NOMINAL_T_RCD_NS,
+            "C0 must stay under nominal at V_PPmin, got {t} ns"
+        );
+    }
+
+    #[test]
+    fn requirement_is_monotone_in_vpp() {
+        let mut mc = session(ModuleId::B2, 7);
+        let cfg = Alg2Config::fast();
+        let at = |mc: &mut SoftMc, vpp: f64| -> f64 {
+            mc.set_vpp(vpp).unwrap();
+            measure_row(mc, 0, 25, &cfg).unwrap().t_rcd_min_ns.unwrap()
+        };
+        let t_nom = at(&mut mc, 2.5);
+        let t_min = at(&mut mc, 1.6);
+        assert!(
+            t_min >= t_nom,
+            "t_RCDmin must not shrink at lower V_PP: {t_nom} vs {t_min}"
+        );
+        assert!(t_min > NOMINAL_T_RCD_NS, "B2 fails nominal at V_PPmin");
+        assert!(t_min <= 15.0, "§6.1: 15 ns suffices for Mfr. B");
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let mut mc = session(ModuleId::A0, 1);
+        let cfg = Alg2Config {
+            iterations: 0,
+            ..Alg2Config::fast()
+        };
+        assert!(matches!(
+            measure_row(&mut mc, 0, 5, &cfg),
+            Err(StudyError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_reports_none_above_ceiling() {
+        let mut mc = session(ModuleId::A0, 1);
+        mc.set_vpp(1.4).unwrap();
+        let cfg = Alg2Config {
+            ceiling_ns: 15.0, // below A0's ~23 ns requirement at V_PPmin
+            ..Alg2Config::fast()
+        };
+        let m = measure_row(&mut mc, 0, 40, &cfg).unwrap();
+        assert_eq!(m.t_rcd_min_ns, None);
+    }
+}

@@ -1,0 +1,304 @@
+//! Alg. 3: data-retention sweeps.
+//!
+//! §4.4: for refresh windows from 16 ms to 16 s in increasing powers of two,
+//! initialize each row with its WCDP, idle for the window with refresh
+//! disabled, read back, and record the retention BER. Retention tests run at
+//! 80 °C; the WCDP for retention is the pattern that flips at the smallest
+//! window (tie-break: largest BER at 16 s).
+
+use crate::error::StudyError;
+use crate::patterns::{self, DataPattern};
+use hammervolt_softmc::SoftMc;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Alg. 3 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alg3Config {
+    /// Refresh windows to test (seconds), ascending. The paper uses 16 ms to
+    /// 16 s in powers of two.
+    pub windows_s: Vec<f64>,
+    /// Repetitions per window (paper: 10); the largest BER is recorded.
+    pub iterations: u32,
+    /// Skip per-row WCDP selection.
+    pub wcdp_override: Option<DataPattern>,
+}
+
+impl Default for Alg3Config {
+    fn default() -> Self {
+        Alg3Config {
+            windows_s: powers_of_two_windows(),
+            iterations: 10,
+            wcdp_override: None,
+        }
+    }
+}
+
+impl Alg3Config {
+    /// Reduced-cost configuration: the windows that matter for the paper's
+    /// figures (64 ms, 128 ms, 1 s, 4 s, 16 s), two iterations, fixed
+    /// checkerboard WCDP.
+    pub fn fast() -> Self {
+        Alg3Config {
+            windows_s: vec![0.064, 0.128, 1.0, 4.0, 16.0],
+            iterations: 2,
+            wcdp_override: Some(DataPattern::CheckerboardAa),
+        }
+    }
+}
+
+/// The paper's window ladder: 16 ms .. 16 s in powers of two.
+pub fn powers_of_two_windows() -> Vec<f64> {
+    let mut w = Vec::new();
+    let mut t = 0.016;
+    // 16 ms · 2^10 = 16.384 s is the paper's "16 s" endpoint.
+    while t <= 16.5 {
+        w.push(t);
+        t *= 2.0;
+    }
+    w
+}
+
+/// Retention BER of one row at one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionPoint {
+    /// Refresh window (s).
+    pub window_s: f64,
+    /// Largest observed retention BER across iterations.
+    pub ber: f64,
+}
+
+/// Result of Alg. 3 on one row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetentionMeasurement {
+    /// The row measured.
+    pub row: u32,
+    /// Data pattern used.
+    pub wcdp: DataPattern,
+    /// BER per window, in window order.
+    pub points: Vec<RetentionPoint>,
+}
+
+impl RetentionMeasurement {
+    /// The smallest window with a non-zero BER, if any.
+    pub fn first_failing_window_s(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.ber > 0.0).map(|p| p.window_s)
+    }
+
+    /// BER at a specific window (exact match).
+    pub fn ber_at(&self, window_s: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| (p.window_s - window_s).abs() < 1e-12)
+            .map(|p| p.ber)
+    }
+}
+
+/// Measures one row's retention BER at one window: init, wait, read, compare.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn measure_window(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    wcdp: DataPattern,
+    window_s: f64,
+) -> Result<f64, StudyError> {
+    mc.init_row(bank, row, wcdp.word())?;
+    mc.wait_ns(window_s * 1e9)?;
+    // Conservative read timing: only retention, not t_RCD, may fail here.
+    let readout = mc.read_row_conservative(bank, row)?;
+    Ok(patterns::bit_error_rate(&readout, wcdp))
+}
+
+/// Selects the retention WCDP: the pattern that flips at the smallest
+/// window; ties broken by the largest BER at the longest window (§4.4).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn select_wcdp(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    config: &Alg3Config,
+) -> Result<DataPattern, StudyError> {
+    if let Some(p) = config.wcdp_override {
+        return Ok(p);
+    }
+    let longest = config
+        .windows_s
+        .last()
+        .copied()
+        .ok_or_else(|| StudyError::InvalidConfig {
+            reason: "windows_s must not be empty".to_string(),
+        })?;
+    let mut best = DataPattern::CheckerboardAa;
+    // (first failing window, −BER at longest) lexicographic minimum
+    let mut best_key = (f64::INFINITY, 0.0f64);
+    for pattern in DataPattern::ALL {
+        let mut first_fail = f64::INFINITY;
+        for &w in &config.windows_s {
+            let ber = measure_window(mc, bank, row, pattern, w)?;
+            if ber > 0.0 {
+                first_fail = w;
+                break;
+            }
+        }
+        let ber_longest = measure_window(mc, bank, row, pattern, longest)?;
+        let key = (first_fail, -ber_longest);
+        if key < best_key {
+            best = pattern;
+            best_key = key;
+        }
+    }
+    Ok(best)
+}
+
+/// Full Alg. 3 for one row.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors; fails fast on an empty window list or
+/// zero iterations.
+pub fn measure_row(
+    mc: &mut SoftMc,
+    bank: u32,
+    row: u32,
+    config: &Alg3Config,
+) -> Result<RetentionMeasurement, StudyError> {
+    if config.windows_s.is_empty() {
+        return Err(StudyError::InvalidConfig {
+            reason: "windows_s must not be empty".to_string(),
+        });
+    }
+    if config.iterations == 0 {
+        return Err(StudyError::InvalidConfig {
+            reason: "iterations must be at least 1".to_string(),
+        });
+    }
+    let wcdp = select_wcdp(mc, bank, row, config)?;
+    let mut points = Vec::with_capacity(config.windows_s.len());
+    for &window in &config.windows_s {
+        let mut worst = 0.0f64;
+        for _ in 0..config.iterations {
+            worst = worst.max(measure_window(mc, bank, row, wcdp, window)?);
+        }
+        points.push(RetentionPoint {
+            window_s: window,
+            ber: worst,
+        });
+    }
+    Ok(RetentionMeasurement { row, wcdp, points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn retention_session(id: ModuleId, seed: u64) -> SoftMc {
+        let module =
+            DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap();
+        let mut mc = SoftMc::new(module);
+        mc.set_temperature(80.0).unwrap();
+        mc
+    }
+
+    #[test]
+    fn window_ladder_is_powers_of_two() {
+        let w = powers_of_two_windows();
+        assert_eq!(w.len(), 11); // 16 ms .. 16 s
+        assert!((w[0] - 0.016).abs() < 1e-12);
+        assert!((w[10] - 16.384).abs() < 1e-9);
+        for pair in w.windows(2) {
+            assert!((pair[1] / pair[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ber_grows_with_window() {
+        let mut mc = retention_session(ModuleId::C2, 3);
+        let cfg = Alg3Config::fast();
+        let m = measure_row(&mut mc, 0, 20, &cfg).unwrap();
+        let short = m.ber_at(0.064).unwrap();
+        let long = m.ber_at(16.0).unwrap();
+        assert_eq!(short, 0.0, "no flips at 64 ms at nominal V_PP");
+        assert!(long > 0.0, "16 s at 80 °C must flip on Mfr. C");
+        // monotone in the recorded points (within noise, BER only grows)
+        for pair in m.points.windows(2) {
+            assert!(
+                pair[1].ber >= pair[0].ber * 0.5,
+                "BER collapsed between windows: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_vpp_increases_retention_ber() {
+        let mut mc = retention_session(ModuleId::C2, 5);
+        let cfg = Alg3Config::fast();
+        let nominal = measure_row(&mut mc, 0, 40, &cfg).unwrap();
+        mc.set_vpp(1.5).unwrap();
+        let reduced = measure_row(&mut mc, 0, 40, &cfg).unwrap();
+        let (n, r) = (nominal.ber_at(4.0).unwrap(), reduced.ber_at(4.0).unwrap());
+        assert!(r > n, "4 s retention BER must grow at V_PPmin: {n} → {r}");
+    }
+
+    #[test]
+    fn low_temperature_suppresses_retention_failures() {
+        let module =
+            DramModule::with_geometry(registry::spec(ModuleId::C2), 3, Geometry::small_test())
+                .unwrap();
+        let mut mc = SoftMc::new(module); // 50 °C bring-up
+        let cfg = Alg3Config::fast();
+        let m = measure_row(&mut mc, 0, 20, &cfg).unwrap();
+        let mut mc80 = retention_session(ModuleId::C2, 3);
+        let m80 = measure_row(&mut mc80, 0, 20, &cfg).unwrap();
+        assert!(
+            m.ber_at(16.0).unwrap() < m80.ber_at(16.0).unwrap(),
+            "50 °C must retain better than 80 °C"
+        );
+    }
+
+    #[test]
+    fn first_failing_window_detection() {
+        let m = RetentionMeasurement {
+            row: 0,
+            wcdp: DataPattern::CheckerboardAa,
+            points: vec![
+                RetentionPoint {
+                    window_s: 0.064,
+                    ber: 0.0,
+                },
+                RetentionPoint {
+                    window_s: 0.128,
+                    ber: 1e-5,
+                },
+                RetentionPoint {
+                    window_s: 4.0,
+                    ber: 1e-3,
+                },
+            ],
+        };
+        assert_eq!(m.first_failing_window_s(), Some(0.128));
+        assert_eq!(m.ber_at(4.0), Some(1e-3));
+        assert_eq!(m.ber_at(2.0), None);
+    }
+
+    #[test]
+    fn empty_windows_rejected() {
+        let mut mc = retention_session(ModuleId::C2, 1);
+        let cfg = Alg3Config {
+            windows_s: vec![],
+            ..Alg3Config::fast()
+        };
+        assert!(matches!(
+            measure_row(&mut mc, 0, 5, &cfg),
+            Err(StudyError::InvalidConfig { .. })
+        ));
+    }
+}

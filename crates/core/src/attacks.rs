@@ -1,0 +1,246 @@
+//! RowHammer attack patterns beyond the study's double-sided baseline.
+//!
+//! §4.2 justifies double-sided hammering as "the most effective RowHammer
+//! attack when no RowHammer defense mechanism is employed: it reduces
+//! `HC_first` and increases BER compared to both single- and many-sided
+//! attacks". This module implements the whole family — single-sided,
+//! double-sided, and TRRespass-style many-sided — so that claim can be
+//! checked on the simulated devices, and so TRR interactions can be studied
+//! (many-sided attacks exist precisely to defeat TRR samplers).
+
+use crate::error::StudyError;
+use crate::patterns::{self, DataPattern};
+use hammervolt_softmc::program::{Op, Program};
+use hammervolt_softmc::{Instruction, SoftMc};
+use serde::{Deserialize, Serialize};
+
+/// An attack pattern against one victim row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attack {
+    /// Hammer only one physically-adjacent neighbor.
+    SingleSided,
+    /// Hammer both physically-adjacent neighbors alternately (the study's
+    /// baseline).
+    DoubleSided,
+    /// Hammer `pairs` aggressor pairs at physical distances 1..=pairs around
+    /// the victim plus decoys, TRRespass-style. With no defense active the
+    /// far pairs mostly waste activations.
+    ManySided {
+        /// Number of aggressor pairs (1 = double-sided).
+        pairs: u32,
+    },
+}
+
+impl Attack {
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Attack::SingleSided => "single-sided".to_string(),
+            Attack::DoubleSided => "double-sided".to_string(),
+            Attack::ManySided { pairs } => format!("{pairs}-pair many-sided"),
+        }
+    }
+}
+
+/// Outcome of mounting one attack.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackOutcome {
+    /// The attack mounted.
+    pub attack: Attack,
+    /// Total aggressor activations spent.
+    pub activations: u64,
+    /// Bit flips induced in the victim row.
+    pub victim_flips: u64,
+    /// Victim bit error rate.
+    pub victim_ber: f64,
+}
+
+/// The aggressor rows an attack uses against `victim`, at increasing
+/// physical distance.
+fn aggressor_rows(mc: &SoftMc, victim: u32, pairs: u32) -> Result<Vec<u32>, StudyError> {
+    let mapping = mc.module().mapping();
+    let rows = mc.module().geometry().rows_per_bank;
+    let phys = mapping.logical_to_physical(victim);
+    let mut out = Vec::new();
+    for d in 1..=pairs {
+        let below = phys.checked_sub(d);
+        let above = phys + d;
+        match (below, (above < rows).then_some(above)) {
+            (Some(b), Some(a)) => {
+                out.push(mapping.physical_to_logical(b));
+                out.push(mapping.physical_to_logical(a));
+            }
+            _ => return Err(StudyError::NoAggressor { victim }),
+        }
+    }
+    Ok(out)
+}
+
+/// Mounts an attack with a total activation budget of `budget` aggressor
+/// activations, split evenly across the attack's aggressors, and measures
+/// the damage to the victim.
+///
+/// Using a fixed *budget* (rather than a per-aggressor count) makes the
+/// patterns comparable: the paper's effectiveness ordering is about damage
+/// per activation.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors; fails if the victim lacks the needed
+/// neighbors.
+pub fn mount(
+    mc: &mut SoftMc,
+    bank: u32,
+    victim: u32,
+    attack: &Attack,
+    pattern: DataPattern,
+    budget: u64,
+) -> Result<AttackOutcome, StudyError> {
+    let aggressors: Vec<u32> = match attack {
+        Attack::SingleSided => vec![aggressor_rows(mc, victim, 1)?[0]],
+        Attack::DoubleSided => aggressor_rows(mc, victim, 1)?,
+        Attack::ManySided { pairs } => aggressor_rows(mc, victim, (*pairs).max(1))?,
+    };
+    mc.init_row(bank, victim, pattern.word())?;
+    for &a in &aggressors {
+        mc.init_row(bank, a, pattern.inverse().word())?;
+    }
+    let per_aggressor = budget / aggressors.len() as u64;
+    // One interleaved loop over all aggressors, as a real attack would issue.
+    let mut body = Vec::new();
+    for &row in &aggressors {
+        body.push(Op::Inst(Instruction::Act { bank, row }));
+        body.push(Op::Inst(Instruction::Pre { bank }));
+    }
+    let mut program = Program::new();
+    program.push_loop(per_aggressor, body);
+    mc.run(&program)?;
+    let readout = mc.read_row_conservative(bank, victim)?;
+    let victim_flips = patterns::count_flips(&readout, pattern);
+    let columns = readout.len() as f64;
+    Ok(AttackOutcome {
+        attack: attack.clone(),
+        activations: per_aggressor * aggressors.len() as u64,
+        victim_flips,
+        victim_ber: victim_flips as f64 / (columns * 64.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn session(seed: u64) -> SoftMc {
+        let module =
+            DramModule::with_geometry(registry::spec(ModuleId::B0), seed, Geometry::small_test())
+                .unwrap();
+        SoftMc::new(module)
+    }
+
+    #[test]
+    fn double_sided_beats_single_and_many_sided() {
+        // §4.2's effectiveness claim, at a fixed activation budget.
+        let budget = 700_000;
+        let victim = 150;
+        let run = |attack: Attack| -> u64 {
+            let mut mc = session(5);
+            mount(
+                &mut mc,
+                0,
+                victim,
+                &attack,
+                DataPattern::CheckerboardAa,
+                budget,
+            )
+            .unwrap()
+            .victim_flips
+        };
+        let single = run(Attack::SingleSided);
+        let double = run(Attack::DoubleSided);
+        let many = run(Attack::ManySided { pairs: 4 });
+        assert!(
+            double > single,
+            "double-sided ({double}) must beat single-sided ({single})"
+        );
+        assert!(
+            double > many,
+            "double-sided ({double}) must beat 4-pair many-sided ({many}) without TRR"
+        );
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut mc = session(7);
+        let out = mount(
+            &mut mc,
+            0,
+            150,
+            &Attack::ManySided { pairs: 3 },
+            DataPattern::CheckerboardAa,
+            600_000,
+        )
+        .unwrap();
+        assert_eq!(out.activations, 600_000 / 6 * 6);
+        assert_eq!(out.attack.label(), "3-pair many-sided");
+    }
+
+    #[test]
+    fn edge_victims_are_rejected() {
+        let mut mc = session(7);
+        let edge = mc.module().mapping().physical_to_logical(0);
+        let err = mount(
+            &mut mc,
+            0,
+            edge,
+            &Attack::DoubleSided,
+            DataPattern::CheckerboardAa,
+            1000,
+        );
+        assert!(matches!(err, Err(StudyError::NoAggressor { .. })));
+    }
+
+    #[test]
+    fn reduced_vpp_weakens_every_attack_shape() {
+        for attack in [
+            Attack::SingleSided,
+            Attack::DoubleSided,
+            Attack::ManySided { pairs: 2 },
+        ] {
+            let flips_at = |vpp: f64| -> u64 {
+                // B3: the strongest V_PP responder.
+                let module = DramModule::with_geometry(
+                    registry::spec(ModuleId::B3),
+                    9,
+                    Geometry::small_test(),
+                )
+                .unwrap();
+                let mut mc = SoftMc::new(module);
+                mc.set_vpp(vpp).unwrap();
+                let mut total = 0;
+                for victim in [60u32, 90, 120, 150, 180] {
+                    total += mount(
+                        &mut mc,
+                        0,
+                        victim,
+                        &attack,
+                        DataPattern::CheckerboardAa,
+                        900_000,
+                    )
+                    .unwrap()
+                    .victim_flips;
+                }
+                total
+            };
+            let nominal = flips_at(2.5);
+            let reduced = flips_at(1.6);
+            assert!(
+                reduced < nominal,
+                "{}: {reduced} flips at 1.6 V vs {nominal} at 2.5 V",
+                attack.label()
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the methodology crate.
+
+use hammervolt_softmc::SoftMcError;
+use std::fmt;
+
+/// Errors produced while running study procedures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StudyError {
+    /// The test infrastructure or device failed.
+    Infrastructure(SoftMcError),
+    /// A victim row has no physically adjacent aggressor on one side (array
+    /// edge): the double-sided protocol cannot run there.
+    NoAggressor {
+        /// The victim row in question.
+        victim: u32,
+    },
+    /// The configuration is invalid (zero iterations, empty row list, ...).
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StudyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StudyError::Infrastructure(e) => write!(f, "infrastructure: {e}"),
+            StudyError::NoAggressor { victim } => {
+                write!(
+                    f,
+                    "victim row {victim} lacks a physical neighbor on one side"
+                )
+            }
+            StudyError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StudyError::Infrastructure(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SoftMcError> for StudyError {
+    fn from(e: SoftMcError) -> Self {
+        StudyError::Infrastructure(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = StudyError::NoAggressor { victim: 0 };
+        assert!(e.to_string().contains("row 0"));
+        use std::error::Error as _;
+        assert!(e.source().is_none());
+        let wrapped = StudyError::from(SoftMcError::ShuntInstalled);
+        assert!(wrapped.source().is_some());
+        assert!(wrapped.to_string().contains("shunt"));
+    }
+}

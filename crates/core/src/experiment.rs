@@ -1,0 +1,136 @@
+//! Row sampling and sweep configuration.
+//!
+//! §4.2: "Due to time limitations, 1) we test 4K rows per DRAM module (four
+//! chunks of 1K rows evenly distributed across a DRAM bank)". [`RowSample`]
+//! reproduces that scheme and scales it down for smoke runs.
+
+use hammervolt_dram::physics::VPP_NOMINAL;
+use hammervolt_dram::Geometry;
+use serde::{Deserialize, Serialize};
+
+/// A deterministic selection of victim rows within a bank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowSample {
+    rows: Vec<u32>,
+}
+
+impl RowSample {
+    /// The paper's scheme: four chunks of `chunk_len` consecutive rows,
+    /// evenly distributed across the bank. Rows without two physical
+    /// neighbors (the very first and last physical rows) are the caller's
+    /// concern; chunks avoid the outermost addresses.
+    pub fn chunks(geometry: Geometry, chunk_len: u32) -> Self {
+        let rows_per_bank = geometry.rows_per_bank;
+        let n_chunks = 4u32;
+        let mut rows = Vec::new();
+        let usable = rows_per_bank.saturating_sub(4);
+        let chunk_len = chunk_len.min(usable / n_chunks.max(1)).max(1);
+        for c in 0..n_chunks {
+            // chunk starts spread evenly, offset 2 from the array edges
+            let start = 2 + (usable as u64 * c as u64 / n_chunks as u64) as u32;
+            for r in start..start + chunk_len {
+                if r + 2 < rows_per_bank {
+                    rows.push(r);
+                }
+            }
+        }
+        rows.dedup();
+        RowSample { rows }
+    }
+
+    /// The paper's full sample: four chunks of 1 K rows.
+    pub fn paper(geometry: Geometry) -> Self {
+        Self::chunks(geometry, 1024)
+    }
+
+    /// A reduced sample for smoke runs: four chunks of `per_chunk` rows.
+    pub fn quick(geometry: Geometry, per_chunk: u32) -> Self {
+        Self::chunks(geometry, per_chunk)
+    }
+
+    /// The sampled rows.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// The descending `V_PP` ladder the study sweeps for one module: nominal
+/// down to `vpp_min` in 0.1 V steps (§4.1).
+pub fn vpp_ladder(vpp_min: f64) -> Vec<f64> {
+    let mut levels = Vec::new();
+    let steps = ((VPP_NOMINAL - vpp_min) / 0.1).round() as i64;
+    for i in 0..=steps.max(0) {
+        let v = VPP_NOMINAL - 0.1 * i as f64;
+        levels.push((v * 1000.0).round() / 1000.0);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sample_is_4k_rows() {
+        let g = Geometry::ddr4(
+            hammervolt_dram::geometry::Density::D8Gb,
+            hammervolt_dram::geometry::ChipOrg::X8,
+        );
+        let s = RowSample::paper(g);
+        assert_eq!(s.len(), 4096);
+        // all rows have both physical-distance neighbors available
+        for &r in s.rows() {
+            assert!(r >= 2 && r + 2 < g.rows_per_bank);
+        }
+    }
+
+    #[test]
+    fn chunks_are_evenly_spread() {
+        let g = Geometry::ddr4(
+            hammervolt_dram::geometry::Density::D8Gb,
+            hammervolt_dram::geometry::ChipOrg::X8,
+        );
+        let s = RowSample::quick(g, 16);
+        assert_eq!(s.len(), 64);
+        let spread = s.rows()[s.len() - 1] - s.rows()[0];
+        assert!(
+            spread > g.rows_per_bank / 2,
+            "chunks must span the bank, spread = {spread}"
+        );
+    }
+
+    #[test]
+    fn small_geometry_clamps_chunk_len() {
+        let s = RowSample::quick(Geometry::small_test(), 1_000_000);
+        assert!(!s.is_empty());
+        assert!(s.len() <= Geometry::small_test().rows_per_bank as usize);
+    }
+
+    #[test]
+    fn ladder_descends_to_vppmin() {
+        let l = vpp_ladder(1.6);
+        assert_eq!(l.first().copied(), Some(2.5));
+        assert_eq!(l.last().copied(), Some(1.6));
+        assert_eq!(l.len(), 10);
+        for pair in l.windows(2) {
+            assert!((pair[0] - pair[1] - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ladder_at_nominal_has_one_level() {
+        assert_eq!(vpp_ladder(2.5), vec![2.5]);
+        // A5's 2.4 V
+        assert_eq!(vpp_ladder(2.4), vec![2.5, 2.4]);
+    }
+}

@@ -1,0 +1,65 @@
+//! The paper's characterization methodology.
+//!
+//! This crate implements §4 of *"Understanding RowHammer Under Reduced
+//! Wordline Voltage"* — the experimental procedures that produce every result
+//! in §5 and §6 — on top of the `hammervolt-softmc` infrastructure and
+//! `hammervolt-dram` devices:
+//!
+//! - [`patterns`] — the six data patterns (row stripe, checkerboard, thick
+//!   checker and their inverses) and worst-case data pattern (WCDP)
+//!   selection for each experiment type,
+//! - [`alg1`] — Alg. 1: the `HC_first` binary search and fixed-`HC` BER
+//!   measurement under double-sided hammering,
+//! - [`alg2`] — Alg. 2: the `t_RCDmin` sweep in 1.5 ns command slots,
+//! - [`alg3`] — Alg. 3: data-retention sweeps over refresh windows from
+//!   16 ms to 16 s in powers of two,
+//! - [`adjacency`] — physical-adjacency reverse engineering by single-sided
+//!   hammer probing (§4.2 "Finding Physically Adjacent Rows"),
+//! - [`experiment`] — row sampling ("four chunks of 1K rows evenly
+//!   distributed across a DRAM bank") and sweep configuration,
+//! - [`significance`] — §4.6's coefficient-of-variation analysis,
+//! - [`mitigation`] — §6's mitigation analyses: SECDED ECC applicability,
+//!   `t_RCD` guardband accounting, and selective-refresh row fractions,
+//! - [`records`] — serializable measurement records,
+//! - [`study`] — orchestration of full module sweeps, producing the data
+//!   behind each figure and table,
+//! - [`attacks`] — the attack-pattern family (single-, double-, many-sided)
+//!   behind §4.2's effectiveness claim,
+//! - [`recommend`] — §8's optimal-wordline-voltage selection (Table 3's
+//!   `V_PPrec`).
+//!
+//! # Example: measure one row's `HC_first`
+//!
+//! ```
+//! use hammervolt_dram::geometry::Geometry;
+//! use hammervolt_dram::module::DramModule;
+//! use hammervolt_dram::registry::{self, ModuleId};
+//! use hammervolt_softmc::SoftMc;
+//! use hammervolt_core::alg1::{self, Alg1Config};
+//!
+//! let module = DramModule::with_geometry(
+//!     registry::spec(ModuleId::B0), 7, Geometry::small_test()).unwrap();
+//! let mut mc = SoftMc::new(module);
+//! let result = alg1::measure_row(&mut mc, 0, 100, &Alg1Config::fast()).unwrap();
+//! assert!(result.hc_first.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod alg1;
+pub mod alg2;
+pub mod alg3;
+pub mod attacks;
+pub mod error;
+pub mod experiment;
+pub mod mitigation;
+pub mod patterns;
+pub mod recommend;
+pub mod records;
+pub mod significance;
+pub mod study;
+
+pub use error::StudyError;
+pub use patterns::DataPattern;

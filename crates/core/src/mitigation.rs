@@ -1,0 +1,259 @@
+//! §6's mitigation analyses: SECDED ECC, `t_RCD` guardbands, and selective
+//! refresh.
+//!
+//! The paper's position is that reduced-`V_PP` side effects are absorbable:
+//! 208/272 chips need nothing, and the rest are covered by a longer `t_RCD`
+//! (24 ns / 15 ns), SECDED ECC over 64-bit words (Obsv. 14), or doubling the
+//! refresh rate for the small fraction of rows with weak cells (Obsv. 15).
+
+use crate::error::StudyError;
+use crate::patterns::DataPattern;
+use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
+use hammervolt_ecc::analysis::{analyze_row, RowWordAnalysis};
+use hammervolt_softmc::SoftMc;
+use serde::{Deserialize, Serialize};
+
+/// Word-granularity retention-error analysis over a set of rows at one
+/// refresh window (the data behind Obsvs. 14–15 and Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EccAnalysis {
+    /// Refresh window tested (s).
+    pub window_s: f64,
+    /// Number of rows tested.
+    pub rows_tested: usize,
+    /// Number of rows with at least one erroneous 64-bit word.
+    pub rows_erroneous: usize,
+    /// Whether every erroneous word carries exactly one flipped bit —
+    /// i.e. SECDED corrects everything (Obsv. 14).
+    pub secded_correctable: bool,
+    /// Per-erroneous-row counts of erroneous 64-bit words (Fig. 11 x-axis).
+    pub erroneous_word_counts: Vec<u64>,
+}
+
+impl EccAnalysis {
+    /// Fraction of rows containing at least one erroneous word — the rows
+    /// that selective refresh would re-refresh at double rate (Obsv. 15).
+    pub fn selective_refresh_fraction(&self) -> f64 {
+        if self.rows_tested == 0 {
+            0.0
+        } else {
+            self.rows_erroneous as f64 / self.rows_tested as f64
+        }
+    }
+}
+
+/// Runs the word-granularity retention analysis: initialize each row,
+/// idle for `window_s`, read back, and classify flips per 64-bit word.
+///
+/// Each row is tested under both phases of the given pattern (the pattern
+/// and its inverse) and its *worse* phase is recorded — the per-row WCDP
+/// treatment of §4.4, without which anti-cell rows would read as clean.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn ecc_analysis(
+    mc: &mut SoftMc,
+    bank: u32,
+    rows: &[u32],
+    window_s: f64,
+    pattern: DataPattern,
+) -> Result<EccAnalysis, StudyError> {
+    let mut per_row_worst: std::collections::HashMap<u32, RowWordAnalysis> =
+        std::collections::HashMap::new();
+    for phase in [pattern, pattern.inverse()] {
+        let word = phase.word();
+        // Batch: initialize all rows, wait once, then read all back. Each
+        // row's elapsed time is at least the window (plus microseconds of
+        // init skew).
+        for &row in rows {
+            mc.init_row(bank, row, word)?;
+        }
+        mc.wait_ns(window_s * 1e9)?;
+        for &row in rows {
+            let readout = mc.read_row_conservative(bank, row)?;
+            let reference = vec![word; readout.len()];
+            let analysis: RowWordAnalysis = analyze_row(&reference, &readout);
+            let worse = match per_row_worst.get(&row) {
+                Some(prev) => analysis.erroneous_words() > prev.erroneous_words(),
+                None => true,
+            };
+            if worse {
+                per_row_worst.insert(row, analysis);
+            }
+        }
+    }
+    let mut rows_erroneous = 0usize;
+    let mut secded = true;
+    let mut counts = Vec::new();
+    for &row in rows {
+        let analysis = &per_row_worst[&row];
+        if !analysis.is_clean() {
+            rows_erroneous += 1;
+            counts.push(analysis.erroneous_words() as u64);
+            if !analysis.secded_correctable() {
+                secded = false;
+            }
+        }
+    }
+    Ok(EccAnalysis {
+        window_s,
+        rows_tested: rows.len(),
+        rows_erroneous,
+        secded_correctable: secded,
+        erroneous_word_counts: counts,
+    })
+}
+
+/// Guardband accounting for one module at one `V_PP` (§6.1): how much of the
+/// nominal 13.5 ns activation budget remains above the measured worst-case
+/// requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandReport {
+    /// Worst (largest) measured `t_RCDmin` across rows (ns).
+    pub worst_t_rcd_ns: f64,
+    /// Guardband fraction relative to nominal: `(13.5 − worst) / 13.5`.
+    pub guardband_fraction: f64,
+    /// Whether the module operates reliably with the nominal `t_RCD`.
+    pub reliable_at_nominal: bool,
+}
+
+/// Computes the guardband report from per-row `t_RCDmin` measurements.
+///
+/// # Errors
+///
+/// Fails on an empty measurement set or if any row exceeded the sweep
+/// ceiling (`None` values).
+pub fn guardband(t_rcd_mins_ns: &[Option<f64>]) -> Result<GuardbandReport, StudyError> {
+    if t_rcd_mins_ns.is_empty() {
+        return Err(StudyError::InvalidConfig {
+            reason: "no t_RCD measurements".to_string(),
+        });
+    }
+    let mut worst = 0.0f64;
+    for t in t_rcd_mins_ns {
+        match t {
+            Some(v) => worst = worst.max(*v),
+            None => {
+                return Err(StudyError::InvalidConfig {
+                    reason: "a row exceeded the sweep ceiling; raise ceiling_ns".to_string(),
+                })
+            }
+        }
+    }
+    Ok(GuardbandReport {
+        worst_t_rcd_ns: worst,
+        guardband_fraction: (NOMINAL_T_RCD_NS - worst) / NOMINAL_T_RCD_NS,
+        reliable_at_nominal: worst <= NOMINAL_T_RCD_NS,
+    })
+}
+
+/// Relative guardband reduction between two reports (paper: 21.9 % average
+/// across chips that stay reliable at nominal).
+///
+/// Returns `None` when the baseline has no positive guardband.
+pub fn guardband_reduction(nominal: &GuardbandReport, reduced: &GuardbandReport) -> Option<f64> {
+    if nominal.guardband_fraction <= 0.0 {
+        return None;
+    }
+    Some(1.0 - reduced.guardband_fraction / nominal.guardband_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn session_at_80c(id: ModuleId, seed: u64) -> SoftMc {
+        let module =
+            DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap();
+        let mut mc = SoftMc::new(module);
+        mc.set_temperature(80.0).unwrap();
+        mc
+    }
+
+    #[test]
+    fn clean_module_has_no_64ms_errors_at_vppmin() {
+        // A-modules never flip at 64 ms (Obsv. 13).
+        let mut mc = session_at_80c(ModuleId::A3, 3);
+        mc.set_vpp(1.4).unwrap();
+        let rows: Vec<u32> = (4..200).step_by(3).collect();
+        let a = ecc_analysis(&mut mc, 0, &rows, 0.064, DataPattern::CheckerboardAa).unwrap();
+        assert_eq!(a.rows_erroneous, 0);
+        assert!(a.secded_correctable);
+        assert_eq!(a.selective_refresh_fraction(), 0.0);
+    }
+
+    #[test]
+    fn b6_flips_at_64ms_at_vppmin_and_secded_corrects() {
+        let mut mc = session_at_80c(ModuleId::B6, 5);
+        mc.set_vpp(1.7).unwrap();
+        let rows: Vec<u32> = (4..260).collect();
+        let a = ecc_analysis(&mut mc, 0, &rows, 0.064, DataPattern::CheckerboardAa).unwrap();
+        assert!(a.rows_erroneous > 0, "B6 must flip at 64 ms at V_PPmin");
+        assert!(a.secded_correctable, "Obsv. 14: all words single-bit");
+        // the dominant erroneous-word count is 4 (Fig. 11a, Mfr. B)
+        let fours = a.erroneous_word_counts.iter().filter(|&&c| c == 4).count();
+        assert!(
+            fours * 2 >= a.erroneous_word_counts.len(),
+            "expected mostly 4-word rows, got {:?}",
+            a.erroneous_word_counts
+        );
+        // roughly 15.5 % of rows affected
+        let f = a.selective_refresh_fraction();
+        assert!((0.08..0.25).contains(&f), "fraction {f}");
+    }
+
+    #[test]
+    fn b6_is_clean_at_64ms_at_nominal_vpp() {
+        let mut mc = session_at_80c(ModuleId::B6, 5);
+        let rows: Vec<u32> = (4..260).collect();
+        let a = ecc_analysis(&mut mc, 0, &rows, 0.064, DataPattern::CheckerboardAa).unwrap();
+        assert_eq!(
+            a.rows_erroneous, 0,
+            "64 ms failures appear only at reduced V_PP"
+        );
+    }
+
+    #[test]
+    fn guardband_math() {
+        let r = guardband(&[Some(10.5), Some(12.0), Some(11.0)]).unwrap();
+        assert_eq!(r.worst_t_rcd_ns, 12.0);
+        assert!(r.reliable_at_nominal);
+        assert!((r.guardband_fraction - (13.5 - 12.0) / 13.5).abs() < 1e-12);
+        let bad = guardband(&[Some(15.0)]).unwrap();
+        assert!(!bad.reliable_at_nominal);
+        assert!(bad.guardband_fraction < 0.0);
+    }
+
+    #[test]
+    fn guardband_rejects_incomplete_sweeps() {
+        assert!(guardband(&[]).is_err());
+        assert!(guardband(&[Some(12.0), None]).is_err());
+    }
+
+    #[test]
+    fn guardband_reduction_math() {
+        let nominal = GuardbandReport {
+            worst_t_rcd_ns: 10.5,
+            guardband_fraction: (13.5 - 10.5) / 13.5,
+            reliable_at_nominal: true,
+        };
+        let reduced = GuardbandReport {
+            worst_t_rcd_ns: 11.16,
+            guardband_fraction: (13.5 - 11.16) / 13.5,
+            reliable_at_nominal: true,
+        };
+        let red = guardband_reduction(&nominal, &reduced).unwrap();
+        assert!((red - 0.22).abs() < 0.01, "reduction {red}");
+        // degenerate baseline
+        let zero = GuardbandReport {
+            worst_t_rcd_ns: 13.5,
+            guardband_fraction: 0.0,
+            reliable_at_nominal: true,
+        };
+        assert_eq!(guardband_reduction(&zero, &reduced), None);
+    }
+}

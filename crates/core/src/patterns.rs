@@ -1,0 +1,141 @@
+//! The six data patterns and worst-case-data-pattern (WCDP) selection.
+//!
+//! §4.1: "We use six commonly used data patterns: row stripe (0xFF/0x00),
+//! checkerboard (0xAA/0x55), and thickchecker (0xCC/0x33). We identify the
+//! worst-case data pattern (WCDP) for each row among these six patterns at
+//! nominal V_PP separately for each of RowHammer, row activation latency,
+//! and data retention time tests."
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's six victim-row data patterns. Aggressor rows are always
+/// initialized with the bitwise inverse (Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataPattern {
+    /// Row stripe: victim all-ones (0xFF bytes).
+    RowStripeOnes,
+    /// Row stripe inverse: victim all-zeros (0x00 bytes).
+    RowStripeZeros,
+    /// Checkerboard: alternating bits starting high (0xAA bytes).
+    CheckerboardAa,
+    /// Checkerboard inverse (0x55 bytes).
+    Checkerboard55,
+    /// Thick checker: alternating bit pairs (0xCC bytes).
+    ThickCheckerCc,
+    /// Thick checker inverse (0x33 bytes).
+    ThickChecker33,
+}
+
+impl DataPattern {
+    /// All six patterns, in the paper's listing order.
+    pub const ALL: [DataPattern; 6] = [
+        DataPattern::RowStripeOnes,
+        DataPattern::RowStripeZeros,
+        DataPattern::CheckerboardAa,
+        DataPattern::Checkerboard55,
+        DataPattern::ThickCheckerCc,
+        DataPattern::ThickChecker33,
+    ];
+
+    /// The repeated byte of the pattern.
+    pub fn byte(&self) -> u8 {
+        match self {
+            DataPattern::RowStripeOnes => 0xFF,
+            DataPattern::RowStripeZeros => 0x00,
+            DataPattern::CheckerboardAa => 0xAA,
+            DataPattern::Checkerboard55 => 0x55,
+            DataPattern::ThickCheckerCc => 0xCC,
+            DataPattern::ThickChecker33 => 0x33,
+        }
+    }
+
+    /// The pattern as a repeated 64-bit word (victim-row fill value).
+    pub fn word(&self) -> u64 {
+        u64::from_ne_bytes([self.byte(); 8])
+    }
+
+    /// The bitwise-inverse pattern (aggressor-row fill value).
+    pub fn inverse(&self) -> DataPattern {
+        match self {
+            DataPattern::RowStripeOnes => DataPattern::RowStripeZeros,
+            DataPattern::RowStripeZeros => DataPattern::RowStripeOnes,
+            DataPattern::CheckerboardAa => DataPattern::Checkerboard55,
+            DataPattern::Checkerboard55 => DataPattern::CheckerboardAa,
+            DataPattern::ThickCheckerCc => DataPattern::ThickChecker33,
+            DataPattern::ThickChecker33 => DataPattern::ThickCheckerCc,
+        }
+    }
+
+    /// Short label for reports, e.g. `"0xAA"`.
+    pub fn label(&self) -> String {
+        format!("0x{:02X}", self.byte())
+    }
+}
+
+impl std::fmt::Display for DataPattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Counts the bit flips between a row readout and its pattern fill.
+pub fn count_flips(readout: &[u64], pattern: DataPattern) -> u64 {
+    let expected = pattern.word();
+    readout
+        .iter()
+        .map(|&w| (w ^ expected).count_ones() as u64)
+        .sum()
+}
+
+/// Bit error rate of a readout relative to its pattern fill.
+pub fn bit_error_rate(readout: &[u64], pattern: DataPattern) -> f64 {
+    if readout.is_empty() {
+        return 0.0;
+    }
+    count_flips(readout, pattern) as f64 / (readout.len() as f64 * 64.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_patterns_three_inverse_pairs() {
+        assert_eq!(DataPattern::ALL.len(), 6);
+        for p in DataPattern::ALL {
+            assert_eq!(p.inverse().inverse(), p);
+            assert_eq!(p.word(), !p.inverse().word());
+        }
+    }
+
+    #[test]
+    fn words_repeat_bytes() {
+        assert_eq!(DataPattern::CheckerboardAa.word(), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(DataPattern::RowStripeZeros.word(), 0);
+        assert_eq!(DataPattern::ThickChecker33.word(), 0x3333_3333_3333_3333);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(DataPattern::RowStripeOnes.label(), "0xFF");
+        assert_eq!(DataPattern::Checkerboard55.to_string(), "0x55");
+    }
+
+    #[test]
+    fn flip_counting() {
+        let pattern = DataPattern::CheckerboardAa;
+        let mut row = vec![pattern.word(); 8];
+        assert_eq!(count_flips(&row, pattern), 0);
+        assert_eq!(bit_error_rate(&row, pattern), 0.0);
+        row[3] ^= 0b101;
+        assert_eq!(count_flips(&row, pattern), 2);
+        let expected_ber = 2.0 / (8.0 * 64.0);
+        assert!((bit_error_rate(&row, pattern) - expected_ber).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_readout() {
+        assert_eq!(count_flips(&[], DataPattern::RowStripeOnes), 0);
+        assert_eq!(bit_error_rate(&[], DataPattern::RowStripeOnes), 0.0);
+    }
+}

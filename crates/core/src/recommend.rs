@@ -1,0 +1,202 @@
+//! Finding the optimal wordline voltage (§8, "Finding Optimal Wordline
+//! Voltage" and Table 3's `V_PPrec` column).
+//!
+//! The paper's takeaway is that `V_PP` trades RowHammer robustness against
+//! access latency and retention margins, so "one can define different
+//! Pareto-optimal operating conditions for different performance and
+//! reliability requirements". This module sweeps a module's ladder,
+//! characterizes each level, and picks the recommended voltage under an
+//! explicit policy.
+
+use crate::alg1::{self, Alg1Config};
+use crate::alg2::{self, Alg2Config};
+use crate::error::StudyError;
+use crate::experiment::{vpp_ladder, RowSample};
+use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
+use hammervolt_softmc::SoftMc;
+use serde::{Deserialize, Serialize};
+
+/// Characterization of one `V_PP` level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Wordline voltage (V).
+    pub vpp: f64,
+    /// Minimum `HC_first` across sampled rows (RowHammer robustness; higher
+    /// is better). `None` when no sampled row flipped in range.
+    pub hc_first_min: Option<u64>,
+    /// Mean BER at the fixed hammer count (lower is better).
+    pub mean_ber: f64,
+    /// Worst `t_RCDmin` across sampled rows (ns).
+    pub worst_t_rcd_ns: f64,
+    /// Whether the level is usable with the nominal activation latency.
+    pub nominal_t_rcd_ok: bool,
+}
+
+/// Selection policy for the recommended voltage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Security-critical: the level with the best RowHammer robustness
+    /// (maximum `HC_first`, ties to lower BER) among levels that remain
+    /// usable — with a relaxed `t_RCD` if necessary.
+    SecurityFirst,
+    /// Performance-critical: the lowest voltage that is strictly no worse
+    /// than nominal on *every* axis (RowHammer, BER, nominal `t_RCD`); falls
+    /// back to nominal when no reduced level qualifies.
+    NoRegression,
+}
+
+/// The sweep outcome and the policy's pick.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Policy applied.
+    pub policy: Policy,
+    /// Recommended `V_PP` (V).
+    pub vpp_rec: f64,
+    /// All characterized levels, descending voltage.
+    pub points: Vec<OperatingPoint>,
+}
+
+/// Characterizes the module across its ladder and recommends a voltage.
+///
+/// `rows` bounds the per-level sample (cost control); `vpp_min` should come
+/// from [`SoftMc::find_vppmin`].
+///
+/// # Errors
+///
+/// Propagates infrastructure errors; fails on an empty usable sample.
+pub fn recommend(
+    mc: &mut SoftMc,
+    bank: u32,
+    vpp_min: f64,
+    rows: usize,
+    policy: Policy,
+) -> Result<Recommendation, StudyError> {
+    let sample = RowSample::quick(mc.module().geometry(), ((rows / 4).max(1)) as u32);
+    let alg1_cfg = Alg1Config::fast();
+    let alg2_cfg = Alg2Config {
+        ceiling_ns: 30.0,
+        ..Alg2Config::fast()
+    };
+    let mut points = Vec::new();
+    for vpp in vpp_ladder(vpp_min) {
+        mc.set_vpp(vpp)?;
+        let mut hc_min: Option<u64> = None;
+        let mut ber_sum = 0.0;
+        let mut ber_n = 0usize;
+        let mut worst_trcd = 0.0f64;
+        for &row in sample.rows().iter().take(rows) {
+            let m = match alg1::measure_row(mc, bank, row, &alg1_cfg) {
+                Ok(m) => m,
+                Err(StudyError::NoAggressor { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(h) = m.hc_first {
+                hc_min = Some(hc_min.map_or(h, |x| x.min(h)));
+            }
+            ber_sum += m.ber;
+            ber_n += 1;
+            let t = alg2::measure_row(mc, bank, row, &alg2_cfg)?
+                .t_rcd_min_ns
+                .unwrap_or(f64::INFINITY);
+            worst_trcd = worst_trcd.max(t);
+        }
+        if ber_n == 0 {
+            return Err(StudyError::InvalidConfig {
+                reason: "no usable rows in the sample".to_string(),
+            });
+        }
+        points.push(OperatingPoint {
+            vpp,
+            hc_first_min: hc_min,
+            mean_ber: ber_sum / ber_n as f64,
+            worst_t_rcd_ns: worst_trcd,
+            nominal_t_rcd_ok: worst_trcd <= NOMINAL_T_RCD_NS,
+        });
+    }
+    let nominal = points.first().cloned().ok_or(StudyError::InvalidConfig {
+        reason: "empty ladder".to_string(),
+    })?;
+    let hc_of = |p: &OperatingPoint| p.hc_first_min.unwrap_or(u64::MAX);
+    let vpp_rec = match policy {
+        Policy::SecurityFirst => points
+            .iter()
+            .filter(|p| p.worst_t_rcd_ns.is_finite())
+            .max_by(|a, b| {
+                (hc_of(a), -a.mean_ber)
+                    .partial_cmp(&(hc_of(b), -b.mean_ber))
+                    .expect("finite")
+            })
+            .map(|p| p.vpp)
+            .unwrap_or(nominal.vpp),
+        Policy::NoRegression => points
+            .iter()
+            .filter(|p| {
+                p.nominal_t_rcd_ok
+                    && hc_of(p) >= hc_of(&nominal)
+                    && p.mean_ber <= nominal.mean_ber * 1.001
+            })
+            .map(|p| p.vpp)
+            .fold(nominal.vpp, f64::min),
+    };
+    Ok(Recommendation {
+        policy,
+        vpp_rec,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn session(id: ModuleId, seed: u64) -> SoftMc {
+        let module =
+            DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap();
+        SoftMc::new(module)
+    }
+
+    #[test]
+    fn b3_recommendation_goes_low() {
+        // B3 improves monotonically: both policies should recommend a level
+        // well below nominal (Table 3's V_PPrec for B3 is its V_PPmin 1.6 V).
+        let mut mc = session(ModuleId::B3, 3);
+        let vpp_min = mc.find_vppmin().unwrap();
+        let rec = recommend(&mut mc, 0, vpp_min, 6, Policy::SecurityFirst).unwrap();
+        assert!(
+            rec.vpp_rec <= 1.9,
+            "security-first V_PPrec for B3 = {:.1}, expected low",
+            rec.vpp_rec
+        );
+        assert_eq!(rec.points.len(), 10); // 2.5 .. 1.6
+    }
+
+    #[test]
+    fn no_regression_never_breaks_nominal_trcd() {
+        let mut mc = session(ModuleId::A0, 5); // t_RCD fails below ~2 V
+        let vpp_min = mc.find_vppmin().unwrap();
+        let rec = recommend(&mut mc, 0, vpp_min, 4, Policy::NoRegression).unwrap();
+        let chosen = rec
+            .points
+            .iter()
+            .find(|p| (p.vpp - rec.vpp_rec).abs() < 1e-9)
+            .expect("chosen point characterized");
+        assert!(
+            chosen.nominal_t_rcd_ok,
+            "NoRegression picked {:.1} V where nominal t_RCD fails",
+            rec.vpp_rec
+        );
+    }
+
+    #[test]
+    fn recommendation_is_within_ladder() {
+        let mut mc = session(ModuleId::C5, 7);
+        let vpp_min = mc.find_vppmin().unwrap();
+        for policy in [Policy::SecurityFirst, Policy::NoRegression] {
+            let rec = recommend(&mut mc, 0, vpp_min, 4, policy).unwrap();
+            assert!(rec.vpp_rec >= vpp_min - 1e-9 && rec.vpp_rec <= 2.5 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Serializable measurement records.
+//!
+//! Every study run produces flat, self-describing records so results can be
+//! archived, diffed across runs, and fed to the figure harnesses without
+//! re-running experiments.
+
+use crate::patterns::DataPattern;
+use hammervolt_dram::registry::ModuleId;
+use serde::{Deserialize, Serialize};
+
+/// One RowHammer measurement: a row at a `V_PP` level (Alg. 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RowHammerRecord {
+    /// Module under test.
+    pub module: ModuleId,
+    /// Wordline voltage (V).
+    pub vpp: f64,
+    /// Bank.
+    pub bank: u32,
+    /// Victim row.
+    pub row: u32,
+    /// Worst-case data pattern used.
+    pub wcdp: DataPattern,
+    /// Smallest observed `HC_first`, if any flips occurred.
+    pub hc_first: Option<u64>,
+    /// Largest observed BER at the fixed hammer count.
+    pub ber: f64,
+}
+
+/// One activation-latency measurement (Alg. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrcdRecord {
+    /// Module under test.
+    pub module: ModuleId,
+    /// Wordline voltage (V).
+    pub vpp: f64,
+    /// Bank.
+    pub bank: u32,
+    /// Row.
+    pub row: u32,
+    /// Minimum reliable `t_RCD` (ns), `None` if above the sweep ceiling.
+    pub t_rcd_min_ns: Option<f64>,
+}
+
+/// One retention measurement at one window (Alg. 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetentionRecord {
+    /// Module under test.
+    pub module: ModuleId,
+    /// Wordline voltage (V).
+    pub vpp: f64,
+    /// Bank.
+    pub bank: u32,
+    /// Row.
+    pub row: u32,
+    /// Refresh window (s).
+    pub window_s: f64,
+    /// Retention BER.
+    pub ber: f64,
+}
+
+/// Writes any serializable record set as JSON lines.
+///
+/// # Errors
+///
+/// Returns serialization errors (I/O is the caller's, via the writer).
+pub fn write_jsonl<T: Serialize>(
+    records: &[T],
+    mut writer: impl std::io::Write,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for r in records {
+        serde_json::to_writer(&mut writer, r)?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads JSON-lines records back.
+///
+/// # Errors
+///
+/// Returns deserialization errors.
+pub fn read_jsonl<T: for<'de> Deserialize<'de>>(data: &str) -> Result<Vec<T>, serde_json::Error> {
+    data.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rowhammer_record_round_trips() {
+        let records = vec![
+            RowHammerRecord {
+                module: ModuleId::B3,
+                vpp: 1.6,
+                bank: 0,
+                row: 42,
+                wcdp: DataPattern::CheckerboardAa,
+                hc_first: Some(21_100),
+                ber: 1.09e-3,
+            },
+            RowHammerRecord {
+                module: ModuleId::A5,
+                vpp: 2.5,
+                bank: 0,
+                row: 7,
+                wcdp: DataPattern::RowStripeOnes,
+                hc_first: None,
+                ber: 0.0,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_jsonl(&records, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back: Vec<RowHammerRecord> = read_jsonl(&text).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines() {
+        let text = "\n\n";
+        let records: Vec<TrcdRecord> = read_jsonl(text).unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn retention_record_serializes() {
+        let r = RetentionRecord {
+            module: ModuleId::C1,
+            vpp: 1.7,
+            bank: 0,
+            row: 3,
+            window_s: 0.064,
+            ber: 2.4e-7,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("C1"));
+        let back: RetentionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

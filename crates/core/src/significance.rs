@@ -1,0 +1,132 @@
+//! §4.6: statistical significance via the coefficient of variation.
+//!
+//! "We investigate the variation in our measurements by examining the
+//! coefficient of variation (CV) across ten iterations. ... The coefficient
+//! of variation is 0.08, 0.13, and 0.24 for 90th, 95th, and 99th percentiles
+//! of all of our experimental results."
+
+use crate::error::StudyError;
+use hammervolt_stats::descriptive::Summary;
+use hammervolt_stats::quantile;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate CV report over a set of repeated measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignificanceReport {
+    /// Number of measurement groups analyzed.
+    pub groups: usize,
+    /// Per-group CVs (unordered).
+    pub cvs: Vec<f64>,
+    /// CV at the 90th percentile of all groups.
+    pub cv_p90: f64,
+    /// CV at the 95th percentile.
+    pub cv_p95: f64,
+    /// CV at the 99th percentile.
+    pub cv_p99: f64,
+}
+
+impl SignificanceReport {
+    /// Whether the measurement campaign clears the paper's reported
+    /// significance levels (P90 ≤ 0.08 would match the paper exactly; this
+    /// check uses a configurable bound).
+    pub fn within(&self, p90_bound: f64, p95_bound: f64, p99_bound: f64) -> bool {
+        self.cv_p90 <= p90_bound && self.cv_p95 <= p95_bound && self.cv_p99 <= p99_bound
+    }
+}
+
+/// Computes the CV report over measurement groups, where each group is the
+/// repeated observations of one quantity (e.g. one row's BER across the ten
+/// iterations).
+///
+/// Groups whose mean is zero (e.g. rows that never flipped) carry no
+/// variation information and are skipped, as are groups with fewer than two
+/// observations.
+///
+/// # Errors
+///
+/// Fails if no group is usable.
+pub fn analyze(groups: &[Vec<f64>]) -> Result<SignificanceReport, StudyError> {
+    let mut cvs = Vec::new();
+    for g in groups {
+        if g.len() < 2 {
+            continue;
+        }
+        let Ok(summary) = Summary::from_slice(g) else {
+            continue;
+        };
+        if summary.mean == 0.0 {
+            continue;
+        }
+        cvs.push(summary.coefficient_of_variation());
+    }
+    if cvs.is_empty() {
+        return Err(StudyError::InvalidConfig {
+            reason: "no measurement group with nonzero mean and ≥2 observations".to_string(),
+        });
+    }
+    let p = |pct: f64| quantile::percentile(&cvs, pct).expect("non-empty validated");
+    Ok(SignificanceReport {
+        groups: cvs.len(),
+        cv_p90: p(90.0),
+        cv_p95: p(95.0),
+        cv_p99: p(99.0),
+        cvs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_groups_have_zero_cv() {
+        let groups = vec![vec![5.0, 5.0, 5.0], vec![2.0, 2.0]];
+        let r = analyze(&groups).unwrap();
+        assert_eq!(r.groups, 2);
+        assert_eq!(r.cv_p90, 0.0);
+        assert!(r.within(0.08, 0.13, 0.24));
+    }
+
+    #[test]
+    fn noisy_groups_have_positive_cv() {
+        let groups = vec![vec![10.0, 11.0, 9.0, 10.5], vec![100.0, 120.0, 90.0]];
+        let r = analyze(&groups).unwrap();
+        assert!(r.cv_p90 > 0.0);
+        assert!(r.cv_p99 >= r.cv_p95);
+        assert!(r.cv_p95 >= r.cv_p90);
+    }
+
+    #[test]
+    fn zero_mean_and_singleton_groups_skipped() {
+        let groups = vec![
+            vec![0.0, 0.0, 0.0], // zero mean: skipped
+            vec![1.0],           // singleton: skipped
+            vec![4.0, 6.0],      // usable
+        ];
+        let r = analyze(&groups).unwrap();
+        assert_eq!(r.groups, 1);
+    }
+
+    #[test]
+    fn all_unusable_errors() {
+        let groups = vec![vec![0.0, 0.0], vec![3.0]];
+        assert!(analyze(&groups).is_err());
+        assert!(analyze(&[]).is_err());
+    }
+
+    #[test]
+    fn percentiles_track_the_tail() {
+        // 19 tight groups and one wild one: P99 must reflect the wild group
+        // (with 20 points the 99th percentile interpolates 81 % of the way
+        // into the top value).
+        let mut groups: Vec<Vec<f64>> = (0..19).map(|_| vec![10.0, 10.1, 9.9]).collect();
+        groups.push(vec![1.0, 10.0, 100.0]);
+        let r = analyze(&groups).unwrap();
+        assert!(
+            r.cv_p99 > 5.0 * r.cv_p90,
+            "p99 {} p90 {}",
+            r.cv_p99,
+            r.cv_p90
+        );
+    }
+}

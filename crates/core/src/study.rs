@@ -1,0 +1,648 @@
+//! Study orchestration: full module sweeps and aggregate findings.
+//!
+//! These are the drivers behind the paper's figures: each sweep runs one
+//! module through its `V_PP` ladder with one of the algorithms and collects
+//! flat records; the aggregation types compute the normalized series, the
+//! population ratios, and the headline statistics of §5/§6.
+
+use crate::alg1::{self, Alg1Config};
+use crate::alg2::{self, Alg2Config};
+use crate::alg3::{self, Alg3Config};
+use crate::error::StudyError;
+use crate::experiment::{vpp_ladder, RowSample};
+use crate::patterns::DataPattern;
+use crate::records::{RetentionRecord, RowHammerRecord, TrcdRecord};
+use hammervolt_dram::physics::VPP_NOMINAL;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_dram::{DramModule, Geometry};
+use hammervolt_softmc::SoftMc;
+use hammervolt_stats::ci::{population_interval, ConfidenceInterval};
+use hammervolt_stats::normalize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Study-wide configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Modules to test.
+    pub modules: Vec<ModuleId>,
+    /// Specimen seed base; module `i` uses `seed + i`.
+    pub seed: u64,
+    /// Bank under test (the paper tests one bank per module).
+    pub bank: u32,
+    /// Rows per chunk in the four-chunk sample (paper: 1024).
+    pub rows_per_chunk: u32,
+    /// Use the reduced test geometry instead of the full die (fast runs).
+    pub reduced_geometry: bool,
+    /// Alg. 1 configuration.
+    pub alg1: Alg1Config,
+    /// Alg. 2 configuration.
+    pub alg2: Alg2Config,
+    /// Alg. 3 configuration.
+    pub alg3: Alg3Config,
+    /// `V_PP` levels for retention sweeps (clamped at each module's
+    /// `V_PPmin`); the RowHammer/latency sweeps use the full 0.1 V ladder.
+    pub retention_vpp_levels: Vec<f64>,
+}
+
+impl StudyConfig {
+    /// The paper's full protocol (hours of compute on the simulator).
+    pub fn paper() -> Self {
+        StudyConfig {
+            modules: ModuleId::ALL.to_vec(),
+            seed: 0xD5_2022,
+            bank: 0,
+            rows_per_chunk: 1024,
+            reduced_geometry: false,
+            alg1: Alg1Config::default(),
+            alg2: Alg2Config::default(),
+            alg3: Alg3Config::default(),
+            retention_vpp_levels: vec![2.5, 2.3, 2.1, 1.9, 1.7, 1.5],
+        }
+    }
+
+    /// A scaled-down protocol that preserves every experimental step but
+    /// samples fewer rows with fewer iterations — minutes instead of hours.
+    pub fn quick() -> Self {
+        StudyConfig {
+            modules: ModuleId::ALL.to_vec(),
+            seed: 0xD5_2022,
+            bank: 0,
+            rows_per_chunk: 8,
+            reduced_geometry: true,
+            alg1: Alg1Config::fast(),
+            alg2: Alg2Config::fast(),
+            alg3: Alg3Config::fast(),
+            retention_vpp_levels: vec![2.5, 2.1, 1.7, 1.5],
+        }
+    }
+
+    /// Like [`StudyConfig::quick`] but restricted to a subset of modules.
+    pub fn quick_subset(modules: &[ModuleId]) -> Self {
+        StudyConfig {
+            modules: modules.to_vec(),
+            ..StudyConfig::quick()
+        }
+    }
+
+    /// Brings up one module on the infrastructure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors.
+    pub fn bring_up(&self, id: ModuleId) -> Result<SoftMc, StudyError> {
+        let spec = registry::spec(id);
+        let index = ModuleId::ALL.iter().position(|&m| m == id).unwrap_or(0);
+        let seed = self.seed.wrapping_add(index as u64);
+        let module = if self.reduced_geometry {
+            DramModule::with_geometry(spec, seed, Geometry::small_test())
+        } else {
+            DramModule::new(spec, seed)
+        }
+        .map_err(|e| StudyError::Infrastructure(e.into()))?;
+        Ok(SoftMc::new(module))
+    }
+
+    /// The row sample for a geometry.
+    pub fn sample(&self, geometry: Geometry) -> RowSample {
+        RowSample::chunks(geometry, self.rows_per_chunk)
+    }
+}
+
+/// One module's RowHammer sweep across its `V_PP` ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleHammerSweep {
+    /// The module.
+    pub module: ModuleId,
+    /// `V_PPmin` found by the §4.1 procedure.
+    pub vpp_min: f64,
+    /// The levels swept, descending from nominal.
+    pub vpp_levels: Vec<f64>,
+    /// All per-row records across levels.
+    pub records: Vec<RowHammerRecord>,
+}
+
+/// A normalized per-level statistic with its 90 % population band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedPoint {
+    /// `V_PP` level (V).
+    pub vpp: f64,
+    /// Mean normalized value across rows.
+    pub mean: f64,
+    /// 90 % population interval across rows.
+    pub band: ConfidenceInterval,
+}
+
+impl ModuleHammerSweep {
+    fn records_at(&self, vpp: f64) -> impl Iterator<Item = &RowHammerRecord> {
+        self.records
+            .iter()
+            .filter(move |r| (r.vpp - vpp).abs() < 1e-9)
+    }
+
+    fn baseline_by_row<F: Fn(&RowHammerRecord) -> Option<f64>>(
+        &self,
+        metric: &F,
+    ) -> HashMap<u32, f64> {
+        self.records_at(VPP_NOMINAL)
+            .filter_map(|r| metric(r).map(|v| (r.row, v)))
+            .filter(|&(_, v)| v > 0.0)
+            .collect()
+    }
+
+    fn normalized_series<F: Fn(&RowHammerRecord) -> Option<f64>>(
+        &self,
+        metric: F,
+    ) -> Vec<NormalizedPoint> {
+        let baseline = self.baseline_by_row(&metric);
+        let mut out = Vec::new();
+        for &vpp in &self.vpp_levels {
+            let ratios: Vec<f64> = self
+                .records_at(vpp)
+                .filter_map(|r| {
+                    let v = metric(r)?;
+                    let b = baseline.get(&r.row)?;
+                    Some(v / b)
+                })
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+            let band = population_interval(&ratios, 0.9).unwrap_or(ConfidenceInterval {
+                lo: mean,
+                hi: mean,
+                level: 0.9,
+            });
+            out.push(NormalizedPoint { vpp, mean, band });
+        }
+        out
+    }
+
+    /// Fig. 3 data: normalized BER per level.
+    pub fn normalized_ber(&self) -> Vec<NormalizedPoint> {
+        self.normalized_series(|r| Some(r.ber))
+    }
+
+    /// Fig. 5 data: normalized `HC_first` per level.
+    pub fn normalized_hc_first(&self) -> Vec<NormalizedPoint> {
+        self.normalized_series(|r| r.hc_first.map(|h| h as f64))
+    }
+
+    /// Figs. 4/6 data: per-row normalized values at `V_PPmin`.
+    pub fn row_ratios_at_vppmin(&self) -> (Vec<f64>, Vec<f64>) {
+        let ber_base = self.baseline_by_row(&|r: &RowHammerRecord| Some(r.ber));
+        let hc_base = self.baseline_by_row(&|r: &RowHammerRecord| r.hc_first.map(|h| h as f64));
+        let mut ber = Vec::new();
+        let mut hc = Vec::new();
+        for r in self.records_at(self.vpp_min) {
+            if let Some(b) = ber_base.get(&r.row) {
+                ber.push(r.ber / b);
+            }
+            if let (Some(h), Some(b)) = (r.hc_first, hc_base.get(&r.row)) {
+                hc.push(h as f64 / b);
+            }
+        }
+        (ber, hc)
+    }
+}
+
+/// Runs the Alg. 1 sweep for one module: WCDP per row at nominal `V_PP`,
+/// then the full ladder down to `V_PPmin` reusing each row's WCDP
+/// (§4.1/footnote 9).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn rowhammer_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+) -> Result<ModuleHammerSweep, StudyError> {
+    let mut mc = config.bring_up(id)?;
+    let vpp_min = mc.find_vppmin()?;
+    mc.set_vpp(VPP_NOMINAL)?;
+    let sample = config.sample(mc.module().geometry());
+    let levels = vpp_ladder(vpp_min);
+    let mut records = Vec::new();
+    let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
+
+    for &vpp in &levels {
+        mc.set_vpp(vpp)?;
+        for &row in sample.rows() {
+            let cfg = if let Some(&wcdp) = wcdp_by_row.get(&row) {
+                Alg1Config {
+                    wcdp_override: Some(wcdp),
+                    ..config.alg1
+                }
+            } else {
+                config.alg1
+            };
+            let m = match alg1::measure_row(&mut mc, config.bank, row, &cfg) {
+                Ok(m) => m,
+                Err(StudyError::NoAggressor { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            wcdp_by_row.entry(row).or_insert(m.wcdp);
+            records.push(RowHammerRecord {
+                module: id,
+                vpp,
+                bank: config.bank,
+                row,
+                wcdp: m.wcdp,
+                hc_first: m.hc_first,
+                ber: m.ber,
+            });
+        }
+    }
+    Ok(ModuleHammerSweep {
+        module: id,
+        vpp_min,
+        vpp_levels: levels,
+        records,
+    })
+}
+
+/// One module's `t_RCD` sweep across its ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleTrcdSweep {
+    /// The module.
+    pub module: ModuleId,
+    /// `V_PPmin`.
+    pub vpp_min: f64,
+    /// Levels swept.
+    pub vpp_levels: Vec<f64>,
+    /// Per-row records across levels.
+    pub records: Vec<TrcdRecord>,
+}
+
+impl ModuleTrcdSweep {
+    /// Worst (largest) `t_RCDmin` at each level — the Fig. 7 curve.
+    pub fn worst_per_level(&self) -> Vec<(f64, Option<f64>)> {
+        self.vpp_levels
+            .iter()
+            .map(|&vpp| {
+                let mut worst: Option<f64> = None;
+                let mut incomplete = false;
+                for r in self.records.iter().filter(|r| (r.vpp - vpp).abs() < 1e-9) {
+                    match r.t_rcd_min_ns {
+                        Some(t) => worst = Some(worst.map_or(t, |w: f64| w.max(t))),
+                        None => incomplete = true,
+                    }
+                }
+                (vpp, if incomplete { None } else { worst })
+            })
+            .collect()
+    }
+}
+
+/// Runs the Alg. 2 sweep for one module. To bound cost, the `t_RCD` study
+/// sweeps nominal and `V_PPmin` plus evenly spaced intermediate levels
+/// (`levels_cap` total).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn trcd_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+    levels_cap: usize,
+) -> Result<ModuleTrcdSweep, StudyError> {
+    let mut mc = config.bring_up(id)?;
+    let vpp_min = mc.find_vppmin()?;
+    mc.set_vpp(VPP_NOMINAL)?;
+    let sample = config.sample(mc.module().geometry());
+    let ladder = vpp_ladder(vpp_min);
+    let levels: Vec<f64> = thin_levels(&ladder, levels_cap.max(2));
+    let mut records = Vec::new();
+    for &vpp in &levels {
+        mc.set_vpp(vpp)?;
+        for &row in sample.rows() {
+            let m = alg2::measure_row(&mut mc, config.bank, row, &config.alg2)?;
+            records.push(TrcdRecord {
+                module: id,
+                vpp,
+                bank: config.bank,
+                row,
+                t_rcd_min_ns: m.t_rcd_min_ns,
+            });
+        }
+    }
+    Ok(ModuleTrcdSweep {
+        module: id,
+        vpp_min,
+        vpp_levels: levels,
+        records,
+    })
+}
+
+/// One module's retention sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleRetentionSweep {
+    /// The module.
+    pub module: ModuleId,
+    /// `V_PPmin`.
+    pub vpp_min: f64,
+    /// Levels swept (clamped at `V_PPmin`).
+    pub vpp_levels: Vec<f64>,
+    /// Per-row, per-window records across levels.
+    pub records: Vec<RetentionRecord>,
+}
+
+impl ModuleRetentionSweep {
+    /// Mean retention BER per window at one level — a Fig. 10a curve.
+    pub fn mean_ber_curve(&self, vpp: f64) -> Vec<(f64, f64)> {
+        let mut by_window: HashMap<u64, (f64, usize)> = HashMap::new();
+        for r in self.records.iter().filter(|r| (r.vpp - vpp).abs() < 1e-9) {
+            let key = (r.window_s * 1e6) as u64;
+            let e = by_window.entry(key).or_insert((0.0, 0));
+            e.0 += r.ber;
+            e.1 += 1;
+        }
+        let mut curve: Vec<(f64, f64)> = by_window
+            .into_iter()
+            .map(|(k, (sum, n))| (k as f64 / 1e6, sum / n as f64))
+            .collect();
+        curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        curve
+    }
+
+    /// Per-row BER at a given window and level — Fig. 10b's population.
+    pub fn row_bers_at(&self, vpp: f64, window_s: f64) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| (r.vpp - vpp).abs() < 1e-9 && (r.window_s - window_s).abs() < 1e-9)
+            .map(|r| r.ber)
+            .collect()
+    }
+}
+
+/// Runs the Alg. 3 sweep for one module at 80 °C across the configured
+/// retention `V_PP` levels.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors.
+pub fn retention_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+) -> Result<ModuleRetentionSweep, StudyError> {
+    let mut mc = config.bring_up(id)?;
+    let vpp_min = mc.find_vppmin()?;
+    mc.set_temperature(80.0)?;
+    let sample = config.sample(mc.module().geometry());
+    let mut levels: Vec<f64> = config
+        .retention_vpp_levels
+        .iter()
+        .map(|&v| v.max(vpp_min))
+        .collect();
+    levels.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let mut records = Vec::new();
+    for &vpp in &levels {
+        mc.set_vpp(vpp)?;
+        for &row in sample.rows() {
+            let m = alg3::measure_row(&mut mc, config.bank, row, &config.alg3)?;
+            for p in &m.points {
+                records.push(RetentionRecord {
+                    module: id,
+                    vpp,
+                    bank: config.bank,
+                    row,
+                    window_s: p.window_s,
+                    ber: p.ber,
+                });
+            }
+        }
+    }
+    Ok(ModuleRetentionSweep {
+        module: id,
+        vpp_min,
+        vpp_levels: levels,
+        records,
+    })
+}
+
+/// Headline statistics across modules (Takeaway 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HammerFindings {
+    /// Mean BER change at `V_PPmin` across all rows (paper: −15.2 %).
+    pub mean_ber_change: f64,
+    /// Most negative module-mean BER change (paper: −66.9 %, B3).
+    pub max_ber_reduction: f64,
+    /// Mean `HC_first` change at `V_PPmin` (paper: +7.4 %).
+    pub mean_hc_change: f64,
+    /// Largest per-row `HC_first` increase (paper: +85.8 %).
+    pub max_hc_increase: f64,
+    /// Fraction of rows whose BER decreased (paper: 81.2 %).
+    pub frac_rows_ber_decreased: f64,
+    /// Fraction of rows whose BER increased (paper: 15.4 %).
+    pub frac_rows_ber_increased: f64,
+    /// Fraction of rows whose `HC_first` increased (paper: 69.3 %).
+    pub frac_rows_hc_increased: f64,
+    /// Fraction of rows whose `HC_first` decreased (paper: 14.2 %).
+    pub frac_rows_hc_decreased: f64,
+}
+
+/// Aggregates sweep results into the paper's headline statistics.
+///
+/// # Errors
+///
+/// Fails if the sweeps carry no usable normalized rows.
+pub fn aggregate_findings(sweeps: &[ModuleHammerSweep]) -> Result<HammerFindings, StudyError> {
+    let mut all_ber = Vec::new();
+    let mut all_hc = Vec::new();
+    let mut module_mean_ber = Vec::new();
+    for sweep in sweeps {
+        let (ber, hc) = sweep.row_ratios_at_vppmin();
+        if !ber.is_empty() {
+            module_mean_ber.push(ber.iter().sum::<f64>() / ber.len() as f64);
+        }
+        all_ber.extend(ber);
+        all_hc.extend(hc);
+    }
+    if all_ber.is_empty() || all_hc.is_empty() {
+        return Err(StudyError::InvalidConfig {
+            reason: "no normalized rows; sweeps empty?".to_string(),
+        });
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // "Changed" means beyond a 1 % band, mirroring the paper's treatment of
+    // rows with negligible variation.
+    let frac = |v: &[f64], pred: &dyn Fn(f64) -> bool| {
+        v.iter().filter(|&&x| pred(x)).count() as f64 / v.len() as f64
+    };
+    Ok(HammerFindings {
+        mean_ber_change: mean(&all_ber) - 1.0,
+        max_ber_reduction: module_mean_ber
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            - 1.0,
+        mean_hc_change: mean(&all_hc) - 1.0,
+        max_hc_increase: all_hc.iter().cloned().fold(0.0, f64::max) - 1.0,
+        frac_rows_ber_decreased: frac(&all_ber, &|x| x < 0.99),
+        frac_rows_ber_increased: frac(&all_ber, &|x| x > 1.01),
+        frac_rows_hc_increased: frac(&all_hc, &|x| x > 1.01),
+        frac_rows_hc_decreased: frac(&all_hc, &|x| x < 0.99),
+    })
+}
+
+/// Groups per-row ratios by manufacturer — the Figs. 4/6 populations.
+pub fn ratios_by_manufacturer(
+    sweeps: &[ModuleHammerSweep],
+) -> HashMap<Manufacturer, (Vec<f64>, Vec<f64>)> {
+    let mut out: HashMap<Manufacturer, (Vec<f64>, Vec<f64>)> = HashMap::new();
+    for sweep in sweeps {
+        let (ber, hc) = sweep.row_ratios_at_vppmin();
+        let entry = out.entry(sweep.module.manufacturer()).or_default();
+        entry.0.extend(ber);
+        entry.1.extend(hc);
+    }
+    out
+}
+
+/// Thins a ladder to at most `cap` levels, always keeping both endpoints.
+fn thin_levels(ladder: &[f64], cap: usize) -> Vec<f64> {
+    if ladder.len() <= cap {
+        return ladder.to_vec();
+    }
+    let mut out = Vec::with_capacity(cap);
+    for i in 0..cap {
+        let idx = i * (ladder.len() - 1) / (cap - 1);
+        out.push(ladder[idx]);
+    }
+    out.dedup();
+    out
+}
+
+/// Normalizes a series of raw values to the first (nominal) value; exposed
+/// for harnesses that work on raw curves.
+///
+/// # Errors
+///
+/// Propagates normalization failures (zero baseline).
+pub fn normalize_curve(values: &[f64]) -> Result<Vec<f64>, StudyError> {
+    normalize::normalize_to_first(values).map_err(|e| StudyError::InvalidConfig {
+        reason: format!("cannot normalize: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(modules: &[ModuleId]) -> StudyConfig {
+        StudyConfig {
+            rows_per_chunk: 3,
+            ..StudyConfig::quick_subset(modules)
+        }
+    }
+
+    #[test]
+    fn rowhammer_sweep_produces_ladder_records() {
+        let cfg = tiny_config(&[ModuleId::B3]);
+        let sweep = rowhammer_sweep(&cfg, ModuleId::B3).unwrap();
+        assert!((sweep.vpp_min - 1.6).abs() < 1e-9);
+        assert_eq!(sweep.vpp_levels.len(), 10); // 2.5 → 1.6
+        assert!(!sweep.records.is_empty());
+        // normalized series exist and start at 1.0
+        let ber = sweep.normalized_ber();
+        assert!((ber[0].mean - 1.0).abs() < 1e-9);
+        let hc = sweep.normalized_hc_first();
+        assert!((hc[0].mean - 1.0).abs() < 1e-9);
+        // B3's HC_first grows toward V_PPmin
+        let last = hc.last().unwrap();
+        assert!(
+            last.mean > 1.05,
+            "B3 normalized HC_first at V_PPmin = {}",
+            last.mean
+        );
+        // and BER falls
+        let last_ber = ber.last().unwrap();
+        assert!(
+            last_ber.mean < 0.95,
+            "B3 normalized BER at V_PPmin = {}",
+            last_ber.mean
+        );
+    }
+
+    #[test]
+    fn aggregate_findings_have_paper_signs() {
+        let cfg = tiny_config(&[ModuleId::B3, ModuleId::C0]);
+        let sweeps: Vec<_> = cfg
+            .modules
+            .iter()
+            .map(|&m| rowhammer_sweep(&cfg, m).unwrap())
+            .collect();
+        let f = aggregate_findings(&sweeps).unwrap();
+        assert!(f.mean_hc_change > 0.0, "HC_first must rise on average");
+        assert!(f.mean_ber_change < 0.0, "BER must fall on average");
+        assert!(f.frac_rows_hc_increased > f.frac_rows_hc_decreased);
+        assert!(f.frac_rows_ber_decreased > f.frac_rows_ber_increased);
+        assert!(f.max_hc_increase > f.mean_hc_change);
+    }
+
+    #[test]
+    fn trcd_sweep_worst_grows_toward_vppmin() {
+        let cfg = tiny_config(&[ModuleId::A0]);
+        let sweep = trcd_sweep(&cfg, ModuleId::A0, 3).unwrap();
+        let worst = sweep.worst_per_level();
+        let first = worst.first().unwrap().1.unwrap();
+        let last = worst.last().unwrap().1.unwrap();
+        assert!(last > first, "t_RCDmin must grow: {first} → {last}");
+        assert!(last > 13.5, "A0 exceeds nominal at V_PPmin");
+    }
+
+    #[test]
+    fn retention_sweep_records_windows() {
+        let cfg = tiny_config(&[ModuleId::C2]);
+        let sweep = retention_sweep(&cfg, ModuleId::C2).unwrap();
+        assert!(!sweep.records.is_empty());
+        let nominal_curve = sweep.mean_ber_curve(2.5);
+        assert_eq!(nominal_curve.len(), cfg.alg3.windows_s.len());
+        // BER grows with the window at nominal V_PP
+        assert!(nominal_curve.last().unwrap().1 >= nominal_curve.first().unwrap().1);
+        // reduced V_PP curve sits above nominal at the 4 s window
+        let reduced_curve = sweep.mean_ber_curve(1.5);
+        let at = |curve: &[(f64, f64)], w: f64| {
+            curve
+                .iter()
+                .find(|(x, _)| (x - w).abs() < 1e-9)
+                .map(|&(_, y)| y)
+                .unwrap()
+        };
+        assert!(at(&reduced_curve, 4.0) > at(&nominal_curve, 4.0));
+    }
+
+    #[test]
+    fn thin_levels_keeps_endpoints() {
+        let ladder: Vec<f64> = (0..12).map(|i| 2.5 - 0.1 * i as f64).collect();
+        let t = thin_levels(&ladder, 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], ladder[0]);
+        assert_eq!(*t.last().unwrap(), *ladder.last().unwrap());
+        // short ladders pass through
+        assert_eq!(thin_levels(&ladder[..2], 5), ladder[..2].to_vec());
+    }
+
+    #[test]
+    fn ratios_group_by_manufacturer() {
+        let cfg = tiny_config(&[ModuleId::A4, ModuleId::B3]);
+        let sweeps: Vec<_> = cfg
+            .modules
+            .iter()
+            .map(|&m| rowhammer_sweep(&cfg, m).unwrap())
+            .collect();
+        let grouped = ratios_by_manufacturer(&sweeps);
+        assert!(grouped.contains_key(&Manufacturer::A));
+        assert!(grouped.contains_key(&Manufacturer::B));
+        assert!(!grouped[&Manufacturer::B].1.is_empty());
+    }
+
+    #[test]
+    fn normalize_curve_helper() {
+        let n = normalize_curve(&[2.0, 1.0]).unwrap();
+        assert_eq!(n, vec![1.0, 0.5]);
+        assert!(normalize_curve(&[0.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests for the methodology crate.
+
+use hammervolt_core::experiment::{vpp_ladder, RowSample};
+use hammervolt_core::patterns::{bit_error_rate, count_flips, DataPattern};
+use hammervolt_dram::geometry::{ChipOrg, Density, Geometry};
+use proptest::prelude::*;
+
+fn any_pattern() -> impl Strategy<Value = DataPattern> {
+    prop::sample::select(DataPattern::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn pattern_inverse_is_involution(p in any_pattern()) {
+        prop_assert_eq!(p.inverse().inverse(), p);
+        prop_assert_eq!(p.word() ^ p.inverse().word(), u64::MAX);
+    }
+
+    #[test]
+    fn flip_count_is_hamming_distance(
+        p in any_pattern(),
+        flips in prop::collection::vec((0usize..32, 0u32..64), 0..40),
+    ) {
+        let mut row = vec![p.word(); 32];
+        let mut expected = 0u64;
+        let mut seen = std::collections::HashSet::new();
+        for &(word, bit) in &flips {
+            if seen.insert((word, bit)) {
+                row[word] ^= 1u64 << bit;
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(count_flips(&row, p), expected);
+        let ber = bit_error_rate(&row, p);
+        prop_assert!((ber - expected as f64 / (32.0 * 64.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ladder_is_dense_and_bounded(vpp_min in 1.4..2.5f64) {
+        let l = vpp_ladder(vpp_min);
+        prop_assert_eq!(l[0], 2.5);
+        for pair in l.windows(2) {
+            prop_assert!((pair[0] - pair[1] - 0.1).abs() < 1e-9);
+        }
+        let last = *l.last().unwrap();
+        prop_assert!(last >= vpp_min - 0.05 - 1e-9);
+        prop_assert!(last <= vpp_min + 0.1);
+    }
+
+    #[test]
+    fn row_sample_is_sorted_unique_and_in_range(chunk in 1u32..64) {
+        let g = Geometry::ddr4(Density::D4Gb, ChipOrg::X8);
+        let s = RowSample::chunks(g, chunk);
+        prop_assert!(!s.is_empty());
+        let rows = s.rows();
+        for w in rows.windows(2) {
+            prop_assert!(w[0] < w[1], "sample must be strictly increasing");
+        }
+        for &r in rows {
+            prop_assert!(r >= 2 && r + 2 < g.rows_per_bank);
+        }
+        prop_assert_eq!(rows.len(), (chunk * 4) as usize);
+    }
+}

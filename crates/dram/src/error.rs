@@ -1,0 +1,84 @@
+//! Error type for DRAM device operations.
+
+use std::fmt;
+
+/// Errors produced by the DRAM device model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DramError {
+    /// The module stopped responding because `V_PP` was driven below its
+    /// minimum operating level (§4.1: "the lowest V_PP at which the DRAM
+    /// module can successfully communicate with the FPGA").
+    CommunicationLost {
+        /// The requested wordline voltage (V).
+        requested_vpp: f64,
+        /// The module's minimum operating wordline voltage (V).
+        vpp_min: f64,
+    },
+    /// The requested voltage is outside the physically safe range for the
+    /// part (absolute maximum ratings).
+    VoltageOutOfRange {
+        /// The requested wordline voltage (V).
+        requested_vpp: f64,
+    },
+    /// A bank, row, or column address is outside the module's geometry.
+    AddressOutOfRange {
+        /// Description of the offending address component.
+        what: String,
+    },
+    /// A command was issued in an illegal bank state, e.g. reading from a
+    /// bank with no open row or activating an already-open bank.
+    IllegalCommand {
+        /// Description of the protocol violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::CommunicationLost {
+                requested_vpp,
+                vpp_min,
+            } => write!(
+                f,
+                "module stopped responding: V_PP = {requested_vpp:.2} V is below V_PPmin = {vpp_min:.2} V"
+            ),
+            DramError::VoltageOutOfRange { requested_vpp } => {
+                write!(f, "V_PP = {requested_vpp:.2} V outside absolute maximum ratings")
+            }
+            DramError::AddressOutOfRange { what } => write!(f, "address out of range: {what}"),
+            DramError::IllegalCommand { reason } => write!(f, "illegal command: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DramError::CommunicationLost {
+            requested_vpp: 1.3,
+            vpp_min: 1.4,
+        };
+        assert!(e.to_string().contains("1.30"));
+        assert!(e.to_string().contains("1.40"));
+        assert!(DramError::AddressOutOfRange {
+            what: "row 99999".to_string()
+        }
+        .to_string()
+        .contains("row 99999"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(DramError::IllegalCommand {
+            reason: "read with no open row".to_string(),
+        });
+        assert!(e.to_string().contains("open row"));
+    }
+}

@@ -1,0 +1,295 @@
+//! DRAM-internal address mapping (logical ↔ physical row translation).
+//!
+//! Manufacturers scramble the row address space and remap faulty rows to
+//! spares (§4.2 of the paper, refs. [37, 87]); a double-sided attack must
+//! target the rows that are *physically* adjacent to the victim, which the
+//! study reverse engineers per module. This module implements three
+//! vendor-style schemes plus a spare-row remap layer, all bijective, so the
+//! methodology crate can re-derive adjacency the way the paper does.
+
+use crate::hash;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Base scrambling scheme, before spare-row remapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Identity mapping (logical = physical).
+    Direct,
+    /// Adjacent-pair swap in the odd half-groups: rows `8k+4 .. 8k+7` have
+    /// their low pair bit inverted. Models the "mirrored" layouts reported
+    /// for some vendors.
+    PairMirror,
+    /// Low-three-bit permutation: physical low bits are `(b0 b1 b2) →
+    /// (b2 b0 b1)` within each block of 8. Models hierarchically-organized
+    /// internal buffers.
+    BlockShuffle,
+}
+
+impl Scheme {
+    /// All implemented schemes — the candidate set a reverse-engineering
+    /// procedure scores against.
+    pub const ALL: [Scheme; 3] = [Scheme::Direct, Scheme::PairMirror, Scheme::BlockShuffle];
+}
+
+impl Scheme {
+    /// Translates a logical row through the bare scheme (no repair overlay).
+    pub fn logical_to_physical(&self, logical: u32) -> u32 {
+        match self {
+            Scheme::Direct => logical,
+            Scheme::PairMirror => {
+                if (logical >> 2) & 1 == 1 {
+                    logical ^ 1
+                } else {
+                    logical
+                }
+            }
+            Scheme::BlockShuffle => {
+                let low = logical & 0x7;
+                let rotated = ((low << 1) | (low >> 2)) & 0x7;
+                (logical & !0x7) | rotated
+            }
+        }
+    }
+
+    /// Inverse of [`Scheme::logical_to_physical`].
+    pub fn physical_to_logical(&self, physical: u32) -> u32 {
+        match self {
+            Scheme::Direct => physical,
+            // PairMirror is an involution.
+            Scheme::PairMirror => self.logical_to_physical(physical),
+            Scheme::BlockShuffle => {
+                let low = physical & 0x7;
+                let rotated = ((low >> 1) | (low << 2)) & 0x7;
+                (physical & !0x7) | rotated
+            }
+        }
+    }
+}
+
+/// Complete address mapping for one bank: a scrambling scheme plus a sparse
+/// spare-row remap (post-manufacturing repair).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    scheme: Scheme,
+    rows: u32,
+    /// logical → physical overrides for repaired rows.
+    remap: HashMap<u32, u32>,
+    /// inverse of `remap`.
+    remap_inv: HashMap<u32, u32>,
+}
+
+impl AddressMapping {
+    /// Creates a mapping over `rows` rows with no repairs.
+    pub fn new(scheme: Scheme, rows: u32) -> Self {
+        AddressMapping {
+            scheme,
+            rows,
+            remap: HashMap::new(),
+            remap_inv: HashMap::new(),
+        }
+    }
+
+    /// Creates a mapping with `repairs` pseudo-random repaired rows derived
+    /// from `seed`: each repair swaps a victim row's physical location with a
+    /// row in the top spare region (last 64 physical rows).
+    pub fn with_repairs(scheme: Scheme, rows: u32, repairs: u32, seed: u64) -> Self {
+        let mut m = AddressMapping::new(scheme, rows);
+        if rows < 128 {
+            return m;
+        }
+        let spare_base = rows - 64;
+        for i in 0..repairs.min(64) {
+            let victim_logical =
+                (hash::splitmix64(hash::combine(seed, i as u64)) % (spare_base as u64 - 1)) as u32;
+            let spare_physical = spare_base + i;
+            let victim_physical = m.scheme.logical_to_physical(victim_logical);
+            // swap: victim_logical now lives at spare_physical; whatever
+            // logical row mapped to spare_physical moves to victim_physical.
+            let displaced_logical = m.scheme.physical_to_logical(spare_physical);
+            // A duplicate victim (hash collision) would corrupt the swap
+            // book-keeping; skip it — the repair count is best-effort.
+            if m.remap.contains_key(&victim_logical) || m.remap.contains_key(&displaced_logical) {
+                continue;
+            }
+            m.remap.insert(victim_logical, spare_physical);
+            m.remap_inv.insert(spare_physical, victim_logical);
+            m.remap.insert(displaced_logical, victim_physical);
+            m.remap_inv.insert(victim_physical, displaced_logical);
+        }
+        m
+    }
+
+    /// Number of rows covered.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// The base scrambling scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Translates a logical row (as addressed over the DRAM interface) to its
+    /// physical location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= rows`.
+    pub fn logical_to_physical(&self, logical: u32) -> u32 {
+        assert!(logical < self.rows, "logical row {logical} out of range");
+        if let Some(&p) = self.remap.get(&logical) {
+            return p;
+        }
+        self.scheme.logical_to_physical(logical)
+    }
+
+    /// Translates a physical row location back to the logical address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical >= rows`.
+    pub fn physical_to_logical(&self, physical: u32) -> u32 {
+        assert!(physical < self.rows, "physical row {physical} out of range");
+        if let Some(&l) = self.remap_inv.get(&physical) {
+            return l;
+        }
+        self.scheme.physical_to_logical(physical)
+    }
+
+    /// The logical addresses of the rows physically adjacent to `logical`
+    /// (below, above). `None` at the edges of the array.
+    ///
+    /// These are the aggressor rows of a double-sided attack on `logical`.
+    pub fn physical_neighbors(&self, logical: u32) -> (Option<u32>, Option<u32>) {
+        let phys = self.logical_to_physical(logical);
+        let below = if phys > 0 {
+            Some(self.physical_to_logical(phys - 1))
+        } else {
+            None
+        };
+        let above = if phys + 1 < self.rows {
+            Some(self.physical_to_logical(phys + 1))
+        } else {
+            None
+        };
+        (below, above)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bijective(m: &AddressMapping) {
+        let mut seen = std::collections::HashSet::new();
+        for logical in 0..m.rows() {
+            let p = m.logical_to_physical(logical);
+            assert!(p < m.rows(), "physical {p} out of range");
+            assert!(seen.insert(p), "physical {p} mapped twice");
+            assert_eq!(
+                m.physical_to_logical(p),
+                logical,
+                "round trip failed for logical {logical}"
+            );
+        }
+    }
+
+    #[test]
+    fn direct_is_identity() {
+        let m = AddressMapping::new(Scheme::Direct, 256);
+        for r in 0..256 {
+            assert_eq!(m.logical_to_physical(r), r);
+        }
+        check_bijective(&m);
+    }
+
+    #[test]
+    fn pair_mirror_is_bijective_involution() {
+        let m = AddressMapping::new(Scheme::PairMirror, 256);
+        check_bijective(&m);
+        // it actually changes something
+        assert_ne!(m.logical_to_physical(4), 4);
+        assert_eq!(m.logical_to_physical(4), 5);
+        assert_eq!(m.logical_to_physical(5), 4);
+        // and leaves even half-groups alone
+        assert_eq!(m.logical_to_physical(0), 0);
+        assert_eq!(m.logical_to_physical(3), 3);
+    }
+
+    #[test]
+    fn block_shuffle_is_bijective() {
+        let m = AddressMapping::new(Scheme::BlockShuffle, 256);
+        check_bijective(&m);
+        assert_ne!(m.logical_to_physical(1), 1);
+    }
+
+    #[test]
+    fn repairs_remain_bijective() {
+        for scheme in [Scheme::Direct, Scheme::PairMirror, Scheme::BlockShuffle] {
+            let m = AddressMapping::with_repairs(scheme, 512, 8, 99);
+            check_bijective(&m);
+            assert!(!m.remap.is_empty());
+        }
+    }
+
+    #[test]
+    fn repaired_row_lives_in_spare_region() {
+        let m = AddressMapping::with_repairs(Scheme::Direct, 512, 4, 7);
+        let spare_base = 512 - 64;
+        let mut found = 0;
+        for logical in 0..(512 - 64) {
+            if m.logical_to_physical(logical) >= spare_base {
+                found += 1;
+            }
+        }
+        assert_eq!(found, 4);
+    }
+
+    #[test]
+    fn small_arrays_skip_repairs() {
+        let m = AddressMapping::with_repairs(Scheme::Direct, 64, 8, 7);
+        check_bijective(&m);
+        assert!(m.remap.is_empty());
+    }
+
+    #[test]
+    fn neighbors_are_physically_adjacent() {
+        let m = AddressMapping::new(Scheme::PairMirror, 256);
+        for logical in 0..256u32 {
+            let phys = m.logical_to_physical(logical);
+            let (below, above) = m.physical_neighbors(logical);
+            if let Some(b) = below {
+                assert_eq!(m.logical_to_physical(b), phys - 1);
+            } else {
+                assert_eq!(phys, 0);
+            }
+            if let Some(a) = above {
+                assert_eq!(m.logical_to_physical(a), phys + 1);
+            } else {
+                assert_eq!(phys, 255);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_differ_from_logical_neighbors_under_scrambling() {
+        // The whole point of reverse engineering: logical ±1 is NOT always
+        // physical ±1 under a scrambled scheme.
+        let m = AddressMapping::new(Scheme::BlockShuffle, 256);
+        let mut mismatches = 0;
+        for logical in 1..255u32 {
+            let (below, above) = m.physical_neighbors(logical);
+            if below != Some(logical - 1) || above != Some(logical + 1) {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches > 100, "only {mismatches} scrambled neighbors");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_panics() {
+        AddressMapping::new(Scheme::Direct, 16).logical_to_physical(16);
+    }
+}

@@ -1,0 +1,426 @@
+//! `V_PP`-dependent failure physics.
+//!
+//! These functions encode the four mechanisms the paper measures, in the
+//! normalized form the device model consumes. All voltage behaviour is
+//! anchored to the SPICE results of the companion `hammervolt-spice` crate
+//! (Figs. 8–9) and the paper's observations.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM array supply voltage (V).
+pub const VDD: f64 = 1.2;
+
+/// Nominal wordline voltage (V); the paper's baseline for all normalization.
+pub const VPP_NOMINAL: f64 = 2.5;
+
+/// Lowest `V_PP` any module accepts before I/O handshake fails entirely;
+/// below this, [`crate::DramError::VoltageOutOfRange`] applies regardless of
+/// the module's own `V_PPmin`.
+pub const VPP_ABSOLUTE_MIN: f64 = 0.5;
+
+/// Highest safe `V_PP` (absolute maximum rating).
+pub const VPP_ABSOLUTE_MAX: f64 = 3.0;
+
+/// Bitline sense floor (V): stored charge below this is unreadable. Used as
+/// the reference point for charge-fraction scaling.
+pub const V_SENSE_FLOOR: f64 = 0.35;
+
+/// Restored cell voltage at a given wordline voltage (Obsv. 10).
+///
+/// Linear fit to the self-consistent access-transistor saturation computed by
+/// the SPICE model (`hammervolt-spice::dram_cell::restore_saturation`):
+/// full `V_DD` above the ≈1.96 V knee, ≈0.87·V_PP − 0.51 below it.
+///
+/// ```
+/// use hammervolt_dram::physics::restore_level;
+/// assert_eq!(restore_level(2.5), 1.2);
+/// assert!((restore_level(1.7) - 0.973).abs() < 0.01);
+/// ```
+pub fn restore_level(vpp: f64) -> f64 {
+    (0.87 * vpp - 0.506).clamp(0.0, VDD)
+}
+
+/// Restored charge as a fraction of full `V_DD` charge, measured above the
+/// sense floor. 1.0 at nominal `V_PP`, smaller below the knee.
+pub fn restore_fraction(vpp: f64) -> f64 {
+    ((restore_level(vpp) - V_SENSE_FLOOR) / (VDD - V_SENSE_FLOOR)).max(0.0)
+}
+
+/// Per-row RowHammer voltage-response coefficients.
+///
+/// `sensitivity` is the relative change in per-activation disturbance per
+/// volt of `V_PP` (electron injection + capacitive crosstalk both grow with
+/// `V_PP`, §2.3). `sense_margin` is the cell population's effective critical
+/// voltage margin: rows whose margin sits close to the reduced restore level
+/// lose critical charge quickly at low `V_PP` and can flip *more* easily —
+/// the paper's minority-direction rows (Obsvs. 2 and 5).
+/// `restore_shift_v` shifts the row's restoration knee: cells with weaker
+/// access transistors (negative shift) start losing charge at a *higher*
+/// `V_PP` than the typical 1.96 V knee — this is what lets rows in modules
+/// whose `V_PPmin` is 2.0 V (e.g. B0) still show restoration-driven BER
+/// increases.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DisturbCoeffs {
+    /// Relative disturbance change per volt (1/V), typically 0.05–0.75.
+    pub sensitivity: f64,
+    /// Critical-charge voltage margin (V), in `(V_SENSE_FLOOR, VDD)`.
+    pub sense_margin: f64,
+    /// Per-row shift of the restoration knee (V); negative = weaker device.
+    pub restore_shift_v: f64,
+}
+
+/// Relative per-activation disturbance at `vpp`, normalized to 1.0 at the
+/// nominal 2.5 V. Clamped to stay positive.
+pub fn dq_relative(vpp: f64, coeffs: &DisturbCoeffs) -> f64 {
+    (1.0 + coeffs.sensitivity * (vpp - VPP_NOMINAL)).max(0.05)
+}
+
+/// Relative critical charge at `vpp`, normalized to 1.0 at nominal.
+///
+/// Above the row's restoration knee this is exactly 1; below it, the reduced
+/// restored level eats into the margin.
+pub fn qcrit_relative(vpp: f64, coeffs: &DisturbCoeffs) -> f64 {
+    let restored = restore_level(vpp + coeffs.restore_shift_v);
+    let nominal = restore_level(VPP_NOMINAL + coeffs.restore_shift_v);
+    ((restored - coeffs.sense_margin) / (nominal - coeffs.sense_margin).max(1e-6)).max(0.05)
+}
+
+/// Multiplier on a cell's nominal `HC_first` threshold at `vpp`.
+///
+/// `> 1` means the row needs *more* hammers at this voltage (the dominant
+/// trend under reduced `V_PP`, Obsv. 4); `< 1` means fewer (Obsv. 5).
+pub fn hc_multiplier(vpp: f64, coeffs: &DisturbCoeffs) -> f64 {
+    qcrit_relative(vpp, coeffs) / dq_relative(vpp, coeffs)
+}
+
+/// Constructs row coefficients that realize `target_multiplier` *exactly* at
+/// `vpp_min`, splitting the effect between the two mechanisms:
+///
+/// - the per-activation disturbance shrinks to `dq_share` of its nominal
+///   value at `vpp_min` (sets `sensitivity`),
+/// - the critical charge shrinks to `target_multiplier × dq_share` of
+///   nominal (sets the restoration-knee shift for the given margin).
+///
+/// `dq_share ∈ (0, 1]`: 1 means the whole change comes from weaker charge
+/// restoration; small values mean it comes from weaker hammering. Rows with
+/// `target_multiplier < 1` (the Obsv. 2/5 minority) fall out naturally: their
+/// critical-charge loss outweighs their disturbance reduction.
+///
+/// Used at module-instantiation time to calibrate each row against the
+/// Table 3 endpoint measurements.
+pub fn solve_coeffs(
+    target_multiplier: f64,
+    vpp_min: f64,
+    sense_margin: f64,
+    dq_share: f64,
+) -> DisturbCoeffs {
+    let dv = VPP_NOMINAL - vpp_min; // positive
+    let target = target_multiplier.max(0.05);
+    // dq at vpp_min must equal r; qcrit must equal target·r ≤ 1.
+    let r = dq_share.clamp(0.05, 1.0).min(1.0 / target);
+    let sensitivity = if dv > 1e-9 { (1.0 - r) / dv } else { 0.0 };
+    let qcrit_desired = (target * r).min(1.0);
+    // Invert qcrit(vpp_min) = q for the knee shift. Two regimes:
+    //
+    // 1. The nominal operating point (2.5 V + shift) sits above the knee, so
+    //    the normalization denominator is (VDD − margin):
+    //    restore(vpp_min + shift) = margin + q·(VDD − margin).
+    // 2. The shift is so negative that even nominal V_PP sits below the
+    //    knee — a chronically weak row that never reaches full VDD. Both
+    //    numerator and denominator are then linear in the shift and the
+    //    equation solves in closed form.
+    const KNEE_SHIFT: f64 = 1.961 - VPP_NOMINAL; // nominal hits the knee here
+    const A: f64 = 0.87; // restore_level slope
+    const B0: f64 = -0.506; // restore_level intercept
+    let q = qcrit_desired;
+    let restore_shift_v = if q >= 1.0 - 1e-12 {
+        // No degradation at vpp_min: park the knee safely below it.
+        (1.97 - vpp_min).max(0.0)
+    } else {
+        let restore_needed = sense_margin + q * (VDD - sense_margin);
+        let s1 = (restore_needed - B0) / A - vpp_min;
+        if s1 >= KNEE_SHIFT {
+            s1
+        } else {
+            // Regime 2: q = (A(vpp_min+s)+B − m) / (A(2.5+s)+B − m)
+            let b = B0 - sense_margin;
+            let denom = A * (q - 1.0);
+            if denom.abs() < 1e-12 {
+                s1
+            } else {
+                (A * vpp_min + b * (1.0 - q) - VPP_NOMINAL * q * A) / denom
+            }
+        }
+    };
+    DisturbCoeffs {
+        sensitivity,
+        sense_margin,
+        restore_shift_v,
+    }
+}
+
+/// Per-row activation-latency voltage response: the minimum reliable
+/// `t_RCD` grows as `V_PP` falls (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrcdCoeffs {
+    /// Required `t_RCD` at nominal `V_PP` (ns).
+    pub base_ns: f64,
+    /// Latency growth coefficient (ns/V^curve).
+    pub slope_ns: f64,
+    /// Curvature exponent of the growth (dimensionless, ≥ 1).
+    pub curve: f64,
+}
+
+/// Required activation latency at `vpp` (ns).
+pub fn t_rcd_required_ns(vpp: f64, coeffs: &TrcdCoeffs) -> f64 {
+    let dv = (VPP_NOMINAL - vpp).max(0.0);
+    coeffs.base_ns + coeffs.slope_ns * dv.powf(coeffs.curve)
+}
+
+/// Required charge-restoration latency at `vpp` (ns), calibrated to the
+/// SPICE t_RASmin study (Fig. 9b): ≈21 ns at nominal, rising toward ≈30 ns
+/// once the restoration knee is crossed.
+pub fn t_ras_required_ns(vpp: f64) -> f64 {
+    21.0 + 9.0 * (1.0 - restore_fraction(vpp)).sqrt()
+}
+
+/// Per-vendor retention-time distribution shape (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionProfile {
+    /// Log-mean of per-cell retention time at 80 °C, nominal `V_PP`
+    /// (ln seconds).
+    pub mu_ln_s: f64,
+    /// Log-standard-deviation of per-cell retention time.
+    pub sigma_ln: f64,
+    /// Exponent coupling retention time to the restored-charge fraction.
+    pub vpp_exponent: f64,
+    /// Arrhenius activation energy (eV) for temperature scaling.
+    pub ea_ev: f64,
+}
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617_333e-5;
+
+/// Reference temperature for retention calibration (the paper tests
+/// retention at 80 °C).
+pub const RETENTION_REF_CELSIUS: f64 = 80.0;
+
+impl RetentionProfile {
+    /// Multiplier on retention time at `temp_c` relative to the 80 °C
+    /// reference (Arrhenius: hotter ⇒ shorter retention).
+    pub fn temperature_scale(&self, temp_c: f64) -> f64 {
+        let t = temp_c + 273.15;
+        let t_ref = RETENTION_REF_CELSIUS + 273.15;
+        (self.ea_ev / K_B_EV * (1.0 / t - 1.0 / t_ref)).exp()
+    }
+
+    /// Multiplier on retention time at `vpp` relative to nominal: a partially
+    /// restored cell starts closer to the sense floor and fails sooner
+    /// (Obsv. 12).
+    pub fn vpp_scale(&self, vpp: f64) -> f64 {
+        restore_fraction(vpp).powf(self.vpp_exponent)
+    }
+
+    /// Effective retention time of a cell whose 80 °C/nominal-`V_PP` baseline
+    /// is `base_s` seconds.
+    pub fn effective_retention_s(&self, base_s: f64, temp_c: f64, vpp: f64) -> f64 {
+        base_s * self.temperature_scale(temp_c) * self.vpp_scale(vpp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restore_level_matches_spice_calibration() {
+        // Paper Obsv. 10: full V_DD at ≥ 2.0 V; −4.1 %/−11 %/−18.1 % at
+        // 1.9/1.8/1.7 V.
+        assert_eq!(restore_level(2.5), VDD);
+        assert_eq!(restore_level(2.0), VDD);
+        assert!((restore_level(1.9) / VDD - 0.959).abs() < 0.015);
+        assert!((restore_level(1.8) / VDD - 0.890).abs() < 0.015);
+        assert!((restore_level(1.7) / VDD - 0.819).abs() < 0.015);
+        // monotone, bounded
+        assert!(restore_level(1.0) < restore_level(1.5));
+        assert!(restore_level(0.0) >= 0.0);
+    }
+
+    #[test]
+    fn restore_fraction_normalized() {
+        assert_eq!(restore_fraction(2.5), 1.0);
+        assert!(restore_fraction(1.7) < 1.0);
+        assert!(restore_fraction(1.7) > 0.5);
+        assert_eq!(restore_fraction(0.5), 0.0);
+    }
+
+    #[test]
+    fn typical_row_needs_more_hammers_at_low_vpp() {
+        // A typical solved row: +7.4 % at a 1.6 V V_PPmin.
+        let c = solve_coeffs(1.074, 1.6, 0.3, 0.75);
+        assert!((hc_multiplier(1.6, &c) - 1.074).abs() < 1e-9);
+        // Above the knee only the disturbance reduction acts, so the
+        // multiplier stays at or above 1 everywhere in the sweep.
+        for vpp10 in 16..=25 {
+            let m = hc_multiplier(vpp10 as f64 / 10.0, &c);
+            assert!(m >= 0.999, "m({}) = {m}", vpp10 as f64 / 10.0);
+        }
+        assert!((hc_multiplier(VPP_NOMINAL, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tight_margin_row_flips_easier_at_low_vpp() {
+        // Obsv. 5 minority: a row whose critical-charge loss outweighs its
+        // disturbance reduction flips *easier* at V_PPmin.
+        let c = solve_coeffs(0.91, 1.6, 0.3, 0.9);
+        let m = hc_multiplier(1.6, &c);
+        assert!((m - 0.91).abs() < 1e-9, "multiplier = {m}");
+        // but above its restoration knee the (small) dq effect dominates
+        assert!(hc_multiplier(2.3, &c) >= 1.0);
+    }
+
+    #[test]
+    fn hc_multiplier_magnitudes_bracket_paper_extremes() {
+        // B3-like best row: +85.8 % at 1.6 V.
+        let strong = solve_coeffs(1.858, 1.6, 0.4, 0.5);
+        let m = hc_multiplier(1.6, &strong);
+        assert!((m - 1.858).abs() < 1e-9, "m = {m}");
+        // C8-like: −9.1 % at 1.6 V.
+        let inverse = solve_coeffs(0.909, 1.6, 0.45, 0.95);
+        let m = hc_multiplier(1.6, &inverse);
+        assert!((m - 0.909).abs() < 1e-9, "m = {m}");
+    }
+
+    #[test]
+    fn dq_and_qcrit_stay_positive() {
+        let c = DisturbCoeffs {
+            sensitivity: 0.9,
+            sense_margin: 1.1,
+            restore_shift_v: 0.0,
+        };
+        assert!(dq_relative(0.6, &c) > 0.0);
+        assert!(qcrit_relative(0.6, &c) > 0.0);
+    }
+
+    #[test]
+    fn trcd_grows_as_vpp_falls() {
+        let c = TrcdCoeffs {
+            base_ns: 10.5,
+            slope_ns: 1.2,
+            curve: 2.0,
+        };
+        assert_eq!(t_rcd_required_ns(2.5, &c), 10.5);
+        let t20 = t_rcd_required_ns(2.0, &c);
+        let t15 = t_rcd_required_ns(1.5, &c);
+        assert!(t15 > t20 && t20 > 10.5);
+        // above nominal: no improvement modeled (clamped)
+        assert_eq!(t_rcd_required_ns(2.6, &c), 10.5);
+    }
+
+    #[test]
+    fn a0_like_trcd_reaches_24ns_at_vppmin() {
+        let c = TrcdCoeffs {
+            base_ns: 10.5,
+            slope_ns: 11.2,
+            curve: 2.0,
+        };
+        let t = t_rcd_required_ns(1.4, &c);
+        assert!((t - 24.0).abs() < 1.0, "t = {t}");
+        // ...while remaining under nominal 13.5 near nominal voltage
+        assert!(t_rcd_required_ns(2.3, &c) < 13.5);
+    }
+
+    #[test]
+    fn retention_temperature_scaling_is_arrhenius() {
+        let p = RetentionProfile {
+            mu_ln_s: 4.7,
+            sigma_ln: 1.2,
+            vpp_exponent: 1.0,
+            ea_ev: 0.55,
+        };
+        assert!((p.temperature_scale(80.0) - 1.0).abs() < 1e-12);
+        // cooler ⇒ longer retention, and strongly so
+        let s50 = p.temperature_scale(50.0);
+        assert!(s50 > 3.0 && s50 < 30.0, "s50 = {s50}");
+        // hotter ⇒ shorter
+        assert!(p.temperature_scale(85.0) < 1.0);
+    }
+
+    #[test]
+    fn retention_vpp_scaling_shortens_at_low_vpp() {
+        let p = RetentionProfile {
+            mu_ln_s: 4.7,
+            sigma_ln: 1.2,
+            vpp_exponent: 1.0,
+            ea_ev: 0.55,
+        };
+        assert_eq!(p.vpp_scale(2.5), 1.0);
+        assert_eq!(p.vpp_scale(2.0), 1.0); // above the knee: unchanged
+        assert!(p.vpp_scale(1.5) < 0.7);
+        let eff = p.effective_retention_s(10.0, 80.0, 1.5);
+        assert!(eff < 7.0 && eff > 3.0, "eff = {eff}");
+    }
+
+    #[test]
+    fn rowhammer_test_window_respects_retention_at_50c() {
+        // §4.1: RowHammer tests run at 50 °C within < 30 ms windows; even a
+        // weak cell (1 s at 80 °C) retains for far longer than that at 50 °C.
+        let p = RetentionProfile {
+            mu_ln_s: 4.7,
+            sigma_ln: 1.2,
+            vpp_exponent: 1.0,
+            ea_ev: 0.55,
+        };
+        let eff = p.effective_retention_s(1.0, 50.0, 1.5);
+        assert!(eff > 0.5, "weak cell retains only {eff} s at 50 °C");
+    }
+
+    #[test]
+    fn solve_coeffs_hits_target_exactly() {
+        for &(target, vpp_min, margin, share) in &[
+            (1.858f64, 1.6, 0.37, 0.5), // B3-like
+            (0.909, 1.6, 0.45, 0.9),    // C8-like
+            (1.074, 1.8, 0.5, 0.8),     // average row
+            (0.962, 2.0, 0.3, 0.95),    // B0-like, knee shifted up
+            (1.351, 1.5, 0.25, 0.6),    // C5-like
+            (1.02, 1.4, 0.5, 0.9),      // deep V_PPmin, mild response
+        ] {
+            let c = solve_coeffs(target, vpp_min, margin, share);
+            let m = hc_multiplier(vpp_min, &c);
+            assert!(
+                (m - target).abs() < 1e-6,
+                "target {target} realized {m} ({c:?})"
+            );
+            assert!(c.sensitivity >= 0.0, "negative sensitivity for {target}");
+        }
+    }
+
+    #[test]
+    fn solve_coeffs_degenerate_inputs() {
+        // target at nominal voltage: zero sensitivity, harmless knee
+        let c = solve_coeffs(1.5, VPP_NOMINAL, 0.5, 0.9);
+        assert_eq!(c.sensitivity, 0.0);
+        // absurd targets stay finite and positive
+        let c = solve_coeffs(100.0, 1.6, 0.5, 0.9);
+        assert!(hc_multiplier(1.6, &c).is_finite());
+        let c = solve_coeffs(0.0, 1.6, 0.5, 0.9);
+        assert!(hc_multiplier(1.6, &c) > 0.0);
+    }
+
+    #[test]
+    fn knee_shift_moves_degradation_onset() {
+        let weak = DisturbCoeffs {
+            sensitivity: 0.0,
+            sense_margin: 0.6,
+            restore_shift_v: -0.3,
+        };
+        let typical = DisturbCoeffs {
+            sensitivity: 0.0,
+            sense_margin: 0.6,
+            restore_shift_v: 0.0,
+        };
+        // At 2.1 V the weak row is already degraded, the typical row is not.
+        assert!(qcrit_relative(2.1, &weak) < 1.0);
+        assert_eq!(qcrit_relative(2.1, &typical), 1.0);
+    }
+}

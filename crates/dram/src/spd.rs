@@ -1,0 +1,175 @@
+//! Serial Presence Detect (SPD) encoding.
+//!
+//! The paper identifies die density and revision "by reading the information
+//! stored in the SPD" when chip markings are removed (Table 3's footnote).
+//! This module encodes the DDR4 SPD fields the study reads — density/banks
+//! (byte 4), row/column addressing (byte 5), organization (byte 12), module
+//! manufacturer metadata (bytes 320+, simplified), and die revision — and
+//! decodes them back, so a [`crate::registry::ModuleSpec`] can round-trip
+//! through the same interface a real reader uses.
+
+use crate::error::DramError;
+use crate::geometry::{ChipOrg, Density};
+use crate::registry::ModuleSpec;
+use serde::{Deserialize, Serialize};
+
+/// Byte offsets used from the DDR4 SPD layout (JESD21-C annex L, abridged).
+mod offset {
+    /// SDRAM density and internal banks.
+    pub const DENSITY_BANKS: usize = 4;
+    /// Row and column address bits.
+    pub const ADDRESSING: usize = 5;
+    /// Module organization (device width, ranks).
+    pub const ORGANIZATION: usize = 12;
+    /// Die revision (vendor-specific region, as the study reads it).
+    pub const DIE_REVISION: usize = 349;
+    /// Manufacturing date: week/year (module-specific region).
+    pub const MFR_YEAR: usize = 323;
+    /// Manufacturing week.
+    pub const MFR_WEEK: usize = 324;
+}
+
+/// A 512-byte DDR4 SPD image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpdImage {
+    bytes: Vec<u8>,
+}
+
+impl SpdImage {
+    /// Encodes the SPD fields of a module spec.
+    pub fn encode(spec: &ModuleSpec) -> Self {
+        let mut bytes = vec![0u8; 512];
+        // byte 4: bits 3:0 total capacity per die, bits 5:4 bank address bits
+        let cap_code = match spec.density {
+            Density::D4Gb => 0b0100,
+            Density::D8Gb => 0b0101,
+            Density::D16Gb => 0b0110,
+        };
+        bytes[offset::DENSITY_BANKS] = cap_code | (0b01 << 4); // 4 bank groups
+        // byte 5: bits 5:3 row bits − 12, bits 2:0 column bits − 9
+        let geometry = spec.geometry();
+        let row_bits = (32 - (geometry.rows_per_bank - 1).leading_zeros()) as u8;
+        bytes[offset::ADDRESSING] = ((row_bits - 12) << 3) | (10 - 9);
+        // byte 12: bits 2:0 device width code
+        bytes[offset::ORGANIZATION] = match spec.org {
+            ChipOrg::X4 => 0b000,
+            ChipOrg::X8 => 0b001,
+            ChipOrg::X16 => 0b010,
+        };
+        bytes[offset::DIE_REVISION] = spec.die_revision.map(|c| c as u8).unwrap_or(0);
+        if let Some((week, year)) = spec.mfr_date {
+            bytes[offset::MFR_WEEK] = week;
+            bytes[offset::MFR_YEAR] = year;
+        }
+        SpdImage { bytes }
+    }
+
+    /// Raw image bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Decodes the die density.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown capacity code.
+    pub fn density(&self) -> Result<Density, DramError> {
+        match self.bytes[offset::DENSITY_BANKS] & 0x0F {
+            0b0100 => Ok(Density::D4Gb),
+            0b0101 => Ok(Density::D8Gb),
+            0b0110 => Ok(Density::D16Gb),
+            code => Err(DramError::AddressOutOfRange {
+                what: format!("unknown SPD density code {code:#06b}"),
+            }),
+        }
+    }
+
+    /// Decodes the chip organization.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown width code.
+    pub fn organization(&self) -> Result<ChipOrg, DramError> {
+        match self.bytes[offset::ORGANIZATION] & 0b111 {
+            0b000 => Ok(ChipOrg::X4),
+            0b001 => Ok(ChipOrg::X8),
+            0b010 => Ok(ChipOrg::X16),
+            code => Err(DramError::AddressOutOfRange {
+                what: format!("unknown SPD width code {code:#05b}"),
+            }),
+        }
+    }
+
+    /// Decodes the row address bits.
+    pub fn row_address_bits(&self) -> u8 {
+        ((self.bytes[offset::ADDRESSING] >> 3) & 0b111) + 12
+    }
+
+    /// Decodes the die revision, if recorded (the study finds it blank for
+    /// several re-marked DIMMs).
+    pub fn die_revision(&self) -> Option<char> {
+        match self.bytes[offset::DIE_REVISION] {
+            0 => None,
+            b => Some(b as char),
+        }
+    }
+
+    /// Decodes the manufacturing date as (week, year), if recorded.
+    pub fn mfr_date(&self) -> Option<(u8, u8)> {
+        match (self.bytes[offset::MFR_WEEK], self.bytes[offset::MFR_YEAR]) {
+            (0, 0) => None,
+            (w, y) => Some((w, y)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{spec, ModuleId};
+
+    #[test]
+    fn every_table3_module_round_trips() {
+        for id in ModuleId::ALL {
+            let s = spec(id);
+            let image = SpdImage::encode(&s);
+            assert_eq!(image.density().unwrap(), s.density, "{id}");
+            assert_eq!(image.organization().unwrap(), s.org, "{id}");
+            assert_eq!(image.die_revision(), s.die_revision, "{id}");
+            assert_eq!(image.mfr_date(), s.mfr_date, "{id}");
+        }
+    }
+
+    #[test]
+    fn row_bits_match_geometry() {
+        let s = spec(ModuleId::C4); // 16Gb x8: 128K rows → 17 bits
+        let image = SpdImage::encode(&s);
+        assert_eq!(image.row_address_bits(), 17);
+        let s = spec(ModuleId::A3); // 4Gb x8: 32K rows → 15 bits
+        assert_eq!(SpdImage::encode(&s).row_address_bits(), 15);
+    }
+
+    #[test]
+    fn image_is_512_bytes() {
+        let image = SpdImage::encode(&spec(ModuleId::A0));
+        assert_eq!(image.bytes().len(), 512);
+    }
+
+    #[test]
+    fn corrupted_codes_are_rejected() {
+        let mut image = SpdImage::encode(&spec(ModuleId::A0));
+        image.bytes[super::offset::DENSITY_BANKS] = 0x0F;
+        assert!(image.density().is_err());
+        image.bytes[super::offset::ORGANIZATION] = 0b111;
+        assert!(image.organization().is_err());
+    }
+
+    #[test]
+    fn blank_fields_decode_to_none() {
+        // A7 has neither die revision nor date documented.
+        let image = SpdImage::encode(&spec(ModuleId::A7));
+        assert_eq!(image.die_revision(), None);
+        assert_eq!(image.mfr_date(), None);
+    }
+}

@@ -1,0 +1,104 @@
+//! DDR4 timing parameters.
+//!
+//! All values in nanoseconds. The defaults are the study's operating point:
+//! `t_RCD = 13.5 ns` (the nominal value the paper sweeps around in Alg. 2,
+//! quantized by SoftMC's 1.5 ns command slots), `t_RAS = 35 ns`,
+//! `t_RP = 13.5 ns`, and a 64 ms nominal refresh window.
+
+use serde::{Deserialize, Serialize};
+
+/// SoftMC's command-slot granularity (§4.3, footnote 10): "Our version of
+/// SoftMC can send a DRAM command every 1.5 ns".
+pub const COMMAND_SLOT_NS: f64 = 1.5;
+
+/// Nominal activate-to-read latency (ns).
+pub const NOMINAL_T_RCD_NS: f64 = 13.5;
+
+/// Nominal activate-to-precharge (charge restoration) latency (ns).
+pub const NOMINAL_T_RAS_NS: f64 = 35.0;
+
+/// Nominal precharge latency (ns).
+pub const NOMINAL_T_RP_NS: f64 = 13.5;
+
+/// Nominal refresh window (ms): every cell refreshed at least this often.
+pub const NOMINAL_T_REFW_MS: f64 = 64.0;
+
+/// A set of DRAM timing parameters used by the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Activate-to-read delay (ns).
+    pub t_rcd_ns: f64,
+    /// Activate-to-precharge delay (ns).
+    pub t_ras_ns: f64,
+    /// Precharge-to-activate delay (ns).
+    pub t_rp_ns: f64,
+    /// Refresh window (ms).
+    pub t_refw_ms: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        TimingParams {
+            t_rcd_ns: NOMINAL_T_RCD_NS,
+            t_ras_ns: NOMINAL_T_RAS_NS,
+            t_rp_ns: NOMINAL_T_RP_NS,
+            t_refw_ms: NOMINAL_T_REFW_MS,
+        }
+    }
+}
+
+impl TimingParams {
+    /// Duration of one activate–precharge cycle (ns): the hammering period.
+    pub fn act_pre_period_ns(&self) -> f64 {
+        self.t_ras_ns + self.t_rp_ns
+    }
+
+    /// Returns a copy with a different `t_RCD`.
+    pub fn with_t_rcd(mut self, t_rcd_ns: f64) -> Self {
+        self.t_rcd_ns = t_rcd_ns;
+        self
+    }
+}
+
+/// Quantizes a latency up to the next SoftMC command slot (1.5 ns).
+pub fn quantize_to_slot(latency_ns: f64) -> f64 {
+    (latency_ns / COMMAND_SLOT_NS).ceil() * COMMAND_SLOT_NS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_nominal() {
+        let t = TimingParams::default();
+        assert_eq!(t.t_rcd_ns, 13.5);
+        assert_eq!(t.t_ras_ns, 35.0);
+        assert_eq!(t.t_rp_ns, 13.5);
+        assert_eq!(t.t_refw_ms, 64.0);
+    }
+
+    #[test]
+    fn hammer_period() {
+        let t = TimingParams::default();
+        assert_eq!(t.act_pre_period_ns(), 48.5);
+        // 300K double-sided hammers fit inside the paper's 30 ms test window
+        let total_ms = 2.0 * 300_000.0 * t.act_pre_period_ns() * 1e-6;
+        assert!(total_ms < 30.0, "hammer session takes {total_ms} ms");
+    }
+
+    #[test]
+    fn with_t_rcd_builder() {
+        let t = TimingParams::default().with_t_rcd(24.0);
+        assert_eq!(t.t_rcd_ns, 24.0);
+        assert_eq!(t.t_ras_ns, 35.0);
+    }
+
+    #[test]
+    fn quantization_rounds_up_to_slots() {
+        assert_eq!(quantize_to_slot(13.5), 13.5);
+        assert_eq!(quantize_to_slot(13.6), 15.0);
+        assert_eq!(quantize_to_slot(0.1), 1.5);
+        assert_eq!(quantize_to_slot(0.0), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Extension: how much of the RowHammer/retention signal on-die ECC masks.
+//!
+//! §4.1 excludes ECC modules precisely because an internal SECDED code
+//! silently corrects single-bit failures and distorts characterization.
+//! These tests quantify that: at hammer counts near `HC_first` most rows
+//! carry only sparse flips, which a per-word code hides completely.
+
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::ondie_ecc::OnDieEcc;
+use hammervolt_dram::registry::{self, ModuleId};
+
+fn hammered_flips(ecc: OnDieEcc, hc: u64) -> (u32, u64) {
+    let mut m = DramModule::with_geometry(registry::spec(ModuleId::B0), 41, Geometry::small_test())
+        .unwrap();
+    m.set_ondie_ecc(ecc);
+    let pattern = 0xAAAA_AAAA_AAAA_AAAAu64;
+    let mut flips = 0u32;
+    for victim in (20..200u32).step_by(6) {
+        let (below, above) = m.mapping().physical_neighbors(victim);
+        let (below, above) = (below.unwrap(), above.unwrap());
+        let data = vec![pattern; m.geometry().columns_per_row as usize];
+        m.write_row(0, victim, &data).unwrap();
+        m.write_row(0, below, &data).unwrap();
+        m.write_row(0, above, &data).unwrap();
+        m.hammer(0, below, hc, 48.5).unwrap();
+        m.hammer(0, above, hc, 48.5).unwrap();
+        let readout = m.read_row(0, victim, 30.0).unwrap();
+        flips += readout
+            .iter()
+            .map(|w| (w ^ pattern).count_ones())
+            .sum::<u32>();
+    }
+    (flips, m.ecc_corrections())
+}
+
+#[test]
+fn secded_hides_sparse_rowhammer_flips() {
+    // Near HC_first the per-word flip density is low: SECDED masks most of it.
+    let hc = 12_000; // near B0's HC_first
+    let (visible_none, corr_none) = hammered_flips(OnDieEcc::None, hc);
+    let (visible_ecc, corr_ecc) = hammered_flips(OnDieEcc::Secded64, hc);
+    assert_eq!(corr_none, 0, "no corrections without a code");
+    assert!(visible_none > 0, "the raw device must flip near HC_first");
+    assert!(corr_ecc > 0, "the code must have corrected something");
+    assert!(
+        visible_ecc * 4 < visible_none,
+        "SECDED must hide most sparse flips: {visible_ecc} visible vs {visible_none} raw"
+    );
+}
+
+#[test]
+fn secded_cannot_hide_saturated_attacks() {
+    // Far above HC_first, words carry multiple flips and the code gives up.
+    let hc = 300_000;
+    let (visible_none, _) = hammered_flips(OnDieEcc::None, hc);
+    let (visible_ecc, _) = hammered_flips(OnDieEcc::Secded64, hc);
+    assert!(
+        visible_ecc * 3 > visible_none,
+        "multi-bit words must leak through: {visible_ecc} vs {visible_none}"
+    );
+}
+
+#[test]
+fn ecc_choice_does_not_change_the_underlying_array() {
+    // The code masks at the interface only: disabling it mid-life exposes
+    // the accumulated raw flips.
+    let mut m = DramModule::with_geometry(registry::spec(ModuleId::B0), 43, Geometry::small_test())
+        .unwrap();
+    m.set_ondie_ecc(OnDieEcc::Secded64);
+    let pattern = 0x5555_5555_5555_5555u64;
+    let victim = 120;
+    let (below, above) = m.mapping().physical_neighbors(victim);
+    let (below, above) = (below.unwrap(), above.unwrap());
+    let data = vec![pattern; m.geometry().columns_per_row as usize];
+    m.write_row(0, victim, &data).unwrap();
+    m.write_row(0, below, &data).unwrap();
+    m.write_row(0, above, &data).unwrap();
+    m.hammer(0, below, 12_000, 48.5).unwrap();
+    m.hammer(0, above, 12_000, 48.5).unwrap();
+    let masked: u32 = m
+        .read_row(0, victim, 30.0)
+        .unwrap()
+        .iter()
+        .map(|w| (w ^ pattern).count_ones())
+        .sum();
+    m.set_ondie_ecc(OnDieEcc::None);
+    let raw: u32 = m
+        .read_row(0, victim, 30.0)
+        .unwrap()
+        .iter()
+        .map(|w| (w ^ pattern).count_ones())
+        .sum();
+    assert!(raw >= masked, "raw view must expose at least as many flips");
+}

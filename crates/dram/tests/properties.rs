@@ -1,0 +1,116 @@
+//! Property-based tests for the device model's invariants.
+
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::hash;
+use hammervolt_dram::mapping::{AddressMapping, Scheme};
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::physics::{self, dq_relative, hc_multiplier, qcrit_relative, solve_coeffs};
+use hammervolt_dram::registry::{self, ModuleId};
+use proptest::prelude::*;
+
+fn any_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Direct),
+        Just(Scheme::PairMirror),
+        Just(Scheme::BlockShuffle),
+    ]
+}
+
+fn any_module() -> impl Strategy<Value = ModuleId> {
+    prop::sample::select(ModuleId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_round_trips(scheme in any_scheme(), repairs in 0u32..16, seed in any::<u64>()) {
+        let rows = 512;
+        let m = AddressMapping::with_repairs(scheme, rows, repairs, seed);
+        for logical in 0..rows {
+            let phys = m.logical_to_physical(logical);
+            prop_assert!(phys < rows);
+            prop_assert_eq!(m.physical_to_logical(phys), logical);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_mutual(scheme in any_scheme(), seed in any::<u64>(), row in 1u32..510) {
+        let m = AddressMapping::with_repairs(scheme, 512, 8, seed);
+        let (below, above) = m.physical_neighbors(row);
+        for n in [below, above].into_iter().flatten() {
+            let (nb, na) = m.physical_neighbors(n);
+            prop_assert!(
+                nb == Some(row) || na == Some(row),
+                "adjacency must be symmetric: {} vs {}", row, n
+            );
+        }
+    }
+
+    #[test]
+    fn solve_coeffs_realizes_any_target(
+        target in 0.85..1.9f64,
+        vpp_min in 1.4..2.4f64,
+        margin in 0.15..0.55f64,
+        share in 0.45..0.97f64,
+    ) {
+        let c = solve_coeffs(target, vpp_min, margin, share);
+        let m = hc_multiplier(vpp_min, &c);
+        prop_assert!((m - target).abs() < 1e-6, "target {} realized {}", target, m);
+        prop_assert!(c.sensitivity >= 0.0);
+        // normalization anchor
+        prop_assert!((hc_multiplier(physics::VPP_NOMINAL, &c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dq_and_qcrit_monotone_in_vpp(
+        target in 0.85..1.9f64,
+        vpp_min in 1.4..2.4f64,
+        margin in 0.15..0.55f64,
+        share in 0.45..0.97f64,
+        v1 in 1.4..2.5f64,
+        v2 in 1.4..2.5f64,
+    ) {
+        let c = solve_coeffs(target, vpp_min, margin, share);
+        let (lo, hi) = if v1 <= v2 { (v1, v2) } else { (v2, v1) };
+        prop_assert!(dq_relative(lo, &c) <= dq_relative(hi, &c) + 1e-12);
+        prop_assert!(qcrit_relative(lo, &c) <= qcrit_relative(hi, &c) + 1e-12);
+    }
+
+    #[test]
+    fn uniform01_always_in_range(seed in any::<u64>()) {
+        let u = hash::uniform01(seed);
+        prop_assert!((0.0..1.0).contains(&u));
+        let z = hash::standard_normal(seed);
+        prop_assert!(z.is_finite());
+    }
+
+    #[test]
+    fn set_vpp_respects_vppmin(id in any_module(), step in 0u32..12) {
+        let spec = registry::spec(id);
+        let vpp_min = spec.vpp_min;
+        let mut m = DramModule::with_geometry(spec, 3, Geometry::small_test()).unwrap();
+        let vpp = 2.5 - 0.1 * step as f64;
+        let result = m.set_vpp(vpp);
+        if vpp + 1e-9 >= vpp_min {
+            prop_assert!(result.is_ok(), "{:?} rejected {}", id, vpp);
+        } else {
+            prop_assert!(result.is_err(), "{:?} accepted {} below V_PPmin {}", id, vpp, vpp_min);
+        }
+    }
+
+    #[test]
+    fn data_round_trips_without_stressors(
+        id in any_module(),
+        seed in any::<u64>(),
+        row in 2u32..500,
+        word in any::<u64>(),
+    ) {
+        let mut m =
+            DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap();
+        let data = vec![word; m.geometry().columns_per_row as usize];
+        m.write_row(0, row, &data).unwrap();
+        let back = m.read_row(0, row, 30.0).unwrap();
+        prop_assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,114 @@
+//! Partial charge-restoration behaviour (§6.2): rows closed before the
+//! required `t_RAS` elapse carry less charge, which shortens their retention
+//! and makes them easier to hammer — the coupling the paper's Obsvs. 10–11
+//! describe and its future-work section proposes to exploit with
+//! restoration-aware refresh.
+
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::physics;
+use hammervolt_dram::registry::{self, ModuleId};
+
+fn module(id: ModuleId, seed: u64) -> DramModule {
+    DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test()).unwrap()
+}
+
+fn flips(readout: &[u64], expected: u64) -> u32 {
+    readout.iter().map(|w| (w ^ expected).count_ones()).sum()
+}
+
+/// Activates and closes a row after `open_ns`, leaving its charge state
+/// partial when `open_ns` is below the requirement.
+fn reactivate_with_open_time(m: &mut DramModule, row: u32, open_ns: f64) {
+    m.activate(0, row).unwrap();
+    m.advance_ns(open_ns);
+    m.precharge(0, open_ns).unwrap();
+}
+
+#[test]
+fn t_ras_requirement_grows_below_the_knee() {
+    assert!((physics::t_ras_required_ns(2.5) - 21.0).abs() < 1e-9);
+    let at_20 = physics::t_ras_required_ns(2.0);
+    let at_17 = physics::t_ras_required_ns(1.7);
+    let at_15 = physics::t_ras_required_ns(1.5);
+    assert!(at_17 > at_20);
+    assert!(at_15 > at_17);
+    assert!(at_15 < 31.0, "stays within the modeled band, got {at_15}");
+}
+
+#[test]
+fn early_precharge_shortens_retention() {
+    let pattern = 0xAAAA_AAAA_AAAA_AAAAu64;
+    let wait_s = 2.0;
+    let run = |open_ns: f64| -> u32 {
+        let mut m = module(ModuleId::C2, 31);
+        m.set_temperature_c(80.0);
+        let mut total = 0;
+        for row in (4..260u32).step_by(4) {
+            let data = vec![pattern; m.geometry().columns_per_row as usize];
+            m.write_row(0, row, &data).unwrap();
+            // re-open and close the row with the given open time: this is
+            // the last restoration before the retention wait
+            reactivate_with_open_time(&mut m, row, open_ns);
+        }
+        m.advance_ns(wait_s * 1e9);
+        for row in (4..260u32).step_by(4) {
+            let readout = m.read_row(0, row, 30.0).unwrap();
+            total += flips(&readout, pattern);
+        }
+        total
+    };
+    let full = run(35.0); // ≥ required 21 ns: full restoration
+    let partial = run(8.0); // well short of the requirement
+    assert!(
+        partial > full * 2,
+        "partial restoration must hurt retention: {partial} vs {full} flips"
+    );
+}
+
+#[test]
+fn early_precharge_lowers_hammer_resistance() {
+    let pattern = 0xAAAA_AAAA_AAAA_AAAAu64;
+    let hc = 120_000u64;
+    let run = |open_ns: f64| -> u32 {
+        let mut m = module(ModuleId::B0, 33);
+        let victim = 160;
+        let (below, above) = m.mapping().physical_neighbors(victim);
+        let (below, above) = (below.unwrap(), above.unwrap());
+        let data = vec![pattern; m.geometry().columns_per_row as usize];
+        m.write_row(0, victim, &data).unwrap();
+        m.write_row(0, below, &data).unwrap();
+        m.write_row(0, above, &data).unwrap();
+        reactivate_with_open_time(&mut m, victim, open_ns);
+        m.hammer(0, below, hc, 48.5).unwrap();
+        m.hammer(0, above, hc, 48.5).unwrap();
+        let readout = m.read_row(0, victim, 30.0).unwrap();
+        flips(&readout, pattern)
+    };
+    let full = run(35.0);
+    let partial = run(6.0);
+    assert!(
+        partial > full,
+        "a partially restored victim must flip more: {partial} vs {full}"
+    );
+}
+
+#[test]
+fn next_full_restoration_clears_the_penalty() {
+    let pattern = 0x5555_5555_5555_5555u64;
+    let mut m = module(ModuleId::C2, 35);
+    m.set_temperature_c(80.0);
+    let row = 48;
+    let data = vec![pattern; m.geometry().columns_per_row as usize];
+    m.write_row(0, row, &data).unwrap();
+    // partial close, then a full-t_RAS activate/precharge cycle
+    reactivate_with_open_time(&mut m, row, 6.0);
+    reactivate_with_open_time(&mut m, row, 40.0);
+    m.advance_ns(0.5e9);
+    let readout = m.read_row(0, row, 30.0).unwrap();
+    assert_eq!(
+        flips(&readout, pattern),
+        0,
+        "full restoration must clear the partial-charge penalty"
+    );
+}

@@ -1,0 +1,183 @@
+//! Word-granularity error analysis over DRAM rows.
+//!
+//! The paper's §6.3 asks, for each DRAM row operated at `V_PPmin`: how many
+//! 64-bit data words in the row contain bit flips, with what multiplicity, and
+//! would SECDED ECC have corrected them all (Obsv. 14)? Fig. 11 then plots the
+//! distribution of rows by their erroneous-word count. [`analyze_row`]
+//! answers both questions from a reference/readout bit pair.
+
+use serde::{Deserialize, Serialize};
+
+/// Word-level error characteristics of one DRAM row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowWordAnalysis {
+    /// Total number of 64-bit words in the row.
+    pub total_words: usize,
+    /// Number of words with exactly one flipped bit (SECDED-correctable).
+    pub words_with_one_flip: usize,
+    /// Number of words with exactly two flipped bits (detectable, not
+    /// correctable).
+    pub words_with_two_flips: usize,
+    /// Number of words with three or more flipped bits (may be miscorrected).
+    pub words_with_many_flips: usize,
+    /// Total flipped bits across the row.
+    pub total_bit_flips: usize,
+    /// Per-word flip counts for words that have at least one flip, in word
+    /// order. (Kept sparse: clean words are omitted.)
+    pub flips_per_erroneous_word: Vec<u32>,
+}
+
+impl RowWordAnalysis {
+    /// Number of words containing at least one flipped bit.
+    pub fn erroneous_words(&self) -> usize {
+        self.words_with_one_flip + self.words_with_two_flips + self.words_with_many_flips
+    }
+
+    /// Whether the row is error-free.
+    pub fn is_clean(&self) -> bool {
+        self.total_bit_flips == 0
+    }
+
+    /// Whether SECDED(72,64) corrects every erroneous word in this row —
+    /// i.e. no word carries more than one flip (Obsv. 14's criterion).
+    pub fn secded_correctable(&self) -> bool {
+        self.words_with_two_flips == 0 && self.words_with_many_flips == 0
+    }
+
+    /// Row bit error rate: flipped bits over total bits.
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.total_words == 0 {
+            0.0
+        } else {
+            self.total_bit_flips as f64 / (self.total_words as f64 * 64.0)
+        }
+    }
+}
+
+/// Compares a row readout against its reference content at 64-bit word
+/// granularity.
+///
+/// Both slices are little-endian sequences of 64-bit words covering the whole
+/// row. Slices of unequal length are compared over the shorter prefix; in the
+/// study both always come from the same row geometry.
+pub fn analyze_row(reference: &[u64], readout: &[u64]) -> RowWordAnalysis {
+    let n = reference.len().min(readout.len());
+    let mut one = 0usize;
+    let mut two = 0usize;
+    let mut many = 0usize;
+    let mut total = 0usize;
+    let mut sparse = Vec::new();
+    for i in 0..n {
+        let flips = (reference[i] ^ readout[i]).count_ones();
+        if flips > 0 {
+            sparse.push(flips);
+            total += flips as usize;
+            match flips {
+                1 => one += 1,
+                2 => two += 1,
+                _ => many += 1,
+            }
+        }
+    }
+    RowWordAnalysis {
+        total_words: n,
+        words_with_one_flip: one,
+        words_with_two_flips: two,
+        words_with_many_flips: many,
+        total_bit_flips: total,
+        flips_per_erroneous_word: sparse,
+    }
+}
+
+/// Aggregates Fig. 11's x-axis statistic over many rows: for each row, the
+/// number of erroneous 64-bit words, returned in input order.
+pub fn erroneous_word_counts(rows: &[RowWordAnalysis]) -> Vec<u64> {
+    rows.iter().map(|r| r.erroneous_words() as u64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_row() {
+        let row = vec![0xAAAA_AAAA_AAAA_AAAAu64; 16];
+        let a = analyze_row(&row, &row);
+        assert!(a.is_clean());
+        assert!(a.secded_correctable());
+        assert_eq!(a.erroneous_words(), 0);
+        assert_eq!(a.bit_error_rate(), 0.0);
+        assert!(a.flips_per_erroneous_word.is_empty());
+    }
+
+    #[test]
+    fn single_flip_in_one_word() {
+        let reference = vec![0u64; 8];
+        let mut readout = reference.clone();
+        readout[3] = 1 << 17;
+        let a = analyze_row(&reference, &readout);
+        assert_eq!(a.words_with_one_flip, 1);
+        assert_eq!(a.erroneous_words(), 1);
+        assert!(a.secded_correctable());
+        assert_eq!(a.total_bit_flips, 1);
+        assert!((a.bit_error_rate() - 1.0 / (8.0 * 64.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn double_flip_breaks_secded() {
+        let reference = vec![0u64; 4];
+        let mut readout = reference.clone();
+        readout[0] = 0b11;
+        let a = analyze_row(&reference, &readout);
+        assert_eq!(a.words_with_two_flips, 1);
+        assert!(!a.secded_correctable());
+    }
+
+    #[test]
+    fn mixed_multiplicities() {
+        let reference = vec![0u64; 5];
+        let mut readout = reference.clone();
+        readout[0] = 1; // one flip
+        readout[1] = 0b101; // two flips
+        readout[2] = 0b111; // three flips
+        let a = analyze_row(&reference, &readout);
+        assert_eq!(a.words_with_one_flip, 1);
+        assert_eq!(a.words_with_two_flips, 1);
+        assert_eq!(a.words_with_many_flips, 1);
+        assert_eq!(a.total_bit_flips, 6);
+        assert_eq!(a.flips_per_erroneous_word, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unequal_lengths_use_common_prefix() {
+        let reference = vec![0u64; 4];
+        let readout = vec![1u64; 2];
+        let a = analyze_row(&reference, &readout);
+        assert_eq!(a.total_words, 2);
+        assert_eq!(a.words_with_one_flip, 2);
+    }
+
+    #[test]
+    fn empty_row() {
+        let a = analyze_row(&[], &[]);
+        assert_eq!(a.total_words, 0);
+        assert!(a.is_clean());
+        assert_eq!(a.bit_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn erroneous_word_counts_across_rows() {
+        let reference = vec![0u64; 4];
+        let mut r1 = reference.clone();
+        r1[0] = 1;
+        r1[2] = 1;
+        let mut r2 = reference.clone();
+        r2[1] = 1;
+        let rows = vec![
+            analyze_row(&reference, &r1),
+            analyze_row(&reference, &r2),
+            analyze_row(&reference, &reference),
+        ];
+        assert_eq!(erroneous_word_counts(&rows), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Hamming SECDED(72,64): single error correction, double error detection.
+//!
+//! Layout follows the classic extended-Hamming construction. Within the
+//! 72-bit codeword, positions are numbered 0–71:
+//!
+//! - position 0 holds the *overall* parity bit (even parity over all 72 bits),
+//! - positions 1, 2, 4, 8, 16, 32, 64 hold the seven Hamming parity bits,
+//! - the remaining 64 positions hold data bits in ascending position order
+//!   (data bit 0 at position 3, bit 1 at position 5, ...).
+//!
+//! Decoding computes the 7-bit syndrome (the XOR of the positions of all
+//! set bits) plus the overall parity:
+//!
+//! | syndrome | overall parity | meaning                      |
+//! |----------|----------------|------------------------------|
+//! | 0        | even           | no error                     |
+//! | 0        | odd            | overall-parity bit flipped   |
+//! | ≠0       | odd            | single error at `syndrome`   |
+//! | ≠0       | even           | double error (uncorrectable) |
+
+use serde::{Deserialize, Serialize};
+
+/// Number of data bits per codeword.
+pub const DATA_BITS: u32 = 64;
+/// Number of check bits (7 Hamming + 1 overall parity).
+pub const CHECK_BITS: u32 = 8;
+/// Total codeword length in bits.
+pub const CODE_BITS: u32 = DATA_BITS + CHECK_BITS;
+
+/// Returns `true` for codeword positions that hold parity bits.
+fn is_parity_position(pos: u32) -> bool {
+    pos == 0 || pos.is_power_of_two()
+}
+
+/// The 64 data positions in ascending order, computed once.
+fn data_positions() -> [u32; 64] {
+    let mut out = [0u32; 64];
+    let mut idx = 0;
+    let mut pos = 0;
+    while idx < 64 {
+        if !is_parity_position(pos) {
+            out[idx] = pos;
+            idx += 1;
+        }
+        pos += 1;
+    }
+    out
+}
+
+/// A 72-bit SECDED codeword stored in the low 72 bits of a `u128`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Codeword(u128);
+
+/// Result of decoding a codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// The codeword is error-free; `data` is the stored word.
+    Clean {
+        /// Decoded 64-bit data word.
+        data: u64,
+    },
+    /// A single bit error was found and corrected.
+    Corrected {
+        /// Decoded (corrected) 64-bit data word.
+        data: u64,
+        /// Position (0–71) of the corrected bit within the codeword.
+        position: u32,
+    },
+    /// A double-bit error was detected; the data cannot be recovered.
+    DoubleError,
+}
+
+impl Codeword {
+    /// Encodes a 64-bit data word into a 72-bit SECDED codeword.
+    pub fn encode(data: u64) -> Self {
+        let positions = data_positions();
+        let mut word: u128 = 0;
+        for (i, &pos) in positions.iter().enumerate() {
+            if (data >> i) & 1 == 1 {
+                word |= 1u128 << pos;
+            }
+        }
+        // Hamming parity bits: parity bit at position 2^k covers every
+        // position whose k-th bit is set. Even parity.
+        for k in 0..7 {
+            let pbit = 1u32 << k;
+            let mut parity = 0u32;
+            for pos in 0..CODE_BITS {
+                if pos != pbit && (pos & pbit) != 0 && (word >> pos) & 1 == 1 {
+                    parity ^= 1;
+                }
+            }
+            if parity == 1 {
+                word |= 1u128 << pbit;
+            }
+        }
+        // Overall parity over the other 71 bits (even parity over all 72).
+        let ones = (word >> 1).count_ones() & 1;
+        if ones == 1 {
+            word |= 1;
+        }
+        Codeword(word)
+    }
+
+    /// Wraps raw codeword bits (low 72 bits of `raw`); upper bits are masked
+    /// off.
+    pub fn from_raw(raw: u128) -> Self {
+        Codeword(raw & ((1u128 << CODE_BITS) - 1))
+    }
+
+    /// The raw 72 bits of the codeword.
+    pub fn raw(&self) -> u128 {
+        self.0
+    }
+
+    /// Returns a copy with the bit at codeword `position` (0–71) flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= 72`.
+    pub fn with_bit_flipped(&self, position: u32) -> Self {
+        assert!(position < CODE_BITS, "position {position} out of range");
+        Codeword(self.0 ^ (1u128 << position))
+    }
+
+    /// Extracts the data bits without any error checking.
+    pub fn data_unchecked(&self) -> u64 {
+        let positions = data_positions();
+        let mut data = 0u64;
+        for (i, &pos) in positions.iter().enumerate() {
+            if (self.0 >> pos) & 1 == 1 {
+                data |= 1u64 << i;
+            }
+        }
+        data
+    }
+
+    /// Decodes the codeword, correcting a single-bit error and detecting
+    /// double-bit errors.
+    pub fn decode(&self) -> DecodeOutcome {
+        // Syndrome: XOR of positions of set bits, restricted to Hamming
+        // coverage (position 0 participates only in overall parity).
+        let mut syndrome = 0u32;
+        for pos in 1..CODE_BITS {
+            if (self.0 >> pos) & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let overall_odd = (self.0.count_ones() & 1) == 1;
+        match (syndrome, overall_odd) {
+            (0, false) => DecodeOutcome::Clean {
+                data: self.data_unchecked(),
+            },
+            (0, true) => DecodeOutcome::Corrected {
+                data: self.data_unchecked(),
+                position: 0,
+            },
+            (s, true) => {
+                if s >= CODE_BITS {
+                    // A syndrome pointing outside the codeword means the error
+                    // pattern is not a single flip; report it as uncorrectable.
+                    return DecodeOutcome::DoubleError;
+                }
+                let fixed = Codeword(self.0 ^ (1u128 << s));
+                DecodeOutcome::Corrected {
+                    data: fixed.data_unchecked(),
+                    position: s,
+                }
+            }
+            (_, false) => DecodeOutcome::DoubleError,
+        }
+    }
+}
+
+/// Encodes, transmits with the given flipped positions, and decodes —
+/// returning whether the data survived. Convenience for analyses that only
+/// need the verdict.
+///
+/// # Panics
+///
+/// Panics if any position is `>= 72`.
+pub fn survives_flips(data: u64, flips: &[u32]) -> bool {
+    let mut cw = Codeword::encode(data);
+    for &f in flips {
+        cw = cw.with_bit_flipped(f);
+    }
+    match cw.decode() {
+        DecodeOutcome::Clean { data: d } | DecodeOutcome::Corrected { data: d, .. } => d == data,
+        DecodeOutcome::DoubleError => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: &[u64] = &[
+        0,
+        u64::MAX,
+        0xDEAD_BEEF_0123_4567,
+        0xAAAA_AAAA_AAAA_AAAA,
+        0x5555_5555_5555_5555,
+        1,
+        1 << 63,
+        0x0F0F_0F0F_F0F0_F0F0,
+    ];
+
+    #[test]
+    fn clean_round_trip() {
+        for &d in SAMPLES {
+            let cw = Codeword::encode(d);
+            assert_eq!(cw.decode(), DecodeOutcome::Clean { data: d });
+            assert_eq!(cw.data_unchecked(), d);
+        }
+    }
+
+    #[test]
+    fn every_single_bit_error_is_corrected() {
+        for &d in SAMPLES {
+            let cw = Codeword::encode(d);
+            for pos in 0..CODE_BITS {
+                let bad = cw.with_bit_flipped(pos);
+                match bad.decode() {
+                    DecodeOutcome::Corrected { data, position } => {
+                        assert_eq!(data, d, "data recovered after flip at {pos}");
+                        assert_eq!(position, pos, "flip localized");
+                    }
+                    other => panic!("flip at {pos} gave {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_error_is_detected() {
+        let d = 0xDEAD_BEEF_0123_4567u64;
+        let cw = Codeword::encode(d);
+        for a in 0..CODE_BITS {
+            for b in (a + 1)..CODE_BITS {
+                let bad = cw.with_bit_flipped(a).with_bit_flipped(b);
+                assert_eq!(
+                    bad.decode(),
+                    DecodeOutcome::DoubleError,
+                    "double flip at ({a},{b}) must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codeword_weight_distance() {
+        // SECDED code has minimum distance 4: distinct data words must differ
+        // in at least 4 codeword bits.
+        let a = Codeword::encode(0).raw();
+        for bit in 0..64 {
+            let b = Codeword::encode(1u64 << bit).raw();
+            assert!((a ^ b).count_ones() >= 4, "distance too small at bit {bit}");
+        }
+    }
+
+    #[test]
+    fn overall_parity_is_even() {
+        for &d in SAMPLES {
+            assert_eq!(Codeword::encode(d).raw().count_ones() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn from_raw_masks_upper_bits() {
+        let cw = Codeword::from_raw(u128::MAX);
+        assert_eq!(cw.raw() >> CODE_BITS, 0);
+    }
+
+    #[test]
+    fn survives_flips_summary() {
+        let d = 0x0123_4567_89AB_CDEF;
+        assert!(survives_flips(d, &[]));
+        assert!(survives_flips(d, &[7]));
+        assert!(!survives_flips(d, &[7, 12]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flip_out_of_range_panics() {
+        Codeword::encode(0).with_bit_flipped(72);
+    }
+
+    #[test]
+    fn data_positions_are_the_non_parity_positions() {
+        let ps = data_positions();
+        assert_eq!(ps.len(), 64);
+        for &p in &ps {
+            assert!(!is_parity_position(p));
+            assert!(p < CODE_BITS);
+        }
+        // strictly ascending
+        for w in ps.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! SECDED error-correcting codes for the hammervolt study.
+//!
+//! §6.3 of the reproduced paper (Obsv. 14) shows that the data-retention bit
+//! flips appearing under reduced `V_PP` can all be corrected by a "simple
+//! single error correction double error detection (SECDED) ECC" over 64-bit
+//! data words. This crate provides:
+//!
+//! - [`hamming`] — a Hamming SECDED(72,64) code: 64 data bits, 7 Hamming
+//!   parity bits, and one overall-parity bit, with single-bit correction and
+//!   double-bit detection,
+//! - [`analysis`] — word-granularity error analysis over whole DRAM rows: how
+//!   many 64-bit words in a row contain 1, 2, ... bit flips, and whether
+//!   SECDED would have corrected them all (the exact question behind Obsv. 14
+//!   and Fig. 11).
+//!
+//! # Example
+//!
+//! ```
+//! use hammervolt_ecc::hamming::{Codeword, DecodeOutcome};
+//!
+//! let cw = Codeword::encode(0xDEAD_BEEF_0123_4567);
+//! let corrupted = cw.with_bit_flipped(13);
+//! match corrupted.decode() {
+//!     DecodeOutcome::Corrected { data, .. } => assert_eq!(data, 0xDEAD_BEEF_0123_4567),
+//!     other => panic!("expected correction, got {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod hamming;
+
+pub use analysis::{analyze_row, RowWordAnalysis};
+pub use hamming::{Codeword, DecodeOutcome};

@@ -1,0 +1,77 @@
+//! Property-based tests for the SECDED code and row analysis.
+
+use hammervolt_ecc::analysis::analyze_row;
+use hammervolt_ecc::hamming::{survives_flips, Codeword, DecodeOutcome, CODE_BITS};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(data in any::<u64>()) {
+        let cw = Codeword::encode(data);
+        prop_assert_eq!(cw.decode(), DecodeOutcome::Clean { data });
+    }
+
+    #[test]
+    fn any_single_flip_corrects(data in any::<u64>(), pos in 0u32..CODE_BITS) {
+        let cw = Codeword::encode(data).with_bit_flipped(pos);
+        match cw.decode() {
+            DecodeOutcome::Corrected { data: d, position } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(position, pos);
+            }
+            other => prop_assert!(false, "flip at {} gave {:?}", pos, other),
+        }
+    }
+
+    #[test]
+    fn any_double_flip_detects(
+        data in any::<u64>(),
+        a in 0u32..CODE_BITS,
+        b in 0u32..CODE_BITS,
+    ) {
+        prop_assume!(a != b);
+        let cw = Codeword::encode(data).with_bit_flipped(a).with_bit_flipped(b);
+        prop_assert_eq!(cw.decode(), DecodeOutcome::DoubleError);
+        prop_assert!(!survives_flips(data, &[a, b]));
+    }
+
+    #[test]
+    fn distinct_data_distinct_codewords(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let ca = Codeword::encode(a).raw();
+        let cb = Codeword::encode(b).raw();
+        prop_assert!(ca != cb);
+        // minimum distance 4 for a SECDED code
+        prop_assert!((ca ^ cb).count_ones() >= 4);
+    }
+
+    #[test]
+    fn analysis_counts_are_consistent(
+        reference in prop::collection::vec(any::<u64>(), 1..64),
+        flips in prop::collection::vec((0usize..64, 0u32..64), 0..32),
+    ) {
+        let mut readout = reference.clone();
+        for &(word, bit) in &flips {
+            let w = word % readout.len();
+            readout[w] ^= 1u64 << bit;
+        }
+        let a = analyze_row(&reference, &readout);
+        let expected_flips: u32 = reference
+            .iter()
+            .zip(&readout)
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        prop_assert_eq!(a.total_bit_flips as u32, expected_flips);
+        prop_assert_eq!(
+            a.erroneous_words(),
+            a.flips_per_erroneous_word.len()
+        );
+        let sparse_sum: u32 = a.flips_per_erroneous_word.iter().sum();
+        prop_assert_eq!(sparse_sum, expected_flips);
+        // secded verdict matches the per-word counts
+        prop_assert_eq!(
+            a.secded_correctable(),
+            a.flips_per_erroneous_word.iter().all(|&c| c == 1)
+        );
+    }
+}

@@ -1,0 +1,356 @@
+//! The command engine: program execution against a device.
+//!
+//! The engine enforces the configured [`TimingParams`] the way a memory
+//! controller does — inserting the ACT→RD (`t_RCD`), ACT→PRE (`t_RAS`), and
+//! PRE→ACT (`t_RP`) delays — and issues commands on SoftMC's 1.5 ns slot
+//! grid. Pure hammer loops (`LOOP n { ACT; PRE; ... }`) are *coalesced* into
+//! the device's bulk-hammer operation: the result matches the unrolled
+//! execution up to the device's cycle-to-cycle measurement noise
+//! (disturbance is additive and the clock advances by the same total), but
+//! runs in O(1) instead of O(n).
+
+use crate::error::SoftMcError;
+use crate::inst::Instruction;
+use crate::program::{Op, Program};
+use hammervolt_dram::timing::{TimingParams, COMMAND_SLOT_NS};
+use hammervolt_dram::DramModule;
+
+/// Per-bank controller-side state.
+#[derive(Debug, Clone, Copy, Default)]
+struct BankTrack {
+    /// Time of the last ACT, if the bank is open.
+    act_at_ns: Option<f64>,
+    /// Time of the last PRE.
+    pre_at_ns: f64,
+}
+
+/// Executes programs against a device with timing enforcement.
+#[derive(Debug)]
+pub struct Engine<'d> {
+    module: &'d mut DramModule,
+    timing: TimingParams,
+    banks: Vec<BankTrack>,
+    /// Issue time of the previous command (bus occupancy: one command per
+    /// 1.5 ns slot).
+    last_cmd_ns: f64,
+    /// Read data collected in program order.
+    reads: Vec<u64>,
+}
+
+impl<'d> Engine<'d> {
+    /// Creates an engine over a device with the given timing parameters.
+    pub fn new(module: &'d mut DramModule, timing: TimingParams) -> Self {
+        let banks = vec![BankTrack::default(); module.geometry().banks as usize];
+        let last_cmd_ns = module.now_ns() - COMMAND_SLOT_NS;
+        Engine {
+            module,
+            timing,
+            banks,
+            last_cmd_ns,
+            reads: Vec::new(),
+        }
+    }
+
+    /// Runs a program to completion, returning all data read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the device clock reflects all commands
+    /// issued up to the failure point.
+    pub fn run(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
+        self.reads.clear();
+        self.run_ops(&program.ops)?;
+        Ok(std::mem::take(&mut self.reads))
+    }
+
+    fn run_ops(&mut self, ops: &[Op]) -> Result<(), SoftMcError> {
+        for op in ops {
+            match op {
+                Op::Inst(inst) => self.issue(*inst)?,
+                Op::Loop { count, body } => {
+                    if let Some(pairs) = Self::as_hammer_loop(body) {
+                        self.run_hammer_loop(*count, &pairs)?;
+                    } else {
+                        for _ in 0..*count {
+                            self.run_ops(body)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Recognizes a body consisting purely of (ACT row, PRE) pairs on one
+    /// bank — the hammer shape that can be coalesced.
+    fn as_hammer_loop(body: &[Op]) -> Option<Vec<(u32, u32)>> {
+        if body.is_empty() || !body.len().is_multiple_of(2) {
+            return None;
+        }
+        let mut pairs = Vec::with_capacity(body.len() / 2);
+        for chunk in body.chunks(2) {
+            match (&chunk[0], &chunk[1]) {
+                (
+                    Op::Inst(Instruction::Act { bank: ab, row }),
+                    Op::Inst(Instruction::Pre { bank: pb }),
+                ) if ab == pb => pairs.push((*ab, *row)),
+                _ => return None,
+            }
+        }
+        Some(pairs)
+    }
+
+    fn run_hammer_loop(&mut self, count: u64, pairs: &[(u32, u32)]) -> Result<(), SoftMcError> {
+        let period = self.timing.act_pre_period_ns();
+        for &(bank, row) in pairs {
+            // Close timing bookkeeping for the bank: hammering leaves it
+            // precharged.
+            self.module.hammer(bank, row, count, period)?;
+            let track = &mut self.banks[bank as usize];
+            track.act_at_ns = None;
+            track.pre_at_ns = self.module.now_ns();
+        }
+        self.last_cmd_ns = self.module.now_ns();
+        Ok(())
+    }
+
+    /// Advances the device clock to the issue slot of the next command: the
+    /// later of the timing `constraint` and one command slot after the
+    /// previous command. Command slots overlap timing waits, exactly as on a
+    /// real controller — a PRE issues *at* `t_RAS`, not a slot after it.
+    fn issue_slot(&mut self, constraint: f64) -> f64 {
+        let t = (self.last_cmd_ns + COMMAND_SLOT_NS).max(constraint);
+        let now = self.module.now_ns();
+        if t > now {
+            self.module.advance_ns(t - now);
+        }
+        self.last_cmd_ns = self.module.now_ns();
+        self.last_cmd_ns
+    }
+
+    /// Issues one instruction with timing enforcement.
+    fn issue(&mut self, inst: Instruction) -> Result<(), SoftMcError> {
+        match inst {
+            Instruction::Act { bank, row } => {
+                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                // tRP: wait after the last precharge.
+                let t = self.issue_slot(track.pre_at_ns + self.timing.t_rp_ns);
+                self.module.activate(bank, row)?;
+                if let Some(track) = self.banks.get_mut(bank as usize) {
+                    track.act_at_ns = Some(t);
+                }
+            }
+            Instruction::Pre { bank } => {
+                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
+                    reason: format!("PRE on bank {bank} with no open row"),
+                })?;
+                // tRAS: the row must stay open long enough.
+                let t = self.issue_slot(act_at + self.timing.t_ras_ns);
+                self.module.precharge(bank, t - act_at)?;
+                if let Some(track) = self.banks.get_mut(bank as usize) {
+                    track.act_at_ns = None;
+                    track.pre_at_ns = t;
+                }
+            }
+            Instruction::Rd { bank, column } => {
+                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
+                    reason: format!("RD on bank {bank} with no open row"),
+                })?;
+                // tRCD: this is the delay Alg. 2 sweeps.
+                let t = self.issue_slot(act_at + self.timing.t_rcd_ns);
+                let word = self.module.read(bank, column, t - act_at)?;
+                self.reads.push(word);
+            }
+            Instruction::Wr { bank, column, data } => {
+                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
+                    reason: format!("WR on bank {bank} with no open row"),
+                })?;
+                self.issue_slot(act_at + self.timing.t_rcd_ns);
+                self.module.write(bank, column, data)?;
+            }
+            Instruction::Ref => {
+                self.issue_slot(0.0);
+                self.module.refresh();
+                // tRFC for an 8 Gb DDR4 die is 350 ns.
+                self.module.advance_ns(350.0);
+                self.last_cmd_ns = self.module.now_ns();
+            }
+            Instruction::Wait { ns } => {
+                self.module.advance_ns(ns);
+                self.last_cmd_ns = self.module.now_ns();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hammervolt_dram::geometry::Geometry;
+    use hammervolt_dram::module::DramModule;
+    use hammervolt_dram::registry::{self, ModuleId};
+
+    fn module() -> DramModule {
+        DramModule::with_geometry(registry::spec(ModuleId::B0), 3, Geometry::small_test()).unwrap()
+    }
+
+    #[test]
+    fn init_and_read_round_trip() {
+        let mut m = module();
+        let cols = m.geometry().columns_per_row;
+        let timing = TimingParams::default();
+        let mut e = Engine::new(&mut m, timing);
+        e.run(&Program::init_row(0, 5, cols, 0xAAAA_AAAA_AAAA_AAAA))
+            .unwrap();
+        let data = e.run(&Program::read_row(0, 5, cols)).unwrap();
+        assert_eq!(data.len(), cols as usize);
+        assert!(data.iter().all(|&w| w == 0xAAAA_AAAA_AAAA_AAAA));
+    }
+
+    #[test]
+    fn timing_is_enforced() {
+        let mut m = module();
+        let timing = TimingParams::default();
+        let mut e = Engine::new(&mut m, timing);
+        let mut p = Program::new();
+        p.push(Instruction::Act { bank: 0, row: 1 });
+        p.push(Instruction::Rd { bank: 0, column: 0 });
+        p.push(Instruction::Pre { bank: 0 });
+        e.run(&p).unwrap();
+        // The PRE issues exactly tRAS after the ACT.
+        let elapsed = m.now_ns();
+        assert!(elapsed >= timing.t_ras_ns, "elapsed = {elapsed}");
+    }
+
+    #[test]
+    fn coalesced_hammer_advances_clock_like_unrolled() {
+        let timing = TimingParams::default();
+        // Coalesced: a loop of ACT/PRE pairs.
+        let mut m1 = module();
+        let t0 = {
+            let mut e = Engine::new(&mut m1, timing);
+            e.run(&Program::hammer_double_sided(0, 10, 12, 1_000))
+                .unwrap();
+            m1.now_ns()
+        };
+        // The coalesced clock must be the loop count times the period for
+        // both aggressors.
+        let expected = 2.0 * 1_000.0 * timing.act_pre_period_ns();
+        assert!(
+            (t0 - expected).abs() < 1e-6,
+            "clock {t0} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn coalesced_hammer_matches_unrolled_flips() {
+        let timing = TimingParams::default();
+        let cols = Geometry::small_test().columns_per_row;
+        let run = |coalesce: bool| -> Vec<u64> {
+            let mut m = module();
+            let victim = 100;
+            let (below, above) = m.mapping().physical_neighbors(victim);
+            let (below, above) = (below.unwrap(), above.unwrap());
+            let mut e = Engine::new(&mut m, timing);
+            e.run(&Program::init_row(0, victim, cols, 0xAAAA_AAAA_AAAA_AAAA))
+                .unwrap();
+            e.run(&Program::init_row(0, below, cols, 0x5555_5555_5555_5555))
+                .unwrap();
+            e.run(&Program::init_row(0, above, cols, 0x5555_5555_5555_5555))
+                .unwrap();
+            if coalesce {
+                e.run(&Program::hammer_double_sided(0, below, above, 60_000))
+                    .unwrap();
+            } else {
+                // The same commands, but in a shape the coalescer rejects
+                // (odd trailing op), forcing genuine per-iteration execution.
+                let mut p = Program::new();
+                p.push_loop(
+                    60_000,
+                    vec![
+                        Op::Inst(Instruction::Act {
+                            bank: 0,
+                            row: below,
+                        }),
+                        Op::Inst(Instruction::Pre { bank: 0 }),
+                        Op::Inst(Instruction::Act {
+                            bank: 0,
+                            row: above,
+                        }),
+                        Op::Inst(Instruction::Pre { bank: 0 }),
+                        Op::Inst(Instruction::Wait { ns: 0.0 }),
+                    ],
+                );
+                e.run(&p).unwrap();
+            }
+            e.run(&Program::read_row(0, victim, cols)).unwrap()
+        };
+        // Flip *counts* must agree between coalesced and unrolled paths up
+        // to the device's cycle-to-cycle noise (the coalesced path draws one
+        // noise sample per bulk call; the unrolled path draws one per ACT).
+        let expected = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let count =
+            |v: &[u64]| -> f64 { v.iter().map(|w| (w ^ expected).count_ones() as f64).sum() };
+        let a = count(&run(true));
+        let b = count(&run(false));
+        assert!(a > 0.0, "coalesced path must flip");
+        assert!(b > 0.0, "unrolled path must flip");
+        let ratio = a.max(b) / a.min(b);
+        assert!(ratio < 1.6, "coalesced {a} vs unrolled {b} flips");
+    }
+
+    #[test]
+    fn reads_before_activate_are_rejected() {
+        let mut m = module();
+        let mut e = Engine::new(&mut m, TimingParams::default());
+        let mut p = Program::new();
+        p.push(Instruction::Rd { bank: 0, column: 0 });
+        assert!(matches!(e.run(&p), Err(SoftMcError::BadProgram { .. })));
+        let mut p2 = Program::new();
+        p2.push(Instruction::Pre { bank: 0 });
+        assert!(matches!(e.run(&p2), Err(SoftMcError::BadProgram { .. })));
+    }
+
+    #[test]
+    fn custom_t_rcd_reaches_device() {
+        // With a deliberately tiny tRCD the device sees timing-violating
+        // reads and corrupts them.
+        let mut m = module();
+        let cols = m.geometry().columns_per_row;
+        let nominal = TimingParams::default();
+        let mut e = Engine::new(&mut m, nominal);
+        e.run(&Program::init_row(0, 9, cols, 0x0F0F_0F0F_0F0F_0F0F))
+            .unwrap();
+        drop(e);
+        let fast = TimingParams::default().with_t_rcd(3.0);
+        let mut e2 = Engine::new(&mut m, fast);
+        let data = e2.run(&Program::read_row(0, 9, cols)).unwrap();
+        let flips: u32 = data
+            .iter()
+            .map(|w| (w ^ 0x0F0F_0F0F_0F0F_0F0Fu64).count_ones())
+            .sum();
+        assert!(flips > 0, "3 ns tRCD must corrupt reads");
+    }
+
+    #[test]
+    fn wait_advances_clock_exactly() {
+        let mut m = module();
+        let mut e = Engine::new(&mut m, TimingParams::default());
+        e.run(&Program::wait(64e6)).unwrap(); // 64 ms
+        assert!((m.now_ns() - 64e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ref_instruction_refreshes() {
+        let mut m = module();
+        let mut e = Engine::new(&mut m, TimingParams::default());
+        let mut p = Program::new();
+        p.push(Instruction::Ref);
+        e.run(&p).unwrap();
+        assert!(m.now_ns() >= 350.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for the test infrastructure.
+
+use hammervolt_dram::DramError;
+use std::fmt;
+
+/// Errors produced by the SoftMC-style infrastructure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SoftMcError {
+    /// The device under test rejected a command or stopped responding.
+    Device(DramError),
+    /// The interposer's shunt resistor is still in place: the external
+    /// supply cannot drive the `V_PP` rail (§4.1).
+    ShuntInstalled,
+    /// The requested voltage is outside the supply's output range.
+    SupplyRange {
+        /// Requested output voltage (V).
+        requested: f64,
+        /// Supply maximum (V).
+        max: f64,
+    },
+    /// The thermal controller could not settle within tolerance.
+    ThermalUnsettled {
+        /// Target temperature (°C).
+        target_c: f64,
+        /// Achieved steady-state error (°C).
+        error_c: f64,
+    },
+    /// A program is malformed (e.g. a read with no preceding activate where
+    /// the engine cannot infer the open row).
+    BadProgram {
+        /// Description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SoftMcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoftMcError::Device(e) => write!(f, "device error: {e}"),
+            SoftMcError::ShuntInstalled => write!(
+                f,
+                "V_PP shunt resistor still installed: remove it before attaching the external supply"
+            ),
+            SoftMcError::SupplyRange { requested, max } => {
+                write!(f, "supply cannot output {requested:.3} V (max {max:.3} V)")
+            }
+            SoftMcError::ThermalUnsettled { target_c, error_c } => write!(
+                f,
+                "temperature controller failed to settle at {target_c:.1} °C (error {error_c:.2} °C)"
+            ),
+            SoftMcError::BadProgram { reason } => write!(f, "bad program: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SoftMcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoftMcError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DramError> for SoftMcError {
+    fn from(e: DramError) -> Self {
+        SoftMcError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_device_errors_with_source() {
+        let e = SoftMcError::from(DramError::CommunicationLost {
+            requested_vpp: 1.3,
+            vpp_min: 1.4,
+        });
+        assert!(e.to_string().contains("device error"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(SoftMcError::ShuntInstalled.to_string().contains("shunt"));
+        assert!(SoftMcError::SupplyRange {
+            requested: 7.0,
+            max: 6.0
+        }
+        .to_string()
+        .contains("7.000"));
+        assert!(SoftMcError::BadProgram {
+            reason: "read before activate".to_string()
+        }
+        .to_string()
+        .contains("read before activate"));
+    }
+}

@@ -1,0 +1,83 @@
+//! DDR4 instruction set for test programs.
+
+use serde::{Deserialize, Serialize};
+
+/// One DDR4 command as issued by the test engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Instruction {
+    /// Activate `row` in `bank`.
+    Act {
+        /// Target bank.
+        bank: u32,
+        /// Target row (logical address).
+        row: u32,
+    },
+    /// Precharge `bank`.
+    Pre {
+        /// Target bank.
+        bank: u32,
+    },
+    /// Read the 64-bit word at `column` of the open row in `bank`.
+    Rd {
+        /// Target bank.
+        bank: u32,
+        /// Target column.
+        column: u32,
+    },
+    /// Write `data` to `column` of the open row in `bank`.
+    Wr {
+        /// Target bank.
+        bank: u32,
+        /// Target column.
+        column: u32,
+        /// 64-bit data word.
+        data: u64,
+    },
+    /// Refresh command (never issued during the paper's tests — that is how
+    /// TRR is disabled).
+    Ref,
+    /// Idle for the given number of nanoseconds.
+    Wait {
+        /// Idle duration (ns).
+        ns: f64,
+    },
+}
+
+impl Instruction {
+    /// Whether this instruction targets `bank`.
+    pub fn targets_bank(&self, bank: u32) -> bool {
+        match self {
+            Instruction::Act { bank: b, .. }
+            | Instruction::Pre { bank: b }
+            | Instruction::Rd { bank: b, .. }
+            | Instruction::Wr { bank: b, .. } => *b == bank,
+            Instruction::Ref | Instruction::Wait { .. } => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targets_bank_matches() {
+        assert!(Instruction::Act { bank: 2, row: 5 }.targets_bank(2));
+        assert!(!Instruction::Act { bank: 2, row: 5 }.targets_bank(3));
+        assert!(Instruction::Pre { bank: 0 }.targets_bank(0));
+        assert!(!Instruction::Ref.targets_bank(0));
+        assert!(!Instruction::Wait { ns: 5.0 }.targets_bank(0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let i = Instruction::Wr {
+            bank: 1,
+            column: 7,
+            data: 0xDEAD,
+        };
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Instruction = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+}

@@ -1,0 +1,196 @@
+//! Loop-structured test programs.
+//!
+//! Real SoftMC test programs are small loop programs uploaded to the FPGA; a
+//! hammer test is literally `LOOP n { ACT a1; PRE; ACT a2; PRE }`. [`Program`]
+//! mirrors that shape, and the builder methods construct the exact access
+//! patterns of the paper's Algorithms 1–3.
+
+use crate::inst::Instruction;
+use serde::{Deserialize, Serialize};
+
+/// One program element: a single instruction or a counted loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// A single DDR4 instruction.
+    Inst(Instruction),
+    /// A counted loop over a body of elements.
+    Loop {
+        /// Iteration count.
+        count: u64,
+        /// Loop body.
+        body: Vec<Op>,
+    },
+}
+
+/// A complete test program.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// Program elements in execution order.
+    pub ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Appends a single instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.ops.push(Op::Inst(inst));
+        self
+    }
+
+    /// Appends a counted loop.
+    pub fn push_loop(&mut self, count: u64, body: Vec<Op>) -> &mut Self {
+        self.ops.push(Op::Loop { count, body });
+        self
+    }
+
+    /// Total number of DDR4 commands the program issues when executed
+    /// (loops expanded).
+    pub fn command_count(&self) -> u64 {
+        fn count_ops(ops: &[Op]) -> u64 {
+            ops.iter()
+                .map(|op| match op {
+                    Op::Inst(_) => 1,
+                    Op::Loop { count, body } => count * count_ops(body),
+                })
+                .sum()
+        }
+        count_ops(&self.ops)
+    }
+
+    /// Program that initializes a whole row with a repeated data word:
+    /// `initialize_row` of Alg. 1.
+    pub fn init_row(bank: u32, row: u32, columns: u32, word: u64) -> Self {
+        let mut p = Program::new();
+        p.push(Instruction::Act { bank, row });
+        for column in 0..columns {
+            p.push(Instruction::Wr {
+                bank,
+                column,
+                data: word,
+            });
+        }
+        p.push(Instruction::Pre { bank });
+        p
+    }
+
+    /// Program that reads a whole row back.
+    pub fn read_row(bank: u32, row: u32, columns: u32) -> Self {
+        let mut p = Program::new();
+        p.push(Instruction::Act { bank, row });
+        for column in 0..columns {
+            p.push(Instruction::Rd { bank, column });
+        }
+        p.push(Instruction::Pre { bank });
+        p
+    }
+
+    /// The double-sided hammer loop of Alg. 1: `hc` alternating
+    /// activate–precharge pairs on the two aggressors.
+    pub fn hammer_double_sided(bank: u32, aggressor_a: u32, aggressor_b: u32, hc: u64) -> Self {
+        let mut p = Program::new();
+        p.push_loop(
+            hc,
+            vec![
+                Op::Inst(Instruction::Act {
+                    bank,
+                    row: aggressor_a,
+                }),
+                Op::Inst(Instruction::Pre { bank }),
+                Op::Inst(Instruction::Act {
+                    bank,
+                    row: aggressor_b,
+                }),
+                Op::Inst(Instruction::Pre { bank }),
+            ],
+        );
+        p
+    }
+
+    /// A single-sided hammer loop (used by the adjacency
+    /// reverse-engineering probe).
+    pub fn hammer_single_sided(bank: u32, aggressor: u32, hc: u64) -> Self {
+        let mut p = Program::new();
+        p.push_loop(
+            hc,
+            vec![
+                Op::Inst(Instruction::Act {
+                    bank,
+                    row: aggressor,
+                }),
+                Op::Inst(Instruction::Pre { bank }),
+            ],
+        );
+        p
+    }
+
+    /// The retention wait of Alg. 3.
+    pub fn wait(ns: f64) -> Self {
+        let mut p = Program::new();
+        p.push(Instruction::Wait { ns });
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_count_expands_loops() {
+        let p = Program::hammer_double_sided(0, 10, 12, 300_000);
+        assert_eq!(p.command_count(), 4 * 300_000);
+        let q = Program::init_row(0, 5, 1024, 0xAA);
+        assert_eq!(q.command_count(), 1026);
+        assert_eq!(Program::new().command_count(), 0);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut p = Program::new();
+        p.push_loop(
+            3,
+            vec![Op::Loop {
+                count: 4,
+                body: vec![Op::Inst(Instruction::Ref)],
+            }],
+        );
+        assert_eq!(p.command_count(), 12);
+    }
+
+    #[test]
+    fn init_row_shape() {
+        let p = Program::init_row(1, 2, 4, 0x55);
+        assert_eq!(p.ops.len(), 6); // ACT + 4×WR + PRE
+        assert!(matches!(
+            p.ops[0],
+            Op::Inst(Instruction::Act { bank: 1, row: 2 })
+        ));
+        assert!(matches!(p.ops[5], Op::Inst(Instruction::Pre { bank: 1 })));
+    }
+
+    #[test]
+    fn hammer_program_alternates_aggressors() {
+        let p = Program::hammer_double_sided(0, 7, 9, 5);
+        match &p.ops[0] {
+            Op::Loop { count, body } => {
+                assert_eq!(*count, 5);
+                assert_eq!(body.len(), 4);
+                assert!(matches!(body[0], Op::Inst(Instruction::Act { row: 7, .. })));
+                assert!(matches!(body[2], Op::Inst(Instruction::Act { row: 9, .. })));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Program::hammer_single_sided(2, 42, 10);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Program = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,240 @@
+//! Heater-pad thermal plant and PID temperature controller.
+//!
+//! §4.1: "We attach heater pads to the DRAM chips ... We use a MaxWell FT200
+//! PID temperature controller connected to the heater pads to maintain the
+//! DRAM chips under test at a preset temperature level with the precision of
+//! ±0.1 °C." The study runs RowHammer and `t_RCD` tests at 50 °C and
+//! retention tests at 80 °C.
+
+use serde::{Deserialize, Serialize};
+
+/// First-order thermal plant: DIMM + heater pads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalPlant {
+    /// Ambient temperature (°C).
+    pub ambient_c: f64,
+    /// Thermal resistance to ambient (°C/W).
+    pub resistance: f64,
+    /// Heat capacity (J/°C).
+    pub capacity: f64,
+    /// Maximum heater power (W).
+    pub max_power_w: f64,
+    /// Current temperature (°C).
+    temperature_c: f64,
+}
+
+impl Default for ThermalPlant {
+    fn default() -> Self {
+        ThermalPlant {
+            ambient_c: 25.0,
+            resistance: 2.0,
+            capacity: 40.0,
+            max_power_w: 60.0,
+            temperature_c: 25.0,
+        }
+    }
+}
+
+impl ThermalPlant {
+    /// Current plant temperature.
+    pub fn temperature_c(&self) -> f64 {
+        self.temperature_c
+    }
+
+    /// Advances the plant by `dt` seconds with the given heater power.
+    pub fn step(&mut self, power_w: f64, dt_s: f64) {
+        let power = power_w.clamp(0.0, self.max_power_w);
+        let d_t = (power - (self.temperature_c - self.ambient_c) / self.resistance) / self.capacity;
+        self.temperature_c += d_t * dt_s;
+    }
+}
+
+/// PID controller in the style of the MaxWell FT200.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidController {
+    /// Proportional gain (W/°C).
+    pub kp: f64,
+    /// Integral gain (W/(°C·s)).
+    pub ki: f64,
+    /// Derivative gain (W·s/°C).
+    pub kd: f64,
+    integral: f64,
+    last_error: f64,
+}
+
+impl Default for PidController {
+    fn default() -> Self {
+        PidController {
+            kp: 25.0,
+            ki: 2.0,
+            kd: 8.0,
+            integral: 0.0,
+            last_error: 0.0,
+        }
+    }
+}
+
+impl PidController {
+    /// One control step: returns heater power for the given error.
+    pub fn step(&mut self, error: f64, dt_s: f64) -> f64 {
+        self.integral = (self.integral + error * dt_s).clamp(-50.0, 50.0);
+        let derivative = if dt_s > 0.0 {
+            (error - self.last_error) / dt_s
+        } else {
+            0.0
+        };
+        self.last_error = error;
+        self.kp * error + self.ki * self.integral + self.kd * derivative
+    }
+
+    /// Resets the controller state.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = 0.0;
+    }
+}
+
+/// Outcome of a closed-loop settling run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SettleReport {
+    /// Target temperature (°C).
+    pub target_c: f64,
+    /// Simulated time until the temperature first entered and stayed inside
+    /// the ±0.1 °C band (s); `f64::INFINITY` if it never settled.
+    pub settle_time_s: f64,
+    /// Final temperature (°C).
+    pub final_c: f64,
+    /// Maximum overshoot above the target (°C).
+    pub overshoot_c: f64,
+}
+
+impl SettleReport {
+    /// Whether the controller holds the FT200's ±0.1 °C precision.
+    pub fn within_precision(&self) -> bool {
+        (self.final_c - self.target_c).abs() <= 0.1
+    }
+}
+
+/// Closed-loop temperature controller: PID + plant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemperatureController {
+    /// The thermal plant under control.
+    pub plant: ThermalPlant,
+    /// The PID loop.
+    pub pid: PidController,
+    /// Control period (s).
+    pub dt_s: f64,
+}
+
+impl Default for TemperatureController {
+    fn default() -> Self {
+        TemperatureController {
+            plant: ThermalPlant::default(),
+            pid: PidController::default(),
+            dt_s: 0.1,
+        }
+    }
+}
+
+impl TemperatureController {
+    /// Runs the loop until the plant settles at `target_c` (or the time
+    /// budget runs out) and reports the outcome.
+    pub fn settle_to(&mut self, target_c: f64) -> SettleReport {
+        self.pid.reset();
+        let budget_s = 1800.0;
+        let mut t = 0.0;
+        let mut overshoot: f64 = 0.0;
+        let mut inside_since: Option<f64> = None;
+        let mut settle_time = f64::INFINITY;
+        while t < budget_s {
+            let error = target_c - self.plant.temperature_c();
+            let power = self.pid.step(error, self.dt_s);
+            self.plant.step(power, self.dt_s);
+            t += self.dt_s;
+            overshoot = overshoot.max(self.plant.temperature_c() - target_c);
+            if (self.plant.temperature_c() - target_c).abs() <= 0.1 {
+                let since = *inside_since.get_or_insert(t);
+                // stable for 60 s inside the band counts as settled
+                if t - since >= 60.0 && !settle_time.is_finite() {
+                    settle_time = since;
+                }
+            } else {
+                inside_since = None;
+            }
+        }
+        SettleReport {
+            target_c,
+            settle_time_s: settle_time,
+            final_c: self.plant.temperature_c(),
+            overshoot_c: overshoot,
+        }
+    }
+
+    /// Current temperature.
+    pub fn temperature_c(&self) -> f64 {
+        self.plant.temperature_c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plant_heats_and_cools() {
+        let mut p = ThermalPlant::default();
+        for _ in 0..1000 {
+            p.step(30.0, 1.0);
+        }
+        // steady state: ambient + P·R = 25 + 60 = 85
+        assert!((p.temperature_c() - 85.0).abs() < 1.0);
+        for _ in 0..5000 {
+            p.step(0.0, 1.0);
+        }
+        assert!((p.temperature_c() - 25.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn plant_clamps_heater_power() {
+        let mut p = ThermalPlant::default();
+        for _ in 0..10_000 {
+            p.step(10_000.0, 1.0);
+        }
+        // bounded by max_power: 25 + 60·2 = 145
+        assert!(p.temperature_c() <= 145.1);
+    }
+
+    #[test]
+    fn settles_at_50c_within_precision() {
+        let mut c = TemperatureController::default();
+        let report = c.settle_to(50.0);
+        assert!(report.within_precision(), "final = {} °C", report.final_c);
+        assert!(report.settle_time_s.is_finite(), "never settled");
+    }
+
+    #[test]
+    fn settles_at_80c_within_precision() {
+        let mut c = TemperatureController::default();
+        let report = c.settle_to(80.0);
+        assert!(report.within_precision(), "final = {} °C", report.final_c);
+        assert!(report.overshoot_c < 5.0, "overshoot {}", report.overshoot_c);
+    }
+
+    #[test]
+    fn retargeting_works_downward() {
+        let mut c = TemperatureController::default();
+        c.settle_to(80.0);
+        let report = c.settle_to(50.0);
+        assert!(report.within_precision(), "final = {} °C", report.final_c);
+    }
+
+    #[test]
+    fn pid_reset_clears_state() {
+        let mut pid = PidController::default();
+        pid.step(5.0, 0.1);
+        pid.step(5.0, 0.1);
+        pid.reset();
+        assert_eq!(pid.integral, 0.0);
+        assert_eq!(pid.last_error, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+use hammervolt_spice::dram_cell::{monte_carlo_activation, ActivationSim, DramCellParams};
+use hammervolt_spice::montecarlo::MonteCarlo;
+
+fn main() {
+    let p = DramCellParams::default();
+    println!("deterministic sweep:");
+    for vpp10 in (15..=25).rev() {
+        let vpp = vpp10 as f64 / 10.0;
+        let sim = ActivationSim::new(p);
+        match sim.run(vpp) {
+            Ok(r) => println!(
+                "vpp={:.1}  trcd={:?}ns  tras={:?}ns  vrest={:.3}  ok={}",
+                vpp,
+                r.t_rcd_min.map(|t| (t * 1e10).round() / 10.0),
+                r.t_ras_min.map(|t| (t * 1e10).round() / 10.0),
+                r.v_cell_final,
+                r.sensed_correctly
+            ),
+            Err(e) => println!("vpp={vpp:.1}  ERROR {e}"),
+        }
+    }
+    println!("monte carlo (100 trials):");
+    let mc = MonteCarlo::quick(100);
+    for vpp in [2.5, 1.9, 1.8, 1.7, 1.6, 1.5] {
+        match monte_carlo_activation(&p, vpp, &mc) {
+            Ok(s) => {
+                let mean = s.t_rcd.iter().sum::<f64>() / s.t_rcd.len().max(1) as f64;
+                println!(
+                    "vpp={:.1}  mean_trcd={:.2}ns worst_trcd={:?}ns worst_tras={:?}ns failures={}/{}",
+                    vpp,
+                    mean * 1e9,
+                    s.worst_t_rcd().map(|t| (t * 1e10).round() / 10.0),
+                    s.worst_t_ras().map(|t| (t * 1e10).round() / 10.0),
+                    s.failures,
+                    s.trials
+                );
+            }
+            Err(e) => println!("vpp={vpp:.1}  ERROR {e}"),
+        }
+    }
+}

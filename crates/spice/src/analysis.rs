@@ -1,0 +1,165 @@
+//! Trace measurements: threshold crossings and settling times.
+//!
+//! These are the "`.meas`" equivalents used to extract `t_RCDmin` (time for
+//! the bitline to cross the read threshold, Fig. 8) and `t_RASmin` (time for
+//! the cell to complete charge restoration, Fig. 9) from transient traces.
+
+/// Returns the first time at which `trace` crosses `threshold` *rising*
+/// (from below to at-or-above), linearly interpolated between samples.
+///
+/// If the trace is already at or above the threshold at the first sample,
+/// that first time is returned (the condition holds from the start).
+///
+/// Returns `None` if the trace never reaches the threshold, or if
+/// `times`/`trace` lengths mismatch or are empty.
+pub fn first_rising_crossing(times: &[f64], trace: &[f64], threshold: f64) -> Option<f64> {
+    if times.len() != trace.len() || times.is_empty() {
+        return None;
+    }
+    if trace[0] >= threshold {
+        return Some(times[0]);
+    }
+    for i in 1..trace.len() {
+        if trace[i - 1] < threshold && trace[i] >= threshold {
+            let (t0, t1) = (times[i - 1], times[i]);
+            let (v0, v1) = (trace[i - 1], trace[i]);
+            if v1 == v0 {
+                return Some(t1);
+            }
+            let frac = (threshold - v0) / (v1 - v0);
+            return Some(t0 + (t1 - t0) * frac);
+        }
+    }
+    None
+}
+
+/// Returns the first time at which `trace` crosses `threshold` *falling*
+/// (from above to at-or-below). If the first sample is already at or below
+/// the threshold, the first time is returned.
+///
+/// Returns `None` if the trace never reaches the threshold.
+pub fn first_falling_crossing(times: &[f64], trace: &[f64], threshold: f64) -> Option<f64> {
+    let negated: Vec<f64> = trace.iter().map(|v| -v).collect();
+    first_rising_crossing(times, &negated, -threshold)
+}
+
+/// Final (steady-state) value of a trace: the last sample.
+///
+/// Returns `None` for an empty trace.
+pub fn final_value(trace: &[f64]) -> Option<f64> {
+    trace.last().copied()
+}
+
+/// Time at which the trace *last enters and stays within* `tolerance` of its
+/// final value — the settling time.
+///
+/// Returns `None` for empty/mismatched inputs.
+pub fn settling_time(times: &[f64], trace: &[f64], tolerance: f64) -> Option<f64> {
+    if times.len() != trace.len() || times.is_empty() {
+        return None;
+    }
+    let target = *trace.last().expect("non-empty");
+    // Walk backwards to the last sample outside the band.
+    let mut settle_idx = 0;
+    for i in (0..trace.len()).rev() {
+        if (trace[i] - target).abs() > tolerance {
+            settle_idx = i + 1;
+            break;
+        }
+    }
+    times
+        .get(settle_idx)
+        .copied()
+        .or_else(|| times.last().copied())
+}
+
+/// Maximum absolute difference between two traces over their common prefix.
+pub fn max_abs_difference(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rising_crossing_interpolates() {
+        let times = [0.0, 1.0, 2.0];
+        let trace = [0.0, 0.5, 1.0];
+        let t = first_rising_crossing(&times, &trace, 0.75).unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rising_crossing_at_start() {
+        let t = first_rising_crossing(&[0.0, 1.0], &[2.0, 3.0], 1.0).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn rising_crossing_none_when_never_crossing() {
+        assert_eq!(first_rising_crossing(&[0.0, 1.0], &[0.0, 0.5], 0.9), None);
+    }
+
+    #[test]
+    fn rising_requires_rise_not_fall() {
+        // Trace starts below the threshold and only falls: no rising crossing.
+        assert_eq!(first_rising_crossing(&[0.0, 1.0], &[0.5, 0.0], 0.7), None);
+        // Already above at t0 counts as satisfied from the start.
+        assert_eq!(
+            first_rising_crossing(&[0.0, 1.0], &[1.0, 0.0], 0.99),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let times = [0.0, 1.0, 2.0];
+        let trace = [1.0, 0.5, 0.0];
+        let t = first_falling_crossing(&times, &trace, 0.25).unwrap();
+        assert!((t - 1.5).abs() < 1e-12);
+        // Starts above the threshold and never falls to it: no crossing.
+        assert_eq!(first_falling_crossing(&times, &[1.0, 0.9, 0.8], 0.5), None);
+        // Already below at t0 counts as satisfied from the start.
+        assert_eq!(
+            first_falling_crossing(&times, &[0.0, 0.1, 0.2], 0.5),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn mismatched_inputs_yield_none() {
+        assert_eq!(first_rising_crossing(&[0.0], &[0.0, 1.0], 0.5), None);
+        assert_eq!(first_rising_crossing(&[], &[], 0.5), None);
+        assert_eq!(settling_time(&[0.0], &[], 0.1), None);
+    }
+
+    #[test]
+    fn final_value_is_last_sample() {
+        assert_eq!(final_value(&[1.0, 2.0, 3.0]), Some(3.0));
+        assert_eq!(final_value(&[]), None);
+    }
+
+    #[test]
+    fn settling_time_finds_band_entry() {
+        let times = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let trace = [0.0, 0.5, 0.9, 0.99, 1.0];
+        let t = settling_time(&times, &trace, 0.05).unwrap();
+        assert_eq!(t, 3.0); // sample at 2.0 is 0.1 away, first inside is index 3
+    }
+
+    #[test]
+    fn settling_time_immediate_for_flat_trace() {
+        let t = settling_time(&[0.0, 1.0, 2.0], &[1.0, 1.0, 1.0], 0.01).unwrap();
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn max_abs_difference_over_common_prefix() {
+        assert_eq!(max_abs_difference(&[1.0, 2.0], &[1.5, 1.0, 9.0]), 1.0);
+        assert_eq!(max_abs_difference(&[], &[1.0]), 0.0);
+    }
+}

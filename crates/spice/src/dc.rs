@@ -1,0 +1,215 @@
+//! DC operating-point analysis.
+//!
+//! Solves the circuit's steady state directly (capacitors open, sources at
+//! their `t = ∞` values) with the same Newton/MNA machinery as the transient
+//! engine. Used to cross-check transient settling — e.g. the restored cell
+//! voltage of Obsv. 10 — without integrating through time, and exposed as a
+//! `.op`-style building block for netlist experiments.
+
+use crate::error::SpiceError;
+use crate::mna::{Layout, Stamper};
+use crate::netlist::Circuit;
+
+/// Configuration for the DC solve.
+#[derive(Debug, Clone, Copy)]
+pub struct DcConfig {
+    /// Time at which source waveforms are evaluated (∞-like: after all
+    /// ramps; default 1 s).
+    pub at_time_s: f64,
+    /// Maximum Newton iterations.
+    pub max_newton: usize,
+    /// Convergence tolerance (V).
+    pub abstol: f64,
+    /// Matrix-conditioning conductance to ground (S).
+    pub gmin: f64,
+    /// Per-iteration voltage damping (V).
+    pub max_dv: f64,
+}
+
+impl Default for DcConfig {
+    fn default() -> Self {
+        DcConfig {
+            at_time_s: 1.0,
+            max_newton: 500,
+            abstol: 1e-9,
+            gmin: 1e-12,
+            max_dv: 0.1,
+        }
+    }
+}
+
+/// Solves the DC operating point; returns the node voltage vector indexed by
+/// node id (ground included as 0 V).
+///
+/// Capacitors are treated as open circuits; their initial conditions seed the
+/// Newton iteration, which matters for bistable circuits like the
+/// sense-amplifier latch (the seeded side wins, exactly as in hardware).
+///
+/// # Errors
+///
+/// Fails on a singular matrix or Newton non-convergence.
+pub fn operating_point(circuit: &Circuit, config: &DcConfig) -> Result<Vec<f64>, SpiceError> {
+    let n_nodes = circuit.node_count();
+    let layout = Layout::new(circuit);
+    let mut stamper = Stamper::new(layout);
+
+    // Seed from capacitor initial conditions and source values.
+    let mut volts = vec![0.0f64; n_nodes];
+    for cap in &circuit.capacitors {
+        if cap.b == 0 {
+            volts[cap.a] = cap.initial_volts;
+        } else if cap.a == 0 {
+            volts[cap.b] = -cap.initial_volts;
+        }
+    }
+    for src in &circuit.sources {
+        let v = src.waveform.value(config.at_time_s);
+        if src.minus == 0 {
+            volts[src.plus] = v;
+        } else if src.plus == 0 {
+            volts[src.minus] = -v;
+        }
+    }
+
+    let mut converged = false;
+    for iteration in 0..config.max_newton {
+        stamper.clear();
+        for node in 1..n_nodes {
+            stamper.conductance(node, 0, config.gmin);
+        }
+        for r in &circuit.resistors {
+            stamper.conductance(r.a, r.b, 1.0 / r.ohms);
+        }
+        // Capacitors: open at DC — no stamp.
+        for (k, s) in circuit.sources.iter().enumerate() {
+            stamper.voltage_source(k, s.plus, s.minus, s.waveform.value(config.at_time_s));
+        }
+        for m in &circuit.mosfets {
+            let op = m
+                .params
+                .evaluate(volts[m.drain], volts[m.gate], volts[m.source], m.bulk_volts);
+            let i0 = op.i_ds
+                - op.di_dvd * volts[m.drain]
+                - op.di_dvg * volts[m.gate]
+                - op.di_dvs * volts[m.source];
+            stamper.linearized_fet(
+                m.drain, m.gate, m.source, i0, op.di_dvd, op.di_dvg, op.di_dvs,
+            );
+        }
+        let mut x = stamper.rhs.clone();
+        stamper
+            .matrix
+            .clone()
+            .solve_in_place(&mut x)
+            .map_err(|_| SpiceError::SingularMatrix { time: 0.0 })?;
+        let mut max_err = 0.0f64;
+        for node in 1..n_nodes {
+            let target = x[node - 1];
+            let delta = (target - volts[node]).clamp(-config.max_dv, config.max_dv);
+            volts[node] += delta;
+            max_err = max_err.max(delta.abs());
+        }
+        if max_err < config.abstol {
+            converged = true;
+            let _ = iteration;
+            break;
+        }
+    }
+    if !converged {
+        return Err(SpiceError::NoConvergence {
+            time: 0.0,
+            iterations: config.max_newton,
+        });
+    }
+    Ok(volts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ptm;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn resistive_divider_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::Dc(2.0));
+        c.resistor("R1", a, b, 100.0);
+        c.resistor("R2", b, Circuit::GROUND, 300.0);
+        let v = operating_point(&c, &DcConfig::default()).unwrap();
+        assert!((v[a] - 2.0).abs() < 1e-6);
+        assert!((v[b] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacitors_are_open_at_dc() {
+        // A node connected only through a capacitor floats at its seed value;
+        // a resistive path dominates otherwise.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor("R1", a, b, 1_000.0);
+        c.capacitor("C1", b, Circuit::GROUND, 1e-12, 0.0);
+        let v = operating_point(&c, &DcConfig::default()).unwrap();
+        // no DC current through the cap ⇒ no drop across R1
+        assert!((v[b] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn source_follower_dc_matches_threshold_math() {
+        let mut c = Circuit::new();
+        let gate = c.node("g");
+        let drain = c.node("d");
+        let src = c.node("s");
+        c.voltage_source("Vg", gate, Circuit::GROUND, Waveform::Dc(2.0));
+        c.voltage_source("Vd", drain, Circuit::GROUND, Waveform::Dc(1.2));
+        c.mosfet("M1", drain, gate, src, 0.0, ptm::cell_access_nmos());
+        // a weak pulldown so the source has a DC path
+        c.resistor("Rl", src, Circuit::GROUND, 1e12);
+        let v = operating_point(&c, &DcConfig::default()).unwrap();
+        let dev = ptm::cell_access_nmos();
+        let expected = {
+            let mut x = 1.0;
+            for _ in 0..200 {
+                x += 0.5 * (((2.0 - dev.threshold(x)).min(1.2)) - x);
+            }
+            x
+        };
+        assert!(
+            (v[src] - expected).abs() < 0.05,
+            "source at {} V, expected ≈ {expected}",
+            v[src]
+        );
+    }
+
+    #[test]
+    fn waveforms_are_evaluated_at_late_time() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::ramp(0.0, 0.0, 1e-9, 2.5));
+        c.resistor("R1", a, Circuit::GROUND, 1_000.0);
+        let v = operating_point(&c, &DcConfig::default()).unwrap();
+        assert!((v[a] - 2.5).abs() < 1e-6, "ramp settled value");
+    }
+
+    #[test]
+    fn nonconvergence_is_reported() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, Circuit::GROUND, Waveform::Dc(1.0));
+        c.resistor("R1", a, b, 1.0);
+        let cfg = DcConfig {
+            max_newton: 1,
+            max_dv: 1e-6,
+            ..DcConfig::default()
+        };
+        assert!(matches!(
+            operating_point(&c, &cfg),
+            Err(SpiceError::NoConvergence { .. })
+        ));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for circuit construction and simulation.
+
+use std::fmt;
+
+/// Errors produced by the SPICE-class simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// A node index referenced by an element does not exist in the circuit.
+    UnknownNode {
+        /// The offending node index.
+        node: usize,
+    },
+    /// An element value is invalid (non-positive resistance/capacitance,
+    /// non-finite parameter, zero-length transistor, ...).
+    InvalidElement {
+        /// Name of the element.
+        name: String,
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The simulation configuration is invalid (non-positive timestep, empty
+    /// window, bad tolerance, ...).
+    InvalidConfig {
+        /// Description of the violated constraint.
+        reason: String,
+    },
+    /// The MNA matrix became singular during LU factorization — typically a
+    /// floating node with no DC path to ground.
+    SingularMatrix {
+        /// Simulation time at which factorization failed.
+        time: f64,
+    },
+    /// Newton–Raphson failed to converge within the iteration limit.
+    NoConvergence {
+        /// Simulation time of the failed step.
+        time: f64,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownNode { node } => write!(f, "unknown node index {node}"),
+            SpiceError::InvalidElement { name, reason } => {
+                write!(f, "invalid element `{name}`: {reason}")
+            }
+            SpiceError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SpiceError::SingularMatrix { time } => {
+                write!(f, "singular MNA matrix at t = {time:.3e} s (floating node?)")
+            }
+            SpiceError::NoConvergence { time, iterations } => write!(
+                f,
+                "Newton iteration did not converge at t = {time:.3e} s after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SpiceError::UnknownNode { node: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(SpiceError::SingularMatrix { time: 1e-9 }
+            .to_string()
+            .contains("singular"));
+        assert!(SpiceError::NoConvergence {
+            time: 0.0,
+            iterations: 100
+        }
+        .to_string()
+        .contains("100"));
+        let e = SpiceError::InvalidElement {
+            name: "R1".to_string(),
+            reason: "negative resistance".to_string(),
+        };
+        assert!(e.to_string().contains("R1"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SpiceError::InvalidConfig {
+            reason: "dt <= 0".to_string(),
+        });
+        assert!(e.to_string().contains("dt"));
+    }
+}

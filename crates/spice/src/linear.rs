@@ -1,0 +1,216 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! The MNA systems produced by the DRAM-cell netlist are tiny (≈10 unknowns),
+//! so a dense solver is both simpler and faster than sparse machinery.
+
+use crate::error::SpiceError;
+
+/// A dense square matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col]
+    }
+
+    /// Sets element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] = value;
+    }
+
+    /// Adds `value` to element `(row, col)` — the MNA "stamp" operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n && col < self.n);
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Resets all elements to zero, preserving the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Solves `A · x = b` in place via LU with partial pivoting; `self` is
+    /// consumed as workspace (overwritten with the factors).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::SingularMatrix`] (with `time = 0`; callers attach
+    /// the actual simulation time) when a pivot underflows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != n`.
+    pub fn solve_in_place(&mut self, b: &mut [f64]) -> Result<(), SpiceError> {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs length must match matrix dimension");
+        const PIVOT_EPS: f64 = 1e-30;
+        for col in 0..n {
+            // partial pivot
+            let mut pivot_row = col;
+            let mut pivot_val = self.data[col * n + col].abs();
+            for row in (col + 1)..n {
+                let v = self.data[row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < PIVOT_EPS {
+                return Err(SpiceError::SingularMatrix { time: 0.0 });
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    self.data.swap(col * n + k, pivot_row * n + k);
+                }
+                b.swap(col, pivot_row);
+            }
+            let pivot = self.data[col * n + col];
+            for row in (col + 1)..n {
+                let factor = self.data[row * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.data[row * n + col] = 0.0;
+                for k in (col + 1)..n {
+                    self.data[row * n + k] -= factor * self.data[col * n + k];
+                }
+                b[row] -= factor * b[col];
+            }
+        }
+        // back substitution
+        for row in (0..n).rev() {
+            let mut sum = b[row];
+            for k in (row + 1)..n {
+                sum -= self.data[row * n + k] * b[k];
+            }
+            b[row] = sum / self.data[row * n + row];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> Matrix {
+        let n = rows.len();
+        let mut m = Matrix::zeros(n);
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn solves_identity() {
+        let mut m = from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let mut b = vec![3.0, -4.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x + y = 5; x - y = 1  => x = 2, y = 1
+        let mut m = from_rows(&[&[2.0, 1.0], &[1.0, -1.0]]);
+        let mut b = vec![5.0, 1.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // First diagonal entry is zero; requires a row swap.
+        let mut m = from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mut b = vec![2.0, 3.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let mut m = from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut b = vec![1.0, 2.0];
+        assert!(matches!(
+            m.solve_in_place(&mut b),
+            Err(SpiceError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn solves_larger_system_against_known_solution() {
+        // Construct A with known x: b = A * x.
+        let n = 6;
+        let mut a = Matrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
+                a.set(i, j, v);
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a.get(i, j) * x_true[j];
+            }
+        }
+        a.solve_in_place(&mut b).unwrap();
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-10, "component {i}");
+        }
+    }
+
+    #[test]
+    fn stamp_accumulates() {
+        let mut m = Matrix::zeros(2);
+        m.add(0, 0, 1.5);
+        m.add(0, 0, 0.5);
+        assert_eq!(m.get(0, 0), 2.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_access_panics() {
+        Matrix::zeros(2).get(2, 0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Level-1 (Shichman–Hodges) MOSFET model with body effect and
+//! channel-length modulation.
+//!
+//! The paper uses the 22 nm PTM transistor model in LTspice. A full BSIM-class
+//! model is neither practical nor necessary here: the behaviours that matter
+//! for the study — threshold-limited charge restoration (Obsv. 10), weaker
+//! channels at lower gate drive (Obsvs. 8–11), and sense-amp regeneration —
+//! are all first-order effects captured by the level-1 equations:
+//!
+//! ```text
+//! V_T   = VT0 + γ(√(φ + V_SB) − √φ)
+//! I_D   = 0                                           (V_GS ≤ V_T)
+//! I_D   = K'(W/L)[(V_GS−V_T)V_DS − V_DS²/2](1+λV_DS)  (triode)
+//! I_D   = K'/2 (W/L)(V_GS−V_T)²(1+λV_DS)              (saturation)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Polarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Level-1 model card. All values refer to the *equivalent NMOS* convention;
+/// PMOS devices use the same magnitudes with polarity handled by the
+/// evaluator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Level1Params {
+    /// Zero-bias threshold voltage (V), positive for both polarities.
+    pub vt0: f64,
+    /// Process transconductance `K' = µ·C_ox` (A/V²).
+    pub kp: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Body-effect coefficient γ (√V).
+    pub gamma: f64,
+    /// Surface potential 2φ_F (V).
+    pub phi: f64,
+}
+
+/// A sized transistor instance: model card, polarity, and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosfetParams {
+    /// Model card.
+    pub model: Level1Params,
+    /// Polarity.
+    pub polarity: Polarity,
+    /// Channel width (m).
+    pub width: f64,
+    /// Channel length (m).
+    pub length: f64,
+}
+
+/// Linearized operating point at a bias, for Newton stamping.
+///
+/// `i_ds` is the current flowing *into the drain terminal and out of the
+/// source terminal* as wired in the netlist (for a conducting PMOS this is
+/// negative). The three partials are taken with respect to the absolute
+/// terminal voltages, so the Jacobian stamp is polarity- and
+/// orientation-agnostic:
+///
+/// `ΔI ≈ di_dvd·Δv_d + di_dvg·Δv_g + di_dvs·Δv_s`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Drain-terminal current (A).
+    pub i_ds: f64,
+    /// ∂I/∂V_drain (S).
+    pub di_dvd: f64,
+    /// ∂I/∂V_gate (S).
+    pub di_dvg: f64,
+    /// ∂I/∂V_source (S).
+    pub di_dvs: f64,
+}
+
+impl MosfetParams {
+    /// Width-over-length ratio.
+    pub fn w_over_l(&self) -> f64 {
+        self.width / self.length
+    }
+
+    /// Evaluates the device given absolute terminal voltages. The bulk is an
+    /// implicit rail at voltage `bulk` (typically 0 V for NMOS, V_DD for
+    /// PMOS), not a circuit node.
+    pub fn evaluate(&self, vd: f64, vg: f64, vs: f64, bulk: f64) -> OperatingPoint {
+        match self.polarity {
+            Polarity::Nmos => self.evaluate_nmos(vd, vg, vs, bulk),
+            Polarity::Pmos => {
+                // Mirror into the NMOS frame: I_p(vd,vg,vs) = -I_n(-vd,-vg,-vs).
+                // Chain rule: ∂I_p/∂v_x = -∂I_n/∂u_x · (-1) = ∂I_n/∂u_x.
+                let n = self.evaluate_nmos(-vd, -vg, -vs, -bulk);
+                OperatingPoint {
+                    i_ds: -n.i_ds,
+                    di_dvd: n.di_dvd,
+                    di_dvg: n.di_dvg,
+                    di_dvs: n.di_dvs,
+                }
+            }
+        }
+    }
+
+    fn evaluate_nmos(&self, vd: f64, vg: f64, vs: f64, bulk: f64) -> OperatingPoint {
+        // Source/drain are physically symmetric; treat the lower-potential
+        // terminal as the effective source and map the partials back.
+        if vd < vs {
+            let sw = self.evaluate_nmos(vs, vg, vd, bulk);
+            // I(vd,vg,vs) = -I_sw(vs,vg,vd):
+            return OperatingPoint {
+                i_ds: -sw.i_ds,
+                di_dvd: -sw.di_dvs,
+                di_dvg: -sw.di_dvg,
+                di_dvs: -sw.di_dvd,
+            };
+        }
+        let m = &self.model;
+        // Smooth max(0, vsb): a hard clamp has a derivative kink at vsb = 0
+        // that breaks Newton's quadratic convergence and the analytic
+        // Jacobian; the softplus-style form keeps C¹ continuity.
+        let vsb_raw = vs - bulk;
+        const EPS: f64 = 1e-3;
+        let vsb = 0.5 * (vsb_raw + (vsb_raw * vsb_raw + EPS * EPS).sqrt());
+        let dvsb_dvs = 0.5 * (1.0 + vsb_raw / (vsb_raw * vsb_raw + EPS * EPS).sqrt());
+        let vt = m.vt0 + m.gamma * ((m.phi + vsb).sqrt() - m.phi.sqrt());
+        let vgs = vg - vs;
+        let vds = vd - vs;
+        let vov = vgs - vt;
+        let beta = m.kp * self.w_over_l();
+
+        // (i, gm, gds) in the canonical frame where gm = ∂I/∂V_GS, gds = ∂I/∂V_DS.
+        let (i, gm, gds) = if vov <= 0.0 {
+            // Cutoff: a small ohmic leak keeps the Jacobian non-singular and
+            // approximates subthreshold conduction.
+            let g_leak = 1e-12;
+            (g_leak * vds, 0.0, g_leak)
+        } else if vds < vov {
+            // Triode
+            let clm = 1.0 + m.lambda * vds;
+            let i = beta * (vov * vds - 0.5 * vds * vds) * clm;
+            let gm = beta * vds * clm;
+            let gds = beta * ((vov - vds) * clm + (vov * vds - 0.5 * vds * vds) * m.lambda);
+            (i, gm, gds)
+        } else {
+            // Saturation
+            let clm = 1.0 + m.lambda * vds;
+            let i = 0.5 * beta * vov * vov * clm;
+            let gm = beta * vov * clm;
+            let gds = 0.5 * beta * vov * vov * m.lambda;
+            (i, gm, gds)
+        };
+
+        // Absolute-voltage partials. The threshold's V_S dependence (body
+        // effect) also feeds ∂I/∂V_S through dVt/dVs.
+        let dvt_dvs = 0.5 * m.gamma / (m.phi + vsb).sqrt() * dvsb_dvs;
+        OperatingPoint {
+            i_ds: i,
+            di_dvd: gds,
+            di_dvg: gm,
+            di_dvs: -(gm + gds) - gm * dvt_dvs,
+        }
+    }
+
+    /// Effective threshold voltage at a given source-to-bulk bias.
+    pub fn threshold(&self, vsb: f64) -> f64 {
+        let m = &self.model;
+        m.vt0 + m.gamma * ((m.phi + vsb.max(0.0)).sqrt() - m.phi.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosfetParams {
+        MosfetParams {
+            model: Level1Params {
+                vt0: 0.5,
+                kp: 4e-4,
+                lambda: 0.05,
+                gamma: 0.4,
+                phi: 0.8,
+            },
+            polarity: Polarity::Nmos,
+            width: 1e-6,
+            length: 1e-7,
+        }
+    }
+
+    #[test]
+    fn cutoff_carries_only_leakage() {
+        let op = nmos().evaluate(1.0, 0.2, 0.0, 0.0);
+        assert!(op.i_ds.abs() < 1e-9);
+        assert_eq!(op.di_dvg, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_is_quadratic_in_overdrive() {
+        let d = nmos();
+        let i1 = d.evaluate(2.0, 1.0, 0.0, 0.0).i_ds;
+        let i2 = d.evaluate(2.0, 1.5, 0.0, 0.0).i_ds;
+        // overdrive 0.5 vs 1.0 → roughly 4x (modulo lambda)
+        let ratio = i2 / i1;
+        assert!(ratio > 3.5 && ratio < 4.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn triode_current_grows_with_vds() {
+        let d = nmos();
+        let i1 = d.evaluate(0.1, 1.5, 0.0, 0.0).i_ds;
+        let i2 = d.evaluate(0.3, 1.5, 0.0, 0.0).i_ds;
+        assert!(i2 > i1 && i1 > 0.0);
+    }
+
+    #[test]
+    fn current_is_continuous_at_saturation_boundary() {
+        let d = nmos();
+        let vov = 1.0 - d.model.vt0; // vg = 1.0, vs = 0
+        let below = d.evaluate(vov - 1e-6, 1.0, 0.0, 0.0).i_ds;
+        let above = d.evaluate(vov + 1e-6, 1.0, 0.0, 0.0).i_ds;
+        assert!((below - above).abs() / above < 1e-3);
+    }
+
+    #[test]
+    fn source_drain_swap_mirrors_current() {
+        let d = nmos();
+        let fwd = d.evaluate(1.0, 1.5, 0.0, 0.0).i_ds;
+        let rev = d.evaluate(0.0, 1.5, 1.0, 0.0).i_ds;
+        assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1.0));
+        assert!(fwd > 0.0 && rev < 0.0);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let d = nmos();
+        assert!(d.threshold(1.0) > d.threshold(0.0));
+        assert_eq!(d.threshold(0.0), d.model.vt0);
+        // negative vsb clamped
+        assert_eq!(d.threshold(-0.5), d.model.vt0);
+    }
+
+    #[test]
+    fn body_effect_reduces_current() {
+        let d = nmos();
+        // Same vgs/vds but source lifted above bulk → larger vsb → less current.
+        let bulk_at_source = d.evaluate(1.5, 1.5, 0.5, 0.5).i_ds;
+        let bulk_grounded = d.evaluate(1.5, 1.5, 0.5, 0.0).i_ds;
+        assert!(bulk_grounded < bulk_at_source);
+    }
+
+    #[test]
+    fn pmos_conducts_with_negative_vgs() {
+        let mut d = nmos();
+        d.polarity = Polarity::Pmos;
+        // Source at 1.2 V, gate at 0 → V_GS = −1.2 → conducts source→drain,
+        // i.e. current flows *out of* the drain terminal.
+        let op = d.evaluate(0.0, 0.0, 1.2, 1.2);
+        assert!(
+            op.i_ds < 0.0,
+            "expected negative drain current, got {}",
+            op.i_ds
+        );
+        // Gate at source potential → off.
+        let off = d.evaluate(0.0, 1.2, 1.2, 1.2);
+        assert!(off.i_ds.abs() < 1e-9);
+    }
+
+    fn check_partials(d: &MosfetParams, vd: f64, vg: f64, vs: f64, bulk: f64) {
+        let h = 1e-7;
+        let base = d.evaluate(vd, vg, vs, bulk);
+        let nd = (d.evaluate(vd + h, vg, vs, bulk).i_ds - base.i_ds) / h;
+        let ng = (d.evaluate(vd, vg + h, vs, bulk).i_ds - base.i_ds) / h;
+        let ns = (d.evaluate(vd, vg, vs + h, bulk).i_ds - base.i_ds) / h;
+        let scale = base.i_ds.abs().max(1e-6);
+        assert!(
+            (base.di_dvd - nd).abs() / scale.max(nd.abs()) < 1e-2,
+            "di_dvd {} vs numeric {} at ({vd},{vg},{vs})",
+            base.di_dvd,
+            nd
+        );
+        assert!(
+            (base.di_dvg - ng).abs() / scale.max(ng.abs()) < 1e-2,
+            "di_dvg {} vs numeric {} at ({vd},{vg},{vs})",
+            base.di_dvg,
+            ng
+        );
+        assert!(
+            (base.di_dvs - ns).abs() / scale.max(ns.abs()) < 1e-2,
+            "di_dvs {} vs numeric {} at ({vd},{vg},{vs})",
+            base.di_dvs,
+            ns
+        );
+    }
+
+    #[test]
+    fn partials_match_numerical_derivatives_in_all_regions() {
+        let d = nmos();
+        check_partials(&d, 2.0, 1.2, 0.0, 0.0); // saturation
+        check_partials(&d, 0.3, 1.5, 0.0, 0.0); // triode
+        check_partials(&d, 1.5, 1.5, 0.5, 0.0); // with body effect
+        check_partials(&d, 0.0, 1.5, 1.0, 0.0); // swapped source/drain
+    }
+
+    #[test]
+    fn pmos_partials_match_numerical_derivatives() {
+        let mut d = nmos();
+        d.polarity = Polarity::Pmos;
+        check_partials(&d, 0.0, 0.0, 1.2, 1.2); // conducting
+        check_partials(&d, 0.6, 0.2, 1.2, 1.2); // triode-ish
+    }
+}

@@ -1,0 +1,150 @@
+//! PTM-like 22 nm model cards.
+//!
+//! The paper runs LTspice with the 22 nm Predictive Technology Model
+//! [139, 140] scaled per the ITRS roadmap. The PTM distribution is a BSIM4
+//! card; for the level-1 evaluator in [`crate::mosfet`] we use first-order
+//! equivalent parameters chosen to match the PTM 22 nm HP device's headline
+//! figures (V_TH ≈ 0.5 V, on-current in the hundreds of µA/µm at V_DD = 0.8–1 V)
+//! while keeping the threshold/body-effect behaviour that drives the paper's
+//! Obsv. 10 saturation effect.
+
+use crate::mosfet::{Level1Params, MosfetParams, Polarity};
+
+/// Nominal DRAM array supply voltage used throughout the study (V).
+pub const VDD: f64 = 1.2;
+
+/// Nominal wordline voltage (V).
+pub const VPP_NOMINAL: f64 = 2.5;
+
+/// Level-1 card approximating the PTM 22 nm NMOS device.
+pub fn nmos_22nm() -> Level1Params {
+    Level1Params {
+        vt0: 0.503,
+        kp: 3.4e-4,
+        lambda: 0.06,
+        gamma: 0.45,
+        phi: 0.85,
+    }
+}
+
+/// Level-1 card approximating the PTM 22 nm PMOS device.
+pub fn pmos_22nm() -> Level1Params {
+    Level1Params {
+        vt0: 0.461,
+        kp: 1.7e-4,
+        lambda: 0.08,
+        gamma: 0.40,
+        phi: 0.85,
+    }
+}
+
+/// Cell access transistor: W = 55 nm, L = 85 nm (paper Table 2). The long
+/// channel and strong body effect of the buried access device make its
+/// threshold the dominant term in the restoration saturation of Obsv. 10.
+pub fn cell_access_nmos() -> MosfetParams {
+    MosfetParams {
+        model: Level1Params {
+            // Access devices are engineered for low leakage: higher VT0 and
+            // stronger body sensitivity than logic transistors. γ is chosen so
+            // the restored-voltage knee sits at V_PP = 2.0 V with the Obsv. 10
+            // saturation levels below it (−4 %/−11 %/−18 % at 1.9/1.8/1.7 V).
+            vt0: 0.55,
+            kp: 1.2e-4,
+            lambda: 0.02,
+            gamma: 0.392,
+            phi: 0.85,
+        },
+        polarity: Polarity::Nmos,
+        width: 55e-9,
+        length: 85e-9,
+    }
+}
+
+/// Sense-amplifier NMOS: W = 1.3 µm, L = 0.1 µm (paper Table 2).
+///
+/// The model card's `kp` is derated relative to the logic device: one sense
+/// amplifier serves a whole bitline pair shared by hundreds of cells, and the
+/// lumped netlist hides the distributed bitline RC its drive fights through.
+/// The derating sets the latch regeneration time constant to a few
+/// nanoseconds, which is what makes the activation latency sensitive to the
+/// charge-sharing differential — the effect behind Fig. 8's V_PP dependence.
+pub fn sense_amp_nmos() -> MosfetParams {
+    MosfetParams {
+        model: Level1Params {
+            kp: 1.5e-5,
+            ..nmos_22nm()
+        },
+        polarity: Polarity::Nmos,
+        width: 1.3e-6,
+        length: 0.1e-6,
+    }
+}
+
+/// Sense-amplifier PMOS: W = 0.9 µm, L = 0.1 µm (paper Table 2), with the
+/// same drive derating as [`sense_amp_nmos`].
+pub fn sense_amp_pmos() -> MosfetParams {
+    MosfetParams {
+        model: Level1Params {
+            kp: 0.75e-5,
+            ..pmos_22nm()
+        },
+        polarity: Polarity::Pmos,
+        width: 0.9e-6,
+        length: 0.1e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_values_are_physical() {
+        for card in [nmos_22nm(), pmos_22nm()] {
+            assert!(card.vt0 > 0.0 && card.vt0 < 1.0);
+            assert!(card.kp > 0.0);
+            assert!(card.lambda >= 0.0);
+            assert!(card.gamma >= 0.0);
+            assert!(card.phi > 0.0);
+        }
+    }
+
+    #[test]
+    fn table2_geometries() {
+        let acc = cell_access_nmos();
+        assert!((acc.width - 55e-9).abs() < 1e-12);
+        assert!((acc.length - 85e-9).abs() < 1e-12);
+        let n = sense_amp_nmos();
+        assert!((n.width - 1.3e-6).abs() < 1e-12);
+        let p = sense_amp_pmos();
+        assert!((p.width - 0.9e-6).abs() < 1e-12);
+        assert_eq!(p.polarity, Polarity::Pmos);
+    }
+
+    #[test]
+    fn access_transistor_saturates_restoration_below_vdd() {
+        // At V_PP = 1.7 V the access device must stop conducting well below
+        // V_DD: V_PP − V_T(V_SB≈1) should land near 0.95–1.0 V (Obsv. 10).
+        let acc = cell_access_nmos();
+        let vpp = 1.7;
+        // Self-consistent saturation: find v where vpp − v = V_T(vsb = v).
+        let mut v = 1.0;
+        for _ in 0..50 {
+            v = vpp - acc.threshold(v);
+        }
+        assert!(v > 0.9 && v < 1.1, "saturation voltage {v}");
+        // And at nominal V_PP the device reaches full V_DD.
+        let mut v_nom = 1.0;
+        for _ in 0..50 {
+            v_nom = (VPP_NOMINAL - acc.threshold(v_nom)).min(VDD);
+        }
+        assert!((v_nom - VDD).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sense_amp_devices_are_much_stronger_than_access_device() {
+        let acc = cell_access_nmos();
+        let sa = sense_amp_nmos();
+        assert!(sa.w_over_l() > 10.0 * acc.w_over_l());
+    }
+}

@@ -1,0 +1,440 @@
+//! Transient analysis: backward-Euler integration with Newton–Raphson.
+//!
+//! Capacitors use backward-Euler companion models (`g_eq = C/Δt` in parallel
+//! with a history current source), which is L-stable — the right choice for
+//! the stiff, strongly-regenerative sense-amplifier latch in the DRAM cell
+//! netlist. Nonlinear devices (MOSFETs) are re-linearized every Newton
+//! iteration; iteration continues until the solution is stationary within
+//! `abstol + reltol·|v|`, with per-iteration voltage damping for robustness.
+
+use crate::error::SpiceError;
+use crate::mna::{Layout, Stamper};
+use crate::netlist::{Circuit, NodeId};
+
+/// Transient analysis configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TransientConfig {
+    /// Stop time in seconds.
+    pub t_stop: f64,
+    /// Fixed timestep in seconds.
+    pub dt: f64,
+    /// Maximum Newton iterations per timestep.
+    pub max_newton: usize,
+    /// Absolute voltage convergence tolerance (V).
+    pub abstol: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Minimum conductance from every node to ground (S), for matrix
+    /// conditioning.
+    pub gmin: f64,
+    /// Per-Newton-iteration voltage change clamp (V); damping for strongly
+    /// regenerative circuits.
+    pub max_dv: f64,
+    /// Record every `record_stride`-th step (1 = every step). The initial
+    /// point and the final step are always recorded.
+    pub record_stride: usize,
+}
+
+impl Default for TransientConfig {
+    fn default() -> Self {
+        TransientConfig {
+            t_stop: 1e-9,
+            dt: 1e-12,
+            max_newton: 100,
+            abstol: 1e-6,
+            reltol: 1e-4,
+            gmin: 1e-12,
+            max_dv: 0.5,
+            record_stride: 1,
+        }
+    }
+}
+
+/// Result of a transient run: time points and per-node voltage traces.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    /// traces[node][sample]
+    traces: Vec<Vec<f64>>,
+    newton_iterations: usize,
+}
+
+impl TransientResult {
+    /// Recorded time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage trace of a node, if it exists. Ground's trace is all zeros.
+    pub fn trace(&self, node: NodeId) -> Option<&[f64]> {
+        self.traces.get(node).map(Vec::as_slice)
+    }
+
+    /// Total Newton iterations spent across the run.
+    pub fn newton_iterations(&self) -> usize {
+        self.newton_iterations
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// A configured transient analysis over a circuit.
+#[derive(Debug)]
+pub struct Transient<'c> {
+    circuit: &'c Circuit,
+    config: TransientConfig,
+    layout: Layout,
+}
+
+impl<'c> Transient<'c> {
+    /// Prepares a transient analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the configuration is invalid or an element references a node
+    /// outside the circuit.
+    pub fn new(circuit: &'c Circuit, config: TransientConfig) -> Result<Self, SpiceError> {
+        if !(config.dt > 0.0 && config.dt.is_finite()) {
+            return Err(SpiceError::InvalidConfig {
+                reason: format!("dt must be positive, got {}", config.dt),
+            });
+        }
+        if !(config.t_stop > 0.0 && config.t_stop.is_finite()) {
+            return Err(SpiceError::InvalidConfig {
+                reason: format!("t_stop must be positive, got {}", config.t_stop),
+            });
+        }
+        if config.max_newton == 0 || config.record_stride == 0 {
+            return Err(SpiceError::InvalidConfig {
+                reason: "max_newton and record_stride must be at least 1".to_string(),
+            });
+        }
+        if let Some(max) = circuit.max_referenced_node() {
+            if max >= circuit.node_count() {
+                return Err(SpiceError::UnknownNode { node: max });
+            }
+        }
+        Ok(Transient {
+            circuit,
+            config,
+            layout: Layout::new(circuit),
+        })
+    }
+
+    /// Runs the analysis.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a singular MNA matrix (floating node) or Newton
+    /// non-convergence.
+    pub fn run(&self) -> Result<TransientResult, SpiceError> {
+        let c = self.circuit;
+        let cfg = &self.config;
+        let n_nodes = c.node_count();
+        let mut stamper = Stamper::new(self.layout.clone());
+
+        // Initial node voltages (UIC semantics): capacitor initial conditions
+        // pin their non-ground terminal; sources pin their terminals at t=0.
+        let mut volts = vec![0.0f64; n_nodes];
+        for cap in &c.capacitors {
+            if cap.b == 0 {
+                volts[cap.a] = cap.initial_volts;
+            } else if cap.a == 0 {
+                volts[cap.b] = -cap.initial_volts;
+            }
+        }
+        for src in &c.sources {
+            let v = src.waveform.value(0.0);
+            if src.minus == 0 {
+                volts[src.plus] = v;
+            } else if src.plus == 0 {
+                volts[src.minus] = -v;
+            }
+        }
+
+        let steps = (cfg.t_stop / cfg.dt).ceil() as usize;
+        let mut times = Vec::with_capacity(steps / cfg.record_stride + 2);
+        let mut traces: Vec<Vec<f64>> = vec![Vec::with_capacity(times.capacity()); n_nodes];
+        let record = |t: f64, v: &[f64], times: &mut Vec<f64>, traces: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            for (node, trace) in traces.iter_mut().enumerate() {
+                trace.push(v[node]);
+            }
+        };
+        record(0.0, &volts, &mut times, &mut traces);
+
+        let mut newton_total = 0usize;
+
+        for step in 1..=steps {
+            let t = (step as f64) * cfg.dt;
+            // Newton iteration: candidate starts from the previous timestep.
+            let mut candidate: Vec<f64> = volts.clone();
+            let mut converged = false;
+            for _iter in 0..cfg.max_newton {
+                newton_total += 1;
+                stamper.clear();
+                // gmin conditioning
+                for node in 1..n_nodes {
+                    stamper.conductance(node, 0, cfg.gmin);
+                }
+                // Resistors
+                for r in &c.resistors {
+                    stamper.conductance(r.a, r.b, 1.0 / r.ohms);
+                }
+                // Capacitors (backward-Euler companion w.r.t. previous step)
+                for cap in &c.capacitors {
+                    let geq = cap.farads / cfg.dt;
+                    let v_hist = volts[cap.a] - volts[cap.b];
+                    stamper.conductance(cap.a, cap.b, geq);
+                    // history source pushes current from b to a: i = geq·v_hist
+                    stamper.current_source(cap.b, cap.a, geq * v_hist);
+                }
+                // Voltage sources
+                for (k, s) in c.sources.iter().enumerate() {
+                    stamper.voltage_source(k, s.plus, s.minus, s.waveform.value(t));
+                }
+                // MOSFETs, linearized about the candidate
+                for m in &c.mosfets {
+                    let vd = candidate[m.drain];
+                    let vg = candidate[m.gate];
+                    let vs = candidate[m.source];
+                    let op = m.params.evaluate(vd, vg, vs, m.bulk_volts);
+                    let i0 = op.i_ds - op.di_dvd * vd - op.di_dvg * vg - op.di_dvs * vs;
+                    stamper.linearized_fet(
+                        m.drain, m.gate, m.source, i0, op.di_dvd, op.di_dvg, op.di_dvs,
+                    );
+                }
+
+                let mut x = stamper.rhs.clone();
+                stamper
+                    .matrix
+                    .clone()
+                    .solve_in_place(&mut x)
+                    .map_err(|e| match e {
+                        SpiceError::SingularMatrix { .. } => SpiceError::SingularMatrix { time: t },
+                        other => other,
+                    })?;
+
+                // Extract node voltages, damp, and check convergence.
+                let mut max_err = 0.0f64;
+                for node in 1..n_nodes {
+                    let idx = node - 1;
+                    let target = x[idx];
+                    let old = candidate[node];
+                    let delta = (target - old).clamp(-cfg.max_dv, cfg.max_dv);
+                    let new = old + delta;
+                    let err = (new - old).abs();
+                    let tol = cfg.abstol + cfg.reltol * new.abs();
+                    if err > tol {
+                        max_err = max_err.max(err - tol);
+                    }
+                    candidate[node] = new;
+                }
+                if max_err == 0.0 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::NoConvergence {
+                    time: t,
+                    iterations: cfg.max_newton,
+                });
+            }
+            volts.copy_from_slice(&candidate);
+            if step % cfg.record_stride == 0 || step == steps {
+                record(t, &volts, &mut times, &mut traces);
+            }
+        }
+
+        Ok(TransientResult {
+            times,
+            traces,
+            newton_iterations: newton_total,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+    use crate::ptm;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        // 1 kΩ / 1 nF: τ = 1 µs. After 1 τ the output is 1 − e⁻¹ ≈ 0.632.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.voltage_source("V1", vin, 0, Waveform::Dc(1.0));
+        c.resistor("R1", vin, vout, 1000.0);
+        c.capacitor("C1", vout, 0, 1e-9, 0.0);
+        let cfg = TransientConfig {
+            t_stop: 1e-6,
+            dt: 1e-9,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let v_end = *res.trace(vout).unwrap().last().unwrap();
+        assert!((v_end - 0.632).abs() < 0.01, "v_end = {v_end}");
+    }
+
+    #[test]
+    fn rc_discharge_from_initial_condition() {
+        let mut c = Circuit::new();
+        let vout = c.node("out");
+        c.resistor("R1", vout, 0, 1000.0);
+        c.capacitor("C1", vout, 0, 1e-9, 1.0);
+        let cfg = TransientConfig {
+            t_stop: 1e-6,
+            dt: 1e-9,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let v_end = *res.trace(vout).unwrap().last().unwrap();
+        assert!((v_end - (-1.0f64).exp()).abs() < 0.01, "v_end = {v_end}");
+        // initial sample carries the initial condition
+        assert!((res.trace(vout).unwrap()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divider_reaches_dc_solution() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.voltage_source("V1", a, 0, Waveform::Dc(2.0));
+        c.resistor("R1", a, b, 100.0);
+        c.resistor("R2", b, 0, 300.0);
+        // small parasitic cap so the node is dynamic
+        c.capacitor("Cp", b, 0, 1e-15, 0.0);
+        let cfg = TransientConfig {
+            t_stop: 1e-9,
+            dt: 1e-12,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let v_end = *res.trace(b).unwrap().last().unwrap();
+        assert!((v_end - 1.5).abs() < 1e-3, "v_end = {v_end}");
+    }
+
+    #[test]
+    fn nmos_source_follower_settles_below_gate_by_vt() {
+        // Gate driven to 2.0 V, drain at 1.2 V; source loaded by a capacitor.
+        // The source charges until V_GS ≈ V_T (with body effect).
+        let mut c = Circuit::new();
+        let gate = c.node("g");
+        let drain = c.node("d");
+        let src = c.node("s");
+        c.voltage_source("Vg", gate, 0, Waveform::Dc(2.0));
+        c.voltage_source("Vd", drain, 0, Waveform::Dc(1.2));
+        c.mosfet("M1", drain, gate, src, 0.0, ptm::cell_access_nmos());
+        c.capacitor("Cl", src, 0, 16.8e-15, 0.0);
+        let cfg = TransientConfig {
+            t_stop: 100e-9,
+            dt: 10e-12,
+            record_stride: 10,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let v_end = *res.trace(src).unwrap().last().unwrap();
+        let dev = ptm::cell_access_nmos();
+        let expected = {
+            // self-consistent V_S where 2.0 − V_S = V_T(V_S)
+            let mut v = 1.0;
+            for _ in 0..60 {
+                v = (2.0 - dev.threshold(v)).min(1.2);
+            }
+            v
+        };
+        assert!(
+            (v_end - expected).abs() < 0.08,
+            "source settled at {v_end}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn pwl_source_is_tracked() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, 0, Waveform::ramp(0.0, 0.0, 1e-9, 1.0));
+        c.resistor("R1", a, 0, 1000.0);
+        let cfg = TransientConfig {
+            t_stop: 2e-9,
+            dt: 1e-12,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let trace = res.trace(a).unwrap();
+        let times = res.times();
+        // halfway through the ramp the node should read ~0.5 V
+        let mid = times.iter().position(|&t| t >= 0.5e-9).unwrap();
+        assert!((trace[mid] - 0.5).abs() < 0.01);
+        assert!((trace.last().unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let c = Circuit::new();
+        let bad_dt = TransientConfig {
+            dt: 0.0,
+            ..TransientConfig::default()
+        };
+        assert!(Transient::new(&c, bad_dt).is_err());
+        let bad_stop = TransientConfig {
+            t_stop: -1.0,
+            ..TransientConfig::default()
+        };
+        assert!(Transient::new(&c, bad_stop).is_err());
+        let bad_newton = TransientConfig {
+            max_newton: 0,
+            ..TransientConfig::default()
+        };
+        assert!(Transient::new(&c, bad_newton).is_err());
+    }
+
+    #[test]
+    fn floating_node_reports_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.resistor("R1", a, b, 1000.0);
+        // no path to ground anywhere, and gmin=0 to force singularity
+        let cfg = TransientConfig {
+            gmin: 0.0,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run();
+        assert!(matches!(res, Err(SpiceError::SingularMatrix { .. })));
+    }
+
+    #[test]
+    fn record_stride_thins_output() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.voltage_source("V1", a, 0, Waveform::Dc(1.0));
+        c.resistor("R1", a, 0, 1.0);
+        let dense = TransientConfig {
+            t_stop: 1e-9,
+            dt: 1e-12,
+            ..TransientConfig::default()
+        };
+        let sparse = TransientConfig {
+            record_stride: 100,
+            ..dense
+        };
+        let dense_len = Transient::new(&c, dense).unwrap().run().unwrap().len();
+        let sparse_len = Transient::new(&c, sparse).unwrap().run().unwrap().len();
+        assert!(sparse_len < dense_len / 10);
+        assert!(sparse_len >= 11);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the circuit simulator.
+
+use hammervolt_spice::linear::Matrix;
+use hammervolt_spice::mosfet::{Level1Params, MosfetParams, Polarity};
+use hammervolt_spice::netlist::Circuit;
+use hammervolt_spice::transient::{Transient, TransientConfig};
+use hammervolt_spice::waveform::Waveform;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(
+        n in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Build a strictly diagonally dominant matrix (always nonsingular)
+        // and a known solution; verify the residual.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut a = Matrix::zeros(n);
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next() * 2.0 - 1.0;
+                    a.set(i, j, v);
+                    row_sum += v.abs();
+                }
+            }
+            a.set(i, i, row_sum + 1.0 + next());
+        }
+        let x_true: Vec<f64> = (0..n).map(|_| next() * 10.0 - 5.0).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a.get(i, j) * x_true[j];
+            }
+        }
+        a.solve_in_place(&mut b).unwrap();
+        for i in 0..n {
+            prop_assert!((b[i] - x_true[i]).abs() < 1e-8, "component {}", i);
+        }
+    }
+
+    #[test]
+    fn mosfet_partials_match_numerics(
+        vd in 0.0..2.5f64,
+        vg in 0.0..2.5f64,
+        vs in 0.0..2.5f64,
+        pmos in any::<bool>(),
+    ) {
+        let d = MosfetParams {
+            model: Level1Params {
+                vt0: 0.5,
+                kp: 3e-4,
+                lambda: 0.06,
+                gamma: 0.4,
+                phi: 0.85,
+            },
+            polarity: if pmos { Polarity::Pmos } else { Polarity::Nmos },
+            width: 1e-6,
+            length: 1e-7,
+        };
+        let bulk = if pmos { 2.5 } else { 0.0 };
+        let h = 1e-6;
+        let base = d.evaluate(vd, vg, vs, bulk);
+        prop_assert!(base.i_ds.is_finite());
+        let nd = (d.evaluate(vd + h, vg, vs, bulk).i_ds - base.i_ds) / h;
+        let ng = (d.evaluate(vd, vg + h, vs, bulk).i_ds - base.i_ds) / h;
+        let ns = (d.evaluate(vd, vg, vs + h, bulk).i_ds - base.i_ds) / h;
+        let tol = 1e-4 + 0.03 * base.i_ds.abs().max(1e-5);
+        prop_assert!((base.di_dvd - nd).abs() < tol.max(0.03 * nd.abs()), "dvd {} vs {}", base.di_dvd, nd);
+        prop_assert!((base.di_dvg - ng).abs() < tol.max(0.03 * ng.abs()), "dvg {} vs {}", base.di_dvg, ng);
+        prop_assert!((base.di_dvs - ns).abs() < tol.max(0.03 * ns.abs()), "dvs {} vs {}", base.di_dvs, ns);
+    }
+
+    #[test]
+    fn rc_settles_to_source_voltage(v in 0.1..3.0f64, r in 100.0..10_000.0f64) {
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let vout = c.node("out");
+        c.voltage_source("V1", vin, Circuit::GROUND, Waveform::Dc(v));
+        c.resistor("R1", vin, vout, r);
+        c.capacitor("C1", vout, Circuit::GROUND, 1e-12, 0.0);
+        // run for 20 time constants
+        let tau = r * 1e-12;
+        let cfg = TransientConfig {
+            t_stop: 20.0 * tau,
+            dt: tau / 50.0,
+            record_stride: 100,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let v_end = *res.trace(vout).unwrap().last().unwrap();
+        prop_assert!((v_end - v).abs() < 0.01 * v, "settled to {} expected {}", v_end, v);
+    }
+
+    #[test]
+    fn charge_is_conserved_in_isolated_capacitor_pair(v0 in 0.2..2.0f64) {
+        // Two capacitors joined by a resistor, no sources: final voltage is
+        // the charge-weighted average.
+        let c1 = 2e-12;
+        let c2 = 1e-12;
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.capacitor("C1", a, Circuit::GROUND, c1, v0);
+        c.capacitor("C2", b, Circuit::GROUND, c2, 0.0);
+        c.resistor("R1", a, b, 1_000.0);
+        let cfg = TransientConfig {
+            t_stop: 200e-9,
+            dt: 20e-12,
+            record_stride: 100,
+            ..TransientConfig::default()
+        };
+        let res = Transient::new(&c, cfg).unwrap().run().unwrap();
+        let expected = v0 * c1 / (c1 + c2);
+        let va = *res.trace(a).unwrap().last().unwrap();
+        let vb = *res.trace(b).unwrap().last().unwrap();
+        prop_assert!((va - expected).abs() < 0.02 * v0, "va {} expected {}", va, expected);
+        prop_assert!((vb - expected).abs() < 0.02 * v0, "vb {} expected {}", vb, expected);
+    }
+
+    #[test]
+    fn waveform_pwl_stays_within_hull(
+        t in 0.0..10.0f64,
+        v0 in -2.0..2.0f64,
+        v1 in -2.0..2.0f64,
+    ) {
+        let w = Waveform::Pwl(vec![(1.0, v0), (5.0, v1)]);
+        let v = w.value(t);
+        let (lo, hi) = if v0 <= v1 { (v0, v1) } else { (v1, v0) };
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+}

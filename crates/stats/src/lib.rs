@@ -1,0 +1,53 @@
+//! Statistics toolkit for the hammervolt characterization study.
+//!
+//! This crate implements the statistical machinery that the DSN 2022 paper
+//! *"Understanding RowHammer Under Reduced Wordline Voltage"* uses to present
+//! its results:
+//!
+//! - [`descriptive`] — summary statistics, including the *coefficient of
+//!   variation* used in the paper's §4.6 significance analysis,
+//! - [`quantile`] — percentiles/quantiles with linear interpolation,
+//! - [`histogram`] — uniform and logarithmic binning,
+//! - [`kde`] — Gaussian kernel density estimation for the population-density
+//!   distributions of Figs. 4, 6, 8b, 9b, and 10b,
+//! - [`ci`] — normal-approximation and bootstrap confidence intervals for the
+//!   90 % CI bands of Figs. 3, 5, and 10a,
+//! - [`normalize`] — normalization of measurement series to a baseline value,
+//! - [`series`] — labeled x/y series with optional confidence bands,
+//! - [`table`] — ASCII table rendering for the table-regeneration harnesses,
+//! - [`plot`] — ASCII line/density plots for the figure-regeneration harnesses.
+//!
+//! Everything in this crate is deterministic: bootstrap resampling takes an
+//! explicit seed so that repeated study runs produce identical reports.
+//!
+//! # Example
+//!
+//! ```
+//! use hammervolt_stats::descriptive::Summary;
+//!
+//! let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+//! assert_eq!(s.mean, 2.5);
+//! assert!(s.coefficient_of_variation() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod descriptive;
+pub mod error;
+pub mod histogram;
+pub mod kde;
+pub mod normalize;
+pub mod plot;
+pub mod quantile;
+pub mod series;
+pub mod table;
+
+pub use ci::ConfidenceInterval;
+pub use descriptive::Summary;
+pub use error::StatsError;
+pub use histogram::Histogram;
+pub use kde::KernelDensity;
+pub use series::Series;
+pub use table::AsciiTable;

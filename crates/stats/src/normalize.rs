@@ -1,0 +1,144 @@
+//! Normalization of measurement series to a baseline.
+//!
+//! Every headline result in the paper is expressed as a value *normalized to
+//! the measurement at nominal `V_PP` (2.5 V)* — e.g. Fig. 3 plots
+//! `BER(V_PP) / BER(2.5 V)` per module. These helpers implement that
+//! normalization with explicit zero-baseline handling.
+
+use crate::error::StatsError;
+
+/// Divides every element of `values` by `baseline`.
+///
+/// # Errors
+///
+/// Fails with [`StatsError::ZeroBaseline`] when `baseline == 0.0`, and with
+/// [`StatsError::NonFinite`] when any input is non-finite.
+///
+/// # Example
+///
+/// ```
+/// use hammervolt_stats::normalize::normalize_to;
+/// let n = normalize_to(&[2.0, 1.0, 3.0], 2.0).unwrap();
+/// assert_eq!(n, vec![1.0, 0.5, 1.5]);
+/// ```
+pub fn normalize_to(values: &[f64], baseline: f64) -> Result<Vec<f64>, StatsError> {
+    if baseline == 0.0 {
+        return Err(StatsError::ZeroBaseline);
+    }
+    if !baseline.is_finite() {
+        return Err(StatsError::NonFinite { index: usize::MAX });
+    }
+    crate::error::ensure_finite(values)?;
+    Ok(values.iter().map(|v| v / baseline).collect())
+}
+
+/// Normalizes a series to its own first element (the paper's convention when
+/// the first sample is the nominal-`V_PP` measurement).
+///
+/// # Errors
+///
+/// Fails on empty input, non-finite values, or a zero first element.
+pub fn normalize_to_first(values: &[f64]) -> Result<Vec<f64>, StatsError> {
+    let &first = values.first().ok_or(StatsError::EmptyInput)?;
+    normalize_to(values, first)
+}
+
+/// Relative change of `value` from `baseline`, as a signed fraction:
+/// `(value - baseline) / baseline`.
+///
+/// The paper reports such values as percentages, e.g. "`HC_first` increases by
+/// 7.4 %" means `relative_change` = `+0.074`.
+///
+/// # Errors
+///
+/// Fails on a zero or non-finite baseline, or a non-finite value.
+pub fn relative_change(value: f64, baseline: f64) -> Result<f64, StatsError> {
+    if baseline == 0.0 {
+        return Err(StatsError::ZeroBaseline);
+    }
+    if !baseline.is_finite() || !value.is_finite() {
+        return Err(StatsError::NonFinite { index: 0 });
+    }
+    Ok((value - baseline) / baseline)
+}
+
+/// Pairwise ratios `values[i] / baselines[i]`.
+///
+/// Pairs with a zero baseline are skipped (the paper can only normalize rows
+/// whose nominal measurement produced a non-zero value); the returned vector
+/// may therefore be shorter than the input.
+///
+/// # Errors
+///
+/// Fails if the slices differ in length or contain non-finite values.
+pub fn pairwise_ratios(values: &[f64], baselines: &[f64]) -> Result<Vec<f64>, StatsError> {
+    if values.len() != baselines.len() {
+        return Err(StatsError::InvalidParameter {
+            reason: format!(
+                "length mismatch: {} values vs {} baselines",
+                values.len(),
+                baselines.len()
+            ),
+        });
+    }
+    crate::error::ensure_finite(values)?;
+    crate::error::ensure_finite(baselines)?;
+    Ok(values
+        .iter()
+        .zip(baselines)
+        .filter(|(_, &b)| b != 0.0)
+        .map(|(&v, &b)| v / b)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_to_divides() {
+        assert_eq!(normalize_to(&[4.0, 8.0], 4.0).unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn normalize_rejects_zero_baseline() {
+        assert_eq!(normalize_to(&[1.0], 0.0), Err(StatsError::ZeroBaseline));
+    }
+
+    #[test]
+    fn normalize_to_first_uses_first_element() {
+        let n = normalize_to_first(&[2.0, 3.0, 1.0]).unwrap();
+        assert_eq!(n, vec![1.0, 1.5, 0.5]);
+        assert_eq!(normalize_to_first(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(
+            normalize_to_first(&[0.0, 1.0]),
+            Err(StatsError::ZeroBaseline)
+        );
+    }
+
+    #[test]
+    fn relative_change_signs() {
+        assert!((relative_change(1.074, 1.0).unwrap() - 0.074).abs() < 1e-12);
+        assert!((relative_change(0.848, 1.0).unwrap() + 0.152).abs() < 1e-12);
+        assert!(relative_change(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn pairwise_skips_zero_baselines() {
+        let r = pairwise_ratios(&[1.0, 2.0, 3.0], &[2.0, 0.0, 3.0]).unwrap();
+        assert_eq!(r, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn pairwise_length_mismatch() {
+        assert!(pairwise_ratios(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn non_finite_inputs_rejected() {
+        assert!(normalize_to(&[f64::NAN], 1.0).is_err());
+        assert!(normalize_to(&[1.0], f64::INFINITY).is_err());
+        assert!(relative_change(f64::NAN, 1.0).is_err());
+        assert!(pairwise_ratios(&[f64::NAN], &[1.0]).is_err());
+    }
+}

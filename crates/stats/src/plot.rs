@@ -1,0 +1,247 @@
+//! ASCII line plots.
+//!
+//! The figure-regeneration harnesses print each paper figure as an ASCII plot
+//! (plus the underlying numbers) so the reproduction can be inspected in a
+//! terminal without a plotting stack.
+
+use crate::series::Series;
+
+/// Configuration for an ASCII plot.
+#[derive(Debug, Clone)]
+pub struct PlotConfig {
+    /// Plot width in character cells (the data area, excluding axis labels).
+    pub width: usize,
+    /// Plot height in character cells.
+    pub height: usize,
+    /// Title printed above the plot.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+}
+
+impl Default for PlotConfig {
+    fn default() -> Self {
+        PlotConfig {
+            width: 72,
+            height: 20,
+            title: String::new(),
+            x_label: "x".to_string(),
+            y_label: "y".to_string(),
+        }
+    }
+}
+
+const MARKERS: &[char] = &[
+    '*', 'o', '+', 'x', '#', '@', '%', '&', '$', '=', '~', '^', '1', '2', '3', '4', '5', '6', '7',
+    '8', '9', 'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i',
+];
+
+/// Renders multiple series into one ASCII plot with a shared scale, a legend,
+/// and numeric axis annotations.
+///
+/// Empty input or all-empty series render a placeholder message rather than
+/// panicking, so harnesses degrade gracefully.
+pub fn render(series: &[Series], config: &PlotConfig) -> String {
+    let mut x_lo = f64::INFINITY;
+    let mut x_hi = f64::NEG_INFINITY;
+    let mut y_lo = f64::INFINITY;
+    let mut y_hi = f64::NEG_INFINITY;
+    for s in series {
+        if let Some((lo, hi)) = s.x_extent() {
+            x_lo = x_lo.min(lo);
+            x_hi = x_hi.max(hi);
+        }
+        if let Some((lo, hi)) = s.y_extent() {
+            y_lo = y_lo.min(lo);
+            y_hi = y_hi.max(hi);
+        }
+    }
+    if !x_lo.is_finite() || !y_lo.is_finite() {
+        return format!("{}\n(no data)\n", config.title);
+    }
+    if x_lo == x_hi {
+        x_lo -= 0.5;
+        x_hi += 0.5;
+    }
+    if y_lo == y_hi {
+        y_lo -= 0.5;
+        y_hi += 0.5;
+    }
+    let w = config.width.max(8);
+    let h = config.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    let to_col =
+        |x: f64| -> usize { (((x - x_lo) / (x_hi - x_lo)) * (w as f64 - 1.0)).round() as usize };
+    let to_row = |y: f64| -> usize {
+        let r = ((y - y_lo) / (y_hi - y_lo)) * (h as f64 - 1.0);
+        (h - 1).saturating_sub(r.round() as usize)
+    };
+
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        // draw line segments between consecutive points
+        let pts = &s.points;
+        for win in pts.windows(2) {
+            let (a, b) = (&win[0], &win[1]);
+            let (c0, r0) = (to_col(a.x) as i64, to_row(a.y) as i64);
+            let (c1, r1) = (to_col(b.x) as i64, to_row(b.y) as i64);
+            let steps = (c1 - c0).abs().max((r1 - r0).abs()).max(1);
+            for t in 0..=steps {
+                let c = c0 + (c1 - c0) * t / steps;
+                let r = r0 + (r1 - r0) * t / steps;
+                if (0..w as i64).contains(&c) && (0..h as i64).contains(&r) {
+                    let cell = &mut grid[r as usize][c as usize];
+                    if *cell == ' ' || *cell == '.' {
+                        *cell = '.';
+                    }
+                }
+            }
+        }
+        // draw the points themselves with the series marker (over lines)
+        for p in pts {
+            let (c, r) = (to_col(p.x), to_row(p.y));
+            if c < w && r < h {
+                grid[r][c] = marker;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    if !config.title.is_empty() {
+        out.push_str(&config.title);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{} ({:.4} .. {:.4})\n",
+        config.y_label, y_lo, y_hi
+    ));
+    for (ri, row) in grid.iter().enumerate() {
+        let y_val = y_hi - (y_hi - y_lo) * ri as f64 / (h as f64 - 1.0);
+        let line: String = row.iter().collect();
+        out.push_str(&format!("{y_val:>10.4} |{}\n", line.trim_end()));
+    }
+    out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(w)));
+    out.push_str(&format!(
+        "{:>10}  {:<width$.4}{:>.4}\n",
+        "",
+        x_lo,
+        x_hi,
+        width = w.saturating_sub(6)
+    ));
+    out.push_str(&format!("{:>10}  {}\n", "", config.x_label));
+    if !series.is_empty() {
+        out.push_str("legend: ");
+        for (si, s) in series.iter().enumerate() {
+            if si > 0 {
+                out.push_str(", ");
+            }
+            out.push(MARKERS[si % MARKERS.len()]);
+            out.push('=');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar chart from `(label, value)` pairs — used for the
+/// Fig. 11 row-count bars.
+pub fn render_bars(items: &[(String, f64)], width: usize, title: &str) -> String {
+    let mut out = String::new();
+    if !title.is_empty() {
+        out.push_str(title);
+        out.push('\n');
+    }
+    if items.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let max = items
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let label_w = items
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
+    let bar_w = width.max(10);
+    for (label, value) in items {
+        let filled = if max > 0.0 {
+            ((value / max) * bar_w as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} |{} {value:.4}\n",
+            "#".repeat(filled.min(bar_w)),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Series;
+
+    #[test]
+    fn render_contains_markers_and_legend() {
+        let s1 = Series::from_xy("A0", &[1.0, 2.0, 3.0], &[1.0, 2.0, 1.5]).unwrap();
+        let s2 = Series::from_xy("B3", &[1.0, 2.0, 3.0], &[3.0, 2.5, 2.0]).unwrap();
+        let out = render(&[s1, s2], &PlotConfig::default());
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("legend: *=A0, o=B3"));
+    }
+
+    #[test]
+    fn render_empty_is_graceful() {
+        let out = render(&[], &PlotConfig::default());
+        assert!(out.contains("no data"));
+        let empty = Series::new("e");
+        let out = render(&[empty], &PlotConfig::default());
+        assert!(out.contains("no data"));
+    }
+
+    #[test]
+    fn render_single_point_series() {
+        let s = Series::from_xy("p", &[1.0], &[2.0]).unwrap();
+        let out = render(&[s], &PlotConfig::default());
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn render_title_and_labels() {
+        let s = Series::from_xy("m", &[0.0, 1.0], &[0.0, 1.0]).unwrap();
+        let cfg = PlotConfig {
+            title: "Fig. 3".to_string(),
+            x_label: "V_PP (V)".to_string(),
+            y_label: "normalized BER".to_string(),
+            ..PlotConfig::default()
+        };
+        let out = render(&[s], &cfg);
+        assert!(out.contains("Fig. 3"));
+        assert!(out.contains("V_PP (V)"));
+        assert!(out.contains("normalized BER"));
+    }
+
+    #[test]
+    fn bars_scale_to_max() {
+        let items = vec![("one".to_string(), 1.0), ("two".to_string(), 2.0)];
+        let out = render_bars(&items, 20, "counts");
+        let lines: Vec<&str> = out.lines().collect();
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert!(hashes(lines[2]) > hashes(lines[1]));
+    }
+
+    #[test]
+    fn bars_handle_empty_and_zero() {
+        assert!(render_bars(&[], 20, "t").contains("no data"));
+        let out = render_bars(&[("z".to_string(), 0.0)], 20, "");
+        assert!(out.contains("0.0000"));
+    }
+}

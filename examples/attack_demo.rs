@@ -1,0 +1,162 @@
+//! Security scenario: a double-sided RowHammer attack against a victim row
+//! holding page-table-like data, and the three defenses the study speaks to:
+//! reduced wordline voltage, in-DRAM TRR (when refresh runs), and SECDED ECC.
+//!
+//! Run with `cargo run --release --example attack_demo`.
+
+use hammervolt::dram::geometry::Geometry;
+use hammervolt::dram::module::DramModule;
+use hammervolt::dram::registry::{self, ModuleId};
+use hammervolt::ecc::hamming::{Codeword, DecodeOutcome};
+use hammervolt::softmc::program::Program;
+use hammervolt::softmc::SoftMc;
+
+/// A fake page-table entry: physical frame number plus permission bits.
+fn pte(frame: u64, writable: bool) -> u64 {
+    (frame << 12) | 0x27 | if writable { 0x2 } else { 0x0 }
+}
+
+fn count_flips(readout: &[u64], reference: &[u64]) -> u32 {
+    readout
+        .iter()
+        .zip(reference)
+        .map(|(a, b)| (a ^ b).count_ones())
+        .sum()
+}
+
+fn run_attack(mc: &mut SoftMc, victim: u32, hc: u64) -> (Vec<u64>, Vec<u64>) {
+    let (below, above) = mc.module().mapping().physical_neighbors(victim);
+    let (below, above) = (below.unwrap(), above.unwrap());
+    // Victim holds "page table" content; the attacker controls the aggressor
+    // rows and fills them with the worst-case inverse pattern.
+    let columns = mc.module().geometry().columns_per_row;
+    let reference: Vec<u64> = (0..columns as u64)
+        .map(|i| pte(0x4_0000 + i, false))
+        .collect();
+    for (column, &word) in reference.iter().enumerate() {
+        let _ = (column, word);
+    }
+    // write the victim row word by word
+    {
+        let mut p = Program::new();
+        p.push(hammervolt::softmc::Instruction::Act {
+            bank: 0,
+            row: victim,
+        });
+        for (column, &word) in reference.iter().enumerate() {
+            p.push(hammervolt::softmc::Instruction::Wr {
+                bank: 0,
+                column: column as u32,
+                data: word,
+            });
+        }
+        p.push(hammervolt::softmc::Instruction::Pre { bank: 0 });
+        mc.run(&p).expect("victim init");
+    }
+    mc.init_row(0, below, !0u64).expect("aggressor init");
+    mc.init_row(0, above, !0u64).expect("aggressor init");
+    mc.hammer_double_sided(0, below, above, hc).expect("hammer");
+    let readout = mc.read_row_conservative(0, victim).expect("readout");
+    (reference, readout)
+}
+
+fn main() {
+    let hc = 300_000;
+    let victim = 120;
+
+    // --- 1. The attack at nominal V_PP ---------------------------------
+    // B3: hammerable at 300K and the strongest V_PP responder in Table 3.
+    let module = DramModule::with_geometry(
+        registry::spec(ModuleId::B3),
+        7,
+        Geometry::small_test(),
+    )
+    .expect("module");
+    let mut mc = SoftMc::new(module);
+    let (reference, readout) = run_attack(&mut mc, victim, hc);
+    let flips_nominal = count_flips(&readout, &reference);
+    println!(
+        "attack at V_PP = 2.5 V: {} hammers per aggressor → {flips_nominal} bit flips \
+         in the victim page table",
+        hc
+    );
+    if let Some((column, (got, want))) = readout
+        .iter()
+        .zip(&reference)
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+        .map(|(c, (a, b))| (c, (*a, *b)))
+    {
+        let was_writable = want & 0x2 != 0;
+        let now_writable = got & 0x2 != 0;
+        println!(
+            "  e.g. PTE at column {column}: {want:#018x} → {got:#018x}{}",
+            if !was_writable && now_writable {
+                "  (!! page silently became writable)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // --- 2. The same attack at reduced V_PP ----------------------------
+    let module = DramModule::with_geometry(registry::spec(ModuleId::B3), 7, Geometry::small_test())
+        .expect("module");
+    let mut mc = SoftMc::new(module);
+    let vppmin = mc.find_vppmin().expect("vppmin");
+    mc.set_vpp(vppmin).expect("set");
+    let (reference, readout) = run_attack(&mut mc, victim, hc);
+    let flips_reduced = count_flips(&readout, &reference);
+    println!(
+        "attack at V_PP = {vppmin:.1} V: same attack → {flips_reduced} bit flips \
+         ({}{:.1} % vs nominal)",
+        if flips_reduced <= flips_nominal {
+            "−"
+        } else {
+            "+"
+        },
+        (flips_nominal as f64 - flips_reduced as f64).abs() / flips_nominal.max(1) as f64 * 100.0,
+    );
+
+    // --- 3. SECDED over the victim words -------------------------------
+    // A stored SECDED(72,64) codeword corrects any single flipped bit and
+    // detects two; words with more flips can silently miscorrect. Classify
+    // the attack's damage per word and demonstrate one correction.
+    let analysis = hammervolt::ecc::analysis::analyze_row(&reference, &readout);
+    println!(
+        "SECDED(72,64) on the corrupted words: {} single-bit (corrected), \
+         {} double-bit (detected only), {} multi-bit (may miscorrect)",
+        analysis.words_with_one_flip, analysis.words_with_two_flips, analysis.words_with_many_flips,
+    );
+    if let Some((&got, &want)) = readout
+        .iter()
+        .zip(&reference)
+        .find(|(a, b)| (*a ^ *b).count_ones() == 1)
+    {
+        let flipped_data_bit = (got ^ want).trailing_zeros();
+        // Re-create the stored codeword and flip the corresponding data bit
+        // in codeword space (data bit i lives at a known position).
+        let clean = Codeword::encode(want);
+        let corrupted_data = want ^ (1 << flipped_data_bit);
+        let delta = clean.raw() ^ Codeword::encode(corrupted_data).raw();
+        // flip ONLY the data-bit position (lowest set bit of the delta that
+        // is not a recomputed parity bit): emulate the in-array flip
+        let data_pos = delta.trailing_zeros();
+        let stored = clean.with_bit_flipped(data_pos);
+        match stored.decode() {
+            DecodeOutcome::Corrected { data, position } => println!(
+                "  demo: flip at codeword position {position} corrected, data {}",
+                if data == want {
+                    "recovered exactly"
+                } else {
+                    "NOT recovered"
+                }
+            ),
+            other => println!("  demo: unexpected decode outcome {other:?}"),
+        }
+    }
+    println!(
+        "multi-bit words defeat SECDED — which is why the paper positions \
+         V_PP scaling as *complementary* to existing defenses (§3)"
+    );
+}

@@ -1,0 +1,86 @@
+//! Quickstart: bring a module up on the test infrastructure, find its
+//! `V_PPmin`, and measure one row's RowHammer characteristics at nominal and
+//! reduced wordline voltage.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use hammervolt::dram::geometry::Geometry;
+use hammervolt::dram::module::DramModule;
+use hammervolt::dram::registry::{self, ModuleId};
+use hammervolt::softmc::SoftMc;
+use hammervolt::study::alg1::{self, Alg1Config};
+
+fn main() {
+    // Instantiate module B3 — the paper's strongest V_PP responder — as a
+    // specific specimen (the seed). The reduced geometry keeps this example
+    // fast; drop `with_geometry` for the full 8 Gb die.
+    let module = DramModule::with_geometry(
+        registry::spec(ModuleId::B3),
+        0x5AFA21,
+        Geometry::small_test(),
+    )
+    .expect("module");
+    println!(
+        "module {} ({}, {} {}), V_PPmin per Table 3: {:.1} V",
+        module.spec().id,
+        module.spec().dimm_model,
+        module.spec().density,
+        module.spec().org,
+        module.spec().vpp_min,
+    );
+
+    // Bring-up: shunt removed, external supply at 2.5 V, thermal loop at 50 °C.
+    let mut mc = SoftMc::new(module);
+    println!(
+        "bring-up complete: V_PP = {:.1} V, T = {:.1} °C",
+        mc.vpp(),
+        mc.module().temperature_c()
+    );
+
+    // §4.1: walk V_PP down in 0.1 V steps until the module stops responding.
+    let vppmin = mc.find_vppmin().expect("vppmin search");
+    println!("measured V_PPmin = {vppmin:.1} V");
+
+    // Alg. 1 on one victim row, at nominal V_PP and at V_PPmin. Row-to-row
+    // strength varies a lot (that is the point of HC_first being a per-row
+    // quantity), so scan for the first sampled row that flips within the
+    // search range.
+    let cfg = Alg1Config::fast();
+    mc.set_vpp(2.5).expect("nominal V_PP");
+    let (victim, nominal) = (100..160)
+        .find_map(|row| {
+            let m = alg1::measure_row(&mut mc, 0, row, &cfg).ok()?;
+            m.hc_first.is_some().then_some((row, m))
+        })
+        .expect("some row in 100..160 flips at nominal V_PP");
+    mc.set_vpp(vppmin).expect("reduced V_PP");
+    let reduced = alg1::measure_row(&mut mc, 0, victim, &cfg).expect("alg1");
+
+    let show = |label: &str, m: &alg1::RowMeasurement| {
+        println!(
+            "{label}: WCDP {}, HC_first {}, BER at 300K hammers {:.2e}",
+            m.wcdp,
+            m.hc_first
+                .map(|h| format!("{:.1}K", h as f64 / 1e3))
+                .unwrap_or_else(|| "> search ceiling".into()),
+            m.ber,
+        );
+    };
+    show(&format!("row {victim} @ 2.5 V"), &nominal);
+    show(&format!("row {victim} @ {vppmin:.1} V"), &reduced);
+
+    if let (Some(n), Some(r)) = (nominal.hc_first, reduced.hc_first) {
+        println!(
+            "normalized HC_first = {:.3} (an attacker needs {:.1} % more hammers at V_PPmin)",
+            r as f64 / n as f64,
+            (r as f64 / n as f64 - 1.0) * 100.0,
+        );
+    }
+    if nominal.ber > 0.0 {
+        println!(
+            "normalized BER      = {:.3} (the same attack flips {:.1} % fewer bits)",
+            reduced.ber / nominal.ber,
+            (1.0 - reduced.ber / nominal.ber) * 100.0,
+        );
+    }
+}

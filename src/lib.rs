@@ -1,0 +1,50 @@
+//! # hammervolt
+//!
+//! A full-system software reproduction of *"Understanding RowHammer Under
+//! Reduced Wordline Voltage: An Experimental Study Using Real DRAM Devices"*
+//! (Yağlıkçı et al., DSN 2022).
+//!
+//! The original study characterizes 272 real DDR4 chips with an FPGA-based
+//! SoftMC infrastructure and SPICE simulations. This workspace rebuilds every
+//! substrate in Rust:
+//!
+//! - [`dram`] — a behavioral DDR4 device model whose cell physics respond to
+//!   the wordline voltage `V_PP` (RowHammer disturbance, charge restoration
+//!   saturation, activation latency, retention decay), calibrated per-module
+//!   against the paper's Table 3,
+//! - [`softmc`] — a SoftMC-style test-infrastructure model (instruction
+//!   programs, command engine, external `V_PP` supply, thermal PID control),
+//! - [`spice`] — a compact SPICE-class transient circuit simulator used to
+//!   reproduce the paper's Figs. 8 and 9,
+//! - [`ecc`] — SECDED(72,64) Hamming coding for the §6.3 mitigation analysis,
+//! - [`stats`] — the statistical machinery behind the paper's figures,
+//! - [`study`] — the paper's methodology itself: Algorithms 1–3, WCDP
+//!   selection, adjacency reverse engineering, and study orchestration.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hammervolt::dram::registry;
+//! use hammervolt::softmc::SoftMc;
+//! use hammervolt::study::alg1::{self, Alg1Config};
+//!
+//! // Bring up module B3 on the test infrastructure at 50 °C, nominal V_PP.
+//! let module = registry::instantiate(registry::ModuleId::B3, 0x5AFA21).unwrap();
+//! let mut mc = SoftMc::new(module);
+//! mc.set_vpp(2.5).unwrap();
+//!
+//! // Measure HC_first for one victim row with Alg. 1's binary search.
+//! let cfg = Alg1Config::fast();
+//! let result = alg1::measure_row(&mut mc, 0, 1000, &cfg).unwrap();
+//! assert!(result.hc_first.unwrap() > 0);
+//! ```
+//!
+//! (The constant `0x5AFA21` above is a module seed — any `u64` works; results
+//! are deterministic per seed.)
+
+pub use hammervolt_core as study;
+pub use hammervolt_dram as dram;
+pub use hammervolt_ecc as ecc;
+pub use hammervolt_softmc as softmc;
+pub use hammervolt_spice as spice;
+pub use hammervolt_stats as stats;

@@ -1,0 +1,115 @@
+//! `hammervolt` CLI: run the study's experiments against the simulated
+//! module fleet and dump machine-readable records.
+//!
+//! ```text
+//! hammervolt sweep  [MODULE..]   # Alg. 1 RowHammer ladder sweep → JSONL
+//! hammervolt trcd   [MODULE..]   # Alg. 2 activation-latency sweep → JSONL
+//! hammervolt retention [MODULE..]# Alg. 3 retention sweep → JSONL
+//! hammervolt vppmin              # V_PPmin search across all modules
+//! hammervolt list                # Table 3 module inventory
+//! ```
+//!
+//! Set `HAMMERVOLT_ROWS` (default 8) to change the per-chunk row sample.
+
+use hammervolt::dram::registry::{self, ModuleId};
+use hammervolt::study::records;
+use hammervolt::study::study::{retention_sweep, rowhammer_sweep, trcd_sweep, StudyConfig};
+use std::io::Write as _;
+
+fn parse_modules(args: &[String]) -> Vec<ModuleId> {
+    if args.is_empty() {
+        return ModuleId::ALL.to_vec();
+    }
+    args.iter()
+        .map(|a| {
+            ModuleId::ALL
+                .iter()
+                .copied()
+                .find(|m| m.label().eq_ignore_ascii_case(a))
+                .unwrap_or_else(|| {
+                    eprintln!("unknown module {a:?}; valid labels are A0..A9, B0..B9, C0..C9");
+                    std::process::exit(2);
+                })
+        })
+        .collect()
+}
+
+fn config(modules: Vec<ModuleId>) -> StudyConfig {
+    let rows = std::env::var("HAMMERVOLT_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    StudyConfig {
+        rows_per_chunk: rows,
+        modules,
+        ..StudyConfig::quick()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => {
+            eprintln!("usage: hammervolt <sweep|trcd|retention|vppmin|list> [modules..]");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    match cmd {
+        "list" => {
+            for id in ModuleId::ALL {
+                let s = registry::spec(id);
+                println!(
+                    "{}  {:<24} {:>5} {:>5} MT/s {}  V_PPmin {:.1} V  HC_first {:>7.1}K  BER {:.2e}",
+                    id.label(),
+                    s.dimm_model,
+                    s.density.to_string(),
+                    s.frequency_mts,
+                    s.org,
+                    s.vpp_min,
+                    s.hc_first_nominal / 1e3,
+                    s.ber_nominal,
+                );
+            }
+        }
+        "vppmin" => {
+            let cfg = config(parse_modules(&rest));
+            for &id in &cfg.modules {
+                let mut mc = cfg.bring_up(id).expect("bring-up");
+                let vppmin = mc.find_vppmin().expect("search");
+                println!("{}: V_PPmin = {vppmin:.1} V", id.label());
+            }
+        }
+        "sweep" => {
+            let cfg = config(parse_modules(&rest));
+            for &id in &cfg.modules {
+                eprintln!("sweeping {} ...", id.label());
+                let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+                records::write_jsonl(&sweep.records, &mut out).expect("write");
+            }
+        }
+        "trcd" => {
+            let cfg = config(parse_modules(&rest));
+            for &id in &cfg.modules {
+                eprintln!("sweeping {} ...", id.label());
+                let sweep = trcd_sweep(&cfg, id, 4).expect("sweep");
+                records::write_jsonl(&sweep.records, &mut out).expect("write");
+            }
+        }
+        "retention" => {
+            let cfg = config(parse_modules(&rest));
+            for &id in &cfg.modules {
+                eprintln!("sweeping {} ...", id.label());
+                let sweep = retention_sweep(&cfg, id).expect("sweep");
+                records::write_jsonl(&sweep.records, &mut out).expect("write");
+            }
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            std::process::exit(2);
+        }
+    }
+    out.flush().expect("flush stdout");
+}
