@@ -2,7 +2,7 @@
 //! per module, with 90 % confidence bands.
 
 use hammervolt_bench::Scale;
-use hammervolt_core::study::rowhammer_sweep;
+use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::Series;
 
@@ -12,8 +12,8 @@ fn main() {
     println!("{}\n", scale.banner());
     let cfg = scale.config();
     let mut series = Vec::new();
-    for &id in &cfg.modules {
-        let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+    for sweep in rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep") {
+        let id = sweep.module;
         let mut s = Series::new(id.label());
         for p in sweep.normalized_hc_first() {
             s.push_with_band(p.vpp, p.mean, p.band);

@@ -2,7 +2,8 @@
 //! at `V_PPmin`, per manufacturer.
 
 use hammervolt_bench::{paper, Scale};
-use hammervolt_core::study::{ratios_by_manufacturer, rowhammer_sweep};
+use hammervolt_core::exec::rowhammer_sweeps;
+use hammervolt_core::study::ratios_by_manufacturer;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::descriptive::fraction_where;
 use hammervolt_stats::plot::{render, PlotConfig};
@@ -13,11 +14,7 @@ fn main() {
     println!("Fig. 6: Population density of normalized HC_first at V_PPmin, per Mfr.");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    let sweeps: Vec<_> = cfg
-        .modules
-        .iter()
-        .map(|&m| rowhammer_sweep(&cfg, m).expect("sweep"))
-        .collect();
+    let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
     let grouped = ratios_by_manufacturer(&sweeps);
     let mut series = Vec::new();
     for mfr in Manufacturer::ALL {

@@ -2,7 +2,7 @@
 //! curve per module, with the nominal 13.5 ns annotated.
 
 use hammervolt_bench::Scale;
-use hammervolt_core::study::trcd_sweep;
+use hammervolt_core::exec::trcd_sweeps;
 use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
 use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::Series;
@@ -18,8 +18,8 @@ fn main() {
     };
     let mut series = Vec::new();
     let mut exceeders = Vec::new();
-    for &id in &cfg.modules {
-        let sweep = trcd_sweep(&cfg, id, levels_cap).expect("sweep");
+    for sweep in trcd_sweeps(&cfg, levels_cap, &scale.exec()).expect("sweep") {
+        let id = sweep.module;
         let mut s = Series::new(id.label());
         for (vpp, worst) in sweep.worst_per_level() {
             if let Some(t) = worst {

@@ -2,7 +2,7 @@
 //! several `V_PP` levels (80 °C), averaged across modules and rows.
 
 use hammervolt_bench::Scale;
-use hammervolt_core::study::retention_sweep;
+use hammervolt_core::exec::retention_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::Series;
 use std::collections::BTreeMap;
@@ -14,8 +14,7 @@ fn main() {
     let cfg = scale.config();
     // (vpp level, window µs) → (sum, n)
     let mut acc: BTreeMap<(u64, u64), (f64, usize)> = BTreeMap::new();
-    for &id in &cfg.modules {
-        let sweep = retention_sweep(&cfg, id).expect("sweep");
+    for sweep in retention_sweeps(&cfg, &scale.exec()).expect("sweep") {
         for r in &sweep.records {
             let key = ((r.vpp * 1000.0) as u64, (r.window_s * 1e6) as u64);
             let e = acc.entry(key).or_insert((0.0, 0));

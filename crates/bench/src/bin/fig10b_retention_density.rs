@@ -2,7 +2,7 @@
 //! 4 s refresh window, per manufacturer, at nominal and reduced `V_PP`.
 
 use hammervolt_bench::Scale;
-use hammervolt_core::study::retention_sweep;
+use hammervolt_core::exec::retention_sweeps;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::{KernelDensity, Series};
@@ -15,8 +15,8 @@ fn main() {
     let cfg = scale.config();
     // (mfr, vpp mV) → row BERs at 4 s
     let mut pops: BTreeMap<(char, u64), Vec<f64>> = BTreeMap::new();
-    for &id in &cfg.modules {
-        let sweep = retention_sweep(&cfg, id).expect("sweep");
+    for sweep in retention_sweeps(&cfg, &scale.exec()).expect("sweep") {
+        let id = sweep.module;
         for &vpp in &sweep.vpp_levels {
             let rows = sweep.row_bers_at(vpp, 4.0);
             pops.entry((id.manufacturer().letter(), (vpp * 1000.0) as u64))

@@ -3,8 +3,9 @@
 //! latency, plus the 24 ns / 15 ns fixes for the failing modules.
 
 use hammervolt_bench::{compare_line, paper, Scale};
+use hammervolt_core::exec::trcd_sweeps;
 use hammervolt_core::mitigation::{guardband, guardband_reduction};
-use hammervolt_core::study::trcd_sweep;
+use hammervolt_core::study::level_matches;
 use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_stats::table::AsciiTable;
 
@@ -23,13 +24,13 @@ fn main() {
     ]);
     let mut reductions = Vec::new();
     let mut failing = Vec::new();
-    for &id in &cfg.modules {
-        let sweep = trcd_sweep(&cfg, id, 2).expect("sweep");
+    for sweep in trcd_sweeps(&cfg, 2, &scale.exec()).expect("sweep") {
+        let id = sweep.module;
         let at = |vpp: f64| -> Vec<Option<f64>> {
             sweep
                 .records
                 .iter()
-                .filter(|r| (r.vpp - vpp).abs() < 1e-9)
+                .filter(|r| level_matches(r.vpp, vpp))
                 .map(|r| r.t_rcd_min_ns)
                 .collect()
         };

@@ -2,16 +2,17 @@
 //! aggregate BER/`HC_first` statistics at `V_PPmin` across all modules.
 
 use hammervolt_bench::{compare_line, paper, Scale};
-use hammervolt_core::study::{aggregate_findings, rowhammer_sweep};
+use hammervolt_core::exec::rowhammer_sweeps;
+use hammervolt_core::study::aggregate_findings;
 
 fn main() {
     let scale = Scale::from_env();
     println!("Takeaway 1: effect of V_PP on RowHammer — aggregate findings");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    let mut sweeps = Vec::new();
-    for &id in &cfg.modules {
-        let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+    let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
+    for sweep in &sweeps {
+        let id = sweep.module;
         let (ber, hc) = sweep.row_ratios_at_vppmin();
         let mean = |v: &[f64]| {
             if v.is_empty() {
@@ -27,7 +28,6 @@ fn main() {
             mean(&ber),
             mean(&hc),
         );
-        sweeps.push(sweep);
     }
     let f = aggregate_findings(&sweeps).expect("aggregate");
     println!("\n--- paper vs measured (fractional changes at V_PPmin) ---");

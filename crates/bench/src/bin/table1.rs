@@ -17,7 +17,8 @@ fn main() {
         "Date".into(),
     ]);
     // group identical (density, die rev, org, date) lines per vendor
-    let mut groups: BTreeMap<(char, String, String, String, String), (u32, u32)> = BTreeMap::new();
+    type GroupKey = (char, String, String, String, String);
+    let mut groups: BTreeMap<GroupKey, (u32, u32)> = BTreeMap::new();
     for id in ModuleId::ALL {
         let s = spec(id);
         let key = (

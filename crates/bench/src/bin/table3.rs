@@ -4,19 +4,20 @@
 //! Scale via `HAMMERVOLT_SCALE` (smoke / default quick / paper).
 
 use hammervolt_bench::Scale;
-use hammervolt_core::study::{rowhammer_sweep, StudyConfig};
+use hammervolt_core::exec::rowhammer_sweeps;
+use hammervolt_core::study::{level_matches, ModuleHammerSweep};
 use hammervolt_dram::physics::VPP_NOMINAL;
-use hammervolt_dram::registry::{spec, ModuleId};
+use hammervolt_dram::registry::spec;
 use hammervolt_stats::table::{fmt_ber, fmt_kilo, AsciiTable};
 
-fn module_row(cfg: &StudyConfig, id: ModuleId, t: &mut AsciiTable) {
+fn module_row(sweep: &ModuleHammerSweep, t: &mut AsciiTable) {
+    let id = sweep.module;
     let s = spec(id);
-    let sweep = rowhammer_sweep(cfg, id).expect("sweep");
     let stats_at = |vpp: f64| -> (Option<u64>, f64) {
         let mut min_hc: Option<u64> = None;
         let mut sum = 0.0;
         let mut n = 0usize;
-        for r in sweep.records.iter().filter(|r| (r.vpp - vpp).abs() < 1e-9) {
+        for r in sweep.records.iter().filter(|r| level_matches(r.vpp, vpp)) {
             if let Some(h) = r.hc_first {
                 min_hc = Some(min_hc.map_or(h, |m| m.min(h)));
             }
@@ -68,8 +69,8 @@ fn main() {
         "BER@min".into(),
         "paper(HCf/BER@2.5)".into(),
     ]);
-    for &id in &cfg.modules {
-        module_row(&cfg, id, &mut t);
+    for sweep in rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep") {
+        module_row(&sweep, &mut t);
     }
     print!("{}", t.render());
     println!(

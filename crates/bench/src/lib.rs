@@ -9,8 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hammervolt_core::exec::ExecConfig;
 use hammervolt_core::study::StudyConfig;
-use hammervolt_dram::registry::ModuleId;
 
 /// Run scale, selected with the `HAMMERVOLT_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,24 +36,20 @@ impl Scale {
     /// The study configuration for this scale.
     pub fn config(&self) -> StudyConfig {
         match self {
-            Scale::Smoke => StudyConfig {
-                rows_per_chunk: 4,
-                modules: vec![
-                    ModuleId::A0,
-                    ModuleId::A5,
-                    ModuleId::B3,
-                    ModuleId::B6,
-                    ModuleId::C5,
-                    ModuleId::C8,
-                ],
-                ..StudyConfig::quick()
-            },
+            Scale::Smoke => StudyConfig::smoke(),
             Scale::Quick => StudyConfig {
                 rows_per_chunk: 8,
                 ..StudyConfig::quick()
             },
             Scale::Paper => StudyConfig::paper(),
         }
+    }
+
+    /// The execution-engine configuration for harness runs: worker count and
+    /// sweep cache from `HAMMERVOLT_JOBS` / `HAMMERVOLT_CACHE_DIR`, so every
+    /// figure and table bin parallelizes (and caches) the same way.
+    pub fn exec(&self) -> ExecConfig {
+        ExecConfig::from_env()
     }
 
     /// Human-readable banner line for harness output.

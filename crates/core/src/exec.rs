@@ -1,0 +1,789 @@
+//! Parallel study execution engine: deterministic sharding plus a
+//! content-addressed sweep cache.
+//!
+//! The study's sweeps are embarrassingly parallel *across modules* (each
+//! module is an independent specimen) and, with care, *within a module*
+//! (the row sample splits into chunks). The care is the device model's
+//! cycle-to-cycle measurement noise: it is drawn from an advancing stream,
+//! so a row's measured values depend on every operation issued before it.
+//! Run the same rows in a different order — or on a different worker — and
+//! the noise differs.
+//!
+//! This engine removes that order dependence by making the *chunk* the unit
+//! of execution:
+//!
+//! - every `(module, chunk)` work unit brings up its **own** fresh
+//!   [`SoftMc`] session from the module's specimen seed (per-cell physics
+//!   are a pure function of that seed, so every session sees the same
+//!   silicon), and
+//! - rebases the session's noise stream onto a seed derived from
+//!   `(seed, module, bank, chunk)` (see `hammervolt_dram::hash::chunk_seed`).
+//!
+//! A unit's records are then a pure function of the study configuration and
+//! the unit's coordinates — never of scheduling — so sweep output is
+//! **byte-identical for any worker count**, including one. The
+//! single-threaded entry points in [`crate::study`] delegate here with
+//! [`ExecConfig::serial`], so there is exactly one semantics.
+//!
+//! # Sweep cache
+//!
+//! With `cache_dir` set, each completed module sweep is persisted as a
+//! single-line JSON record in a file whose name embeds a 64-bit FNV-1a hash
+//! of the full [`StudyConfig`] (with `modules` normalized to the one module
+//! under test, so subset runs share entries) plus the sweep kind and its
+//! parameters. A later run with the same configuration loads the file and
+//! performs zero re-simulation; any configuration change produces a
+//! different key, so entries never need invalidation. Serialization
+//! round-trips floats exactly (shortest-representation printing), so cached
+//! and freshly computed sweeps are byte-identical.
+
+use crate::alg1::{self, Alg1Config};
+use crate::alg2;
+use crate::alg3;
+use crate::error::StudyError;
+use crate::experiment::vpp_ladder;
+use crate::patterns::DataPattern;
+use crate::records::{RetentionRecord, RowHammerRecord, TrcdRecord};
+use crate::study::{
+    level_matches, thin_levels, ModuleHammerSweep, ModuleRetentionSweep, ModuleTrcdSweep,
+    StudyConfig,
+};
+use hammervolt_dram::hash;
+use hammervolt_dram::physics::VPP_NOMINAL;
+use hammervolt_dram::registry::ModuleId;
+use hammervolt_softmc::SoftMc;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the engine runs: worker count and optional sweep cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Directory for the content-addressed sweep cache; `None` disables
+    /// caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl ExecConfig {
+    /// One worker, no cache — the reference serial semantics.
+    pub fn serial() -> Self {
+        ExecConfig {
+            jobs: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// `jobs` workers, no cache.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecConfig {
+            jobs,
+            cache_dir: None,
+        }
+    }
+
+    /// Reads `HAMMERVOLT_JOBS` (worker count, `0` = auto) and
+    /// `HAMMERVOLT_CACHE_DIR` (cache directory) from the environment.
+    /// Unset variables leave the defaults: one worker per CPU, no cache.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("HAMMERVOLT_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let cache_dir = std::env::var("HAMMERVOLT_CACHE_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        ExecConfig { jobs, cache_dir }
+    }
+
+    /// The concrete worker count this configuration resolves to.
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// Applies `f` to every item on up to `jobs` threads, returning results in
+/// item order. Scheduling affects only wall-clock time: each result slot is
+/// written by whichever worker claimed that index.
+fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Work units
+// ---------------------------------------------------------------------------
+
+/// One `(module, chunk)` work unit.
+struct Unit {
+    /// Index of the module in the driver's module list.
+    module_index: usize,
+    id: ModuleId,
+    chunk: u64,
+    rows: Vec<u32>,
+}
+
+/// A unit's output: the module-wide sweep metadata (identical across the
+/// module's units by determinism) plus records grouped by ladder level.
+struct UnitOut<R> {
+    vpp_min: f64,
+    levels: Vec<f64>,
+    per_level: Vec<Vec<R>>,
+}
+
+/// Brings up a unit's private session: fresh device from the module's
+/// specimen seed, `V_PPmin` search, then the noise stream rebased onto the
+/// unit's chunk seed so results are independent of scheduling.
+fn bring_up_unit(
+    config: &StudyConfig,
+    id: ModuleId,
+    chunk: u64,
+) -> Result<(SoftMc, f64), StudyError> {
+    let mut mc = config.bring_up(id)?;
+    let vpp_min = mc.find_vppmin()?;
+    mc.set_vpp(VPP_NOMINAL)?;
+    mc.module_mut()
+        .reseed_noise(hash::chunk_seed(config.module_seed(id), config.bank, chunk));
+    Ok((mc, vpp_min))
+}
+
+/// Alg. 1 unit: the full ladder over this chunk's rows, with per-row WCDP
+/// reuse across levels (§4.1/footnote 9 — the WCDP search runs once at
+/// nominal `V_PP`, the chosen pattern is reused below).
+fn hammer_unit(
+    config: &StudyConfig,
+    id: ModuleId,
+    chunk: u64,
+    rows: &[u32],
+) -> Result<UnitOut<RowHammerRecord>, StudyError> {
+    let (mut mc, vpp_min) = bring_up_unit(config, id, chunk)?;
+    let levels = vpp_ladder(vpp_min);
+    let mut per_level: Vec<Vec<RowHammerRecord>> = levels.iter().map(|_| Vec::new()).collect();
+    let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
+    for (li, &vpp) in levels.iter().enumerate() {
+        mc.set_vpp(vpp)?;
+        for &row in rows {
+            let cfg = if let Some(&wcdp) = wcdp_by_row.get(&row) {
+                Alg1Config {
+                    wcdp_override: Some(wcdp),
+                    ..config.alg1
+                }
+            } else {
+                config.alg1
+            };
+            let m = match alg1::measure_row(&mut mc, config.bank, row, &cfg) {
+                Ok(m) => m,
+                Err(StudyError::NoAggressor { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            wcdp_by_row.entry(row).or_insert(m.wcdp);
+            per_level[li].push(RowHammerRecord {
+                module: id,
+                vpp,
+                bank: config.bank,
+                row,
+                wcdp: m.wcdp,
+                hc_first: m.hc_first,
+                ber: m.ber,
+            });
+        }
+    }
+    Ok(UnitOut {
+        vpp_min,
+        levels,
+        per_level,
+    })
+}
+
+/// Alg. 2 unit: the thinned ladder over this chunk's rows.
+fn trcd_unit(
+    config: &StudyConfig,
+    id: ModuleId,
+    levels_cap: usize,
+    chunk: u64,
+    rows: &[u32],
+) -> Result<UnitOut<TrcdRecord>, StudyError> {
+    let (mut mc, vpp_min) = bring_up_unit(config, id, chunk)?;
+    let levels = thin_levels(&vpp_ladder(vpp_min), levels_cap.max(2));
+    let mut per_level: Vec<Vec<TrcdRecord>> = levels.iter().map(|_| Vec::new()).collect();
+    for (li, &vpp) in levels.iter().enumerate() {
+        mc.set_vpp(vpp)?;
+        for &row in rows {
+            let m = alg2::measure_row(&mut mc, config.bank, row, &config.alg2)?;
+            per_level[li].push(TrcdRecord {
+                module: id,
+                vpp,
+                bank: config.bank,
+                row,
+                t_rcd_min_ns: m.t_rcd_min_ns,
+            });
+        }
+    }
+    Ok(UnitOut {
+        vpp_min,
+        levels,
+        per_level,
+    })
+}
+
+/// Alg. 3 unit: the retention levels over this chunk's rows at 80 °C.
+fn retention_unit(
+    config: &StudyConfig,
+    id: ModuleId,
+    chunk: u64,
+    rows: &[u32],
+) -> Result<UnitOut<RetentionRecord>, StudyError> {
+    let mut mc = config.bring_up(id)?;
+    let vpp_min = mc.find_vppmin()?;
+    mc.set_temperature(80.0)?;
+    mc.module_mut()
+        .reseed_noise(hash::chunk_seed(config.module_seed(id), config.bank, chunk));
+    let mut levels: Vec<f64> = config
+        .retention_vpp_levels
+        .iter()
+        .map(|&v| v.max(vpp_min))
+        .collect();
+    levels.dedup_by(|a, b| level_matches(*a, *b));
+    let mut per_level: Vec<Vec<RetentionRecord>> = levels.iter().map(|_| Vec::new()).collect();
+    for (li, &vpp) in levels.iter().enumerate() {
+        mc.set_vpp(vpp)?;
+        for &row in rows {
+            let m = alg3::measure_row(&mut mc, config.bank, row, &config.alg3)?;
+            for p in &m.points {
+                per_level[li].push(RetentionRecord {
+                    module: id,
+                    vpp,
+                    bank: config.bank,
+                    row,
+                    window_s: p.window_s,
+                    ber: p.ber,
+                });
+            }
+        }
+    }
+    Ok(UnitOut {
+        vpp_min,
+        levels,
+        per_level,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Sharded driver
+// ---------------------------------------------------------------------------
+
+/// One module's assembled sweep: `(vpp_min, levels, records)`.
+type Assembled<R> = (f64, Vec<f64>, Vec<R>);
+
+/// Plans the `(module, chunk)` units for a module list, runs them on the
+/// worker pool, and reassembles each module's records in canonical order
+/// (level-major, chunks ascending — the order a serial sweep produces).
+fn run_sharded<R, F>(
+    config: &StudyConfig,
+    modules: &[ModuleId],
+    exec: &ExecConfig,
+    run_unit: F,
+) -> Result<Vec<Assembled<R>>, StudyError>
+where
+    R: Send,
+    F: Fn(ModuleId, u64, &[u32]) -> Result<UnitOut<R>, StudyError> + Sync,
+{
+    let mut units: Vec<Unit> = Vec::new();
+    for (module_index, &id) in modules.iter().enumerate() {
+        let groups = config.sample(config.geometry_for(id)).groups();
+        if groups.is_empty() {
+            return Err(StudyError::InvalidConfig {
+                reason: format!("module {} has an empty row sample", id.label()),
+            });
+        }
+        for (chunk, rows) in groups.into_iter().enumerate() {
+            units.push(Unit {
+                module_index,
+                id,
+                chunk: chunk as u64,
+                rows,
+            });
+        }
+    }
+    let outputs = parallel_map(&units, exec.effective_jobs(), |u| {
+        run_unit(u.id, u.chunk, &u.rows)
+    });
+    let mut per_module: Vec<Vec<UnitOut<R>>> = modules.iter().map(|_| Vec::new()).collect();
+    for (unit, out) in units.iter().zip(outputs) {
+        per_module[unit.module_index].push(out?);
+    }
+    Ok(per_module.into_iter().map(stitch).collect())
+}
+
+/// Concatenates a module's unit outputs into one record list: level-major,
+/// then chunks in ascending order — matching a serial sweep of the whole
+/// sample.
+fn stitch<R>(mut units: Vec<UnitOut<R>>) -> Assembled<R> {
+    let vpp_min = units[0].vpp_min;
+    let levels = units[0].levels.clone();
+    debug_assert!(
+        units.iter().all(|u| u.levels.len() == levels.len()),
+        "units of one module must agree on the ladder"
+    );
+    let mut records = Vec::new();
+    for li in 0..levels.len() {
+        for unit in &mut units {
+            records.append(&mut unit.per_level[li]);
+        }
+    }
+    (vpp_min, levels, records)
+}
+
+// ---------------------------------------------------------------------------
+// Content-addressed sweep cache
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over a byte string, continuing from `h`.
+fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// The cache key for one module's sweep: a hash of the full configuration
+/// (with `modules` normalized to the one module, so subset runs share
+/// entries), the sweep kind, and any kind-specific parameter.
+fn sweep_key(config: &StudyConfig, id: ModuleId, kind: &str, extra: u64) -> u64 {
+    let normalized = StudyConfig {
+        modules: vec![id],
+        ..config.clone()
+    };
+    let json = serde_json::to_string(&normalized).expect("StudyConfig serializes");
+    let mut h = fnv1a64(kind.as_bytes(), FNV_OFFSET);
+    h = fnv1a64(&extra.to_le_bytes(), h);
+    fnv1a64(json.as_bytes(), h)
+}
+
+fn cache_path(dir: &Path, kind: &str, id: ModuleId, key: u64) -> PathBuf {
+    dir.join(format!("{kind}-{}-{key:016x}.jsonl", id.label()))
+}
+
+/// Loads a cached sweep; `None` on miss or any read/parse failure (the
+/// entry is then recomputed and rewritten).
+fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path) -> Option<T> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().find(|l| !l.trim().is_empty())?;
+    serde_json::from_str(line).ok()
+}
+
+/// Persists a sweep as one JSON line, atomically (write-then-rename), so a
+/// concurrent reader never sees a partial entry. Best-effort: cache I/O
+/// failures never fail the sweep.
+fn cache_store<T: Serialize>(path: &Path, value: &T) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let Ok(json) = serde_json::to_string(value) else {
+        return;
+    };
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, json + "\n").is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+/// Runs `compute` for the modules missing from the cache, merging cached
+/// and fresh sweeps back into the caller's module order.
+fn with_cache<T, G>(
+    config: &StudyConfig,
+    modules: &[ModuleId],
+    exec: &ExecConfig,
+    kind: &str,
+    extra: u64,
+    compute: G,
+) -> Result<Vec<T>, StudyError>
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+    G: FnOnce(&[ModuleId]) -> Result<Vec<T>, StudyError>,
+{
+    let Some(dir) = exec.cache_dir.as_deref() else {
+        return compute(modules);
+    };
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(modules.len());
+    let mut missing: Vec<ModuleId> = Vec::new();
+    for &id in modules {
+        let path = cache_path(dir, kind, id, sweep_key(config, id, kind, extra));
+        let hit = cache_load::<T>(&path);
+        if hit.is_none() {
+            missing.push(id);
+        }
+        slots.push(hit);
+    }
+    let fresh = compute(&missing)?;
+    let mut fresh = fresh.into_iter();
+    for (slot, &id) in slots.iter_mut().zip(modules) {
+        if slot.is_none() {
+            let sweep = fresh.next().expect("compute returns one sweep per module");
+            let path = cache_path(dir, kind, id, sweep_key(config, id, kind, extra));
+            cache_store(&path, &sweep);
+            *slot = Some(sweep);
+        }
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Public sweep drivers
+// ---------------------------------------------------------------------------
+
+fn hammer_sweeps_for(
+    config: &StudyConfig,
+    modules: &[ModuleId],
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleHammerSweep>, StudyError> {
+    with_cache(config, modules, exec, "hammer", 0, |missing| {
+        let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+            hammer_unit(config, id, chunk, rows)
+        })?;
+        Ok(missing
+            .iter()
+            .zip(assembled)
+            .map(|(&id, (vpp_min, vpp_levels, records))| ModuleHammerSweep {
+                module: id,
+                vpp_min,
+                vpp_levels,
+                records,
+            })
+            .collect())
+    })
+}
+
+/// Runs the Alg. 1 RowHammer sweep for every module in the configuration,
+/// sharded across modules *and* row chunks within each module.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn rowhammer_sweeps(
+    config: &StudyConfig,
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleHammerSweep>, StudyError> {
+    hammer_sweeps_for(config, &config.modules, exec)
+}
+
+/// Runs the Alg. 1 sweep for one module (its chunks still run in parallel).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn rowhammer_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+    exec: &ExecConfig,
+) -> Result<ModuleHammerSweep, StudyError> {
+    Ok(hammer_sweeps_for(config, &[id], exec)?
+        .pop()
+        .expect("one module in, one sweep out"))
+}
+
+fn trcd_sweeps_for(
+    config: &StudyConfig,
+    modules: &[ModuleId],
+    levels_cap: usize,
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
+    with_cache(
+        config,
+        modules,
+        exec,
+        "trcd",
+        levels_cap as u64,
+        |missing| {
+            let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+                trcd_unit(config, id, levels_cap, chunk, rows)
+            })?;
+            Ok(missing
+                .iter()
+                .zip(assembled)
+                .map(|(&id, (vpp_min, vpp_levels, records))| ModuleTrcdSweep {
+                    module: id,
+                    vpp_min,
+                    vpp_levels,
+                    records,
+                })
+                .collect())
+        },
+    )
+}
+
+/// Runs the Alg. 2 activation-latency sweep for every configured module.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn trcd_sweeps(
+    config: &StudyConfig,
+    levels_cap: usize,
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
+    trcd_sweeps_for(config, &config.modules, levels_cap, exec)
+}
+
+/// Runs the Alg. 2 sweep for one module (its chunks still run in parallel).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn trcd_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+    levels_cap: usize,
+    exec: &ExecConfig,
+) -> Result<ModuleTrcdSweep, StudyError> {
+    Ok(trcd_sweeps_for(config, &[id], levels_cap, exec)?
+        .pop()
+        .expect("one module in, one sweep out"))
+}
+
+fn retention_sweeps_for(
+    config: &StudyConfig,
+    modules: &[ModuleId],
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
+    with_cache(config, modules, exec, "retention", 0, |missing| {
+        let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+            retention_unit(config, id, chunk, rows)
+        })?;
+        Ok(missing
+            .iter()
+            .zip(assembled)
+            .map(
+                |(&id, (vpp_min, vpp_levels, records))| ModuleRetentionSweep {
+                    module: id,
+                    vpp_min,
+                    vpp_levels,
+                    records,
+                },
+            )
+            .collect())
+    })
+}
+
+/// Runs the Alg. 3 retention sweep for every configured module.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn retention_sweeps(
+    config: &StudyConfig,
+    exec: &ExecConfig,
+) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
+    retention_sweeps_for(config, &config.modules, exec)
+}
+
+/// Runs the Alg. 3 sweep for one module (its chunks still run in parallel).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit.
+pub fn retention_sweep(
+    config: &StudyConfig,
+    id: ModuleId,
+    exec: &ExecConfig,
+) -> Result<ModuleRetentionSweep, StudyError> {
+    Ok(retention_sweeps_for(config, &[id], exec)?
+        .pop()
+        .expect("one module in, one sweep out"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn tiny_config(modules: &[ModuleId]) -> StudyConfig {
+        StudyConfig {
+            rows_per_chunk: 3,
+            ..StudyConfig::quick_subset(modules)
+        }
+    }
+
+    fn unique_temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("hammervolt-exec-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        // degenerate pools
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1).len(), 37);
+        assert!(parallel_map(&Vec::<u64>::new(), 8, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn hammer_sweep_is_identical_across_worker_counts() {
+        let cfg = tiny_config(&[ModuleId::B3]);
+        let serial = rowhammer_sweep(&cfg, ModuleId::B3, &ExecConfig::serial()).unwrap();
+        for jobs in [2, 4, 16] {
+            let parallel =
+                rowhammer_sweep(&cfg, ModuleId::B3, &ExecConfig::with_jobs(jobs)).unwrap();
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&parallel).unwrap(),
+                "jobs={jobs} must be byte-identical to serial"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_module_sweeps_match_single_module_runs() {
+        let cfg = tiny_config(&[ModuleId::B3, ModuleId::C0]);
+        let together = rowhammer_sweeps(&cfg, &ExecConfig::with_jobs(4)).unwrap();
+        assert_eq!(together.len(), 2);
+        for (i, &id) in cfg.modules.iter().enumerate() {
+            let alone = rowhammer_sweep(&cfg, id, &ExecConfig::serial()).unwrap();
+            assert_eq!(
+                serde_json::to_string(&together[i]).unwrap(),
+                serde_json::to_string(&alone).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_byte_identically() {
+        let cfg = tiny_config(&[ModuleId::B3]);
+        let dir = unique_temp_dir("roundtrip");
+        let exec = ExecConfig {
+            jobs: 2,
+            cache_dir: Some(dir.clone()),
+        };
+        let cold = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
+        // The entry exists on disk now.
+        let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);
+        assert!(cache_path(&dir, "hammer", ModuleId::B3, key).exists());
+        // Warm run: loaded, not recomputed, identical bytes.
+        let warm = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_keys_separate_configs_kinds_and_modules() {
+        let a = tiny_config(&[ModuleId::B3]);
+        let b = StudyConfig {
+            rows_per_chunk: 4,
+            ..a.clone()
+        };
+        assert_ne!(
+            sweep_key(&a, ModuleId::B3, "hammer", 0),
+            sweep_key(&b, ModuleId::B3, "hammer", 0)
+        );
+        assert_ne!(
+            sweep_key(&a, ModuleId::B3, "hammer", 0),
+            sweep_key(&a, ModuleId::B3, "trcd", 0)
+        );
+        assert_ne!(
+            sweep_key(&a, ModuleId::B3, "trcd", 2),
+            sweep_key(&a, ModuleId::B3, "trcd", 4)
+        );
+        assert_ne!(
+            sweep_key(&a, ModuleId::B3, "hammer", 0),
+            sweep_key(&a, ModuleId::C0, "hammer", 0)
+        );
+        // The key ignores which *other* modules the config selects.
+        let subset = tiny_config(&[ModuleId::B3, ModuleId::C0]);
+        assert_eq!(
+            sweep_key(&a, ModuleId::B3, "hammer", 0),
+            sweep_key(&subset, ModuleId::B3, "hammer", 0)
+        );
+    }
+
+    #[test]
+    fn corrupt_cache_entries_are_recomputed() {
+        let cfg = tiny_config(&[ModuleId::B3]);
+        let dir = unique_temp_dir("corrupt");
+        let exec = ExecConfig {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+        };
+        let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);
+        let path = cache_path(&dir, "hammer", ModuleId::B3, key);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "not json\n").unwrap();
+        let sweep = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
+        assert!(!sweep.records.is_empty());
+        // The corrupt entry was replaced by a valid one.
+        assert!(cache_load::<ModuleHammerSweep>(&path).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trcd_and_retention_are_identical_across_worker_counts() {
+        let cfg = tiny_config(&[ModuleId::A0]);
+        let t1 = trcd_sweep(&cfg, ModuleId::A0, 3, &ExecConfig::serial()).unwrap();
+        let t4 = trcd_sweep(&cfg, ModuleId::A0, 3, &ExecConfig::with_jobs(4)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&t1).unwrap(),
+            serde_json::to_string(&t4).unwrap()
+        );
+        let r1 = retention_sweep(&cfg, ModuleId::A0, &ExecConfig::serial()).unwrap();
+        let r4 = retention_sweep(&cfg, ModuleId::A0, &ExecConfig::with_jobs(4)).unwrap();
+        assert_eq!(
+            serde_json::to_string(&r1).unwrap(),
+            serde_json::to_string(&r4).unwrap()
+        );
+    }
+}

@@ -53,6 +53,22 @@ impl RowSample {
         &self.rows
     }
 
+    /// The sample's contiguous chunks, in ascending row order — the unit of
+    /// within-module sharding for the parallel execution engine. A chunk's
+    /// index in this list feeds the chunk-seed derivation, so the grouping is
+    /// a pure function of the geometry and chunk length (on tiny geometries
+    /// adjacent chunks may merge into one run).
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        for &row in &self.rows {
+            match out.last_mut() {
+                Some(run) if *run.last().expect("runs are non-empty") + 1 == row => run.push(row),
+                _ => out.push(vec![row]),
+            }
+        }
+        out
+    }
+
     /// Number of sampled rows.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -107,6 +123,24 @@ mod tests {
             spread > g.rows_per_bank / 2,
             "chunks must span the bank, spread = {spread}"
         );
+    }
+
+    #[test]
+    fn groups_partition_the_sample_in_order() {
+        let g = Geometry::ddr4(
+            hammervolt_dram::geometry::Density::D8Gb,
+            hammervolt_dram::geometry::ChipOrg::X8,
+        );
+        let s = RowSample::quick(g, 16);
+        let groups = s.groups();
+        assert_eq!(groups.len(), 4, "four well-separated chunks on a full die");
+        let flat: Vec<u32> = groups.iter().flatten().copied().collect();
+        assert_eq!(flat, s.rows(), "groups concatenate back to the sample");
+        for run in &groups {
+            for pair in run.windows(2) {
+                assert_eq!(pair[0] + 1, pair[1], "each group is contiguous");
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! - [`records`] — serializable measurement records,
 //! - [`study`] — orchestration of full module sweeps, producing the data
 //!   behind each figure and table,
+//! - [`exec`] — the parallel execution engine: deterministic sharding of
+//!   sweeps across modules and row chunks, plus a content-addressed sweep
+//!   cache,
 //! - [`attacks`] — the attack-pattern family (single-, double-, many-sided)
 //!   behind §4.2's effectiveness claim,
 //! - [`recommend`] — §8's optimal-wordline-voltage selection (Table 3's
@@ -53,6 +56,7 @@ pub mod alg2;
 pub mod alg3;
 pub mod attacks;
 pub mod error;
+pub mod exec;
 pub mod experiment;
 pub mod mitigation;
 pub mod patterns;

@@ -181,7 +181,7 @@ mod tests {
         let chosen = rec
             .points
             .iter()
-            .find(|p| (p.vpp - rec.vpp_rec).abs() < 1e-9)
+            .find(|p| crate::study::level_matches(p.vpp, rec.vpp_rec))
             .expect("chosen point characterized");
         assert!(
             chosen.nominal_t_rcd_ok,

@@ -5,12 +5,11 @@
 //! flat records; the aggregation types compute the normalized series, the
 //! population ratios, and the headline statistics of §5/§6.
 
-use crate::alg1::{self, Alg1Config};
-use crate::alg2::{self, Alg2Config};
-use crate::alg3::{self, Alg3Config};
+use crate::alg1::Alg1Config;
+use crate::alg2::Alg2Config;
+use crate::alg3::Alg3Config;
 use crate::error::StudyError;
-use crate::experiment::{vpp_ladder, RowSample};
-use crate::patterns::DataPattern;
+use crate::experiment::RowSample;
 use crate::records::{RetentionRecord, RowHammerRecord, TrcdRecord};
 use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_dram::registry::{self, ModuleId};
@@ -86,6 +85,41 @@ impl StudyConfig {
         }
     }
 
+    /// The smoke protocol: a representative two-modules-per-manufacturer
+    /// subset of [`StudyConfig::quick`] with an even smaller row sample —
+    /// seconds instead of minutes (`HAMMERVOLT_SCALE=smoke`).
+    pub fn smoke() -> Self {
+        StudyConfig {
+            rows_per_chunk: 4,
+            modules: vec![
+                ModuleId::A0,
+                ModuleId::A5,
+                ModuleId::B3,
+                ModuleId::B6,
+                ModuleId::C5,
+                ModuleId::C8,
+            ],
+            ..StudyConfig::quick()
+        }
+    }
+
+    /// The specimen seed for a module: module `i` of the fleet uses
+    /// `seed + i`, independent of which modules this config selects.
+    pub fn module_seed(&self, id: ModuleId) -> u64 {
+        let index = ModuleId::ALL.iter().position(|&m| m == id).unwrap_or(0);
+        self.seed.wrapping_add(index as u64)
+    }
+
+    /// The geometry a module would be instantiated with, without building
+    /// the device (the execution engine plans row chunks from this).
+    pub fn geometry_for(&self, id: ModuleId) -> Geometry {
+        if self.reduced_geometry {
+            Geometry::small_test()
+        } else {
+            registry::spec(id).geometry()
+        }
+    }
+
     /// Brings up one module on the infrastructure.
     ///
     /// # Errors
@@ -93,14 +127,8 @@ impl StudyConfig {
     /// Propagates device construction errors.
     pub fn bring_up(&self, id: ModuleId) -> Result<SoftMc, StudyError> {
         let spec = registry::spec(id);
-        let index = ModuleId::ALL.iter().position(|&m| m == id).unwrap_or(0);
-        let seed = self.seed.wrapping_add(index as u64);
-        let module = if self.reduced_geometry {
-            DramModule::with_geometry(spec, seed, Geometry::small_test())
-        } else {
-            DramModule::new(spec, seed)
-        }
-        .map_err(|e| StudyError::Infrastructure(e.into()))?;
+        let module = DramModule::with_geometry(spec, self.module_seed(id), self.geometry_for(id))
+            .map_err(|e| StudyError::Infrastructure(e.into()))?;
         Ok(SoftMc::new(module))
     }
 
@@ -134,11 +162,21 @@ pub struct NormalizedPoint {
     pub band: ConfidenceInterval,
 }
 
+/// Whether two `V_PP` values denote the same ladder level.
+///
+/// The supply quantizes to 1 mV and the ladder is generated at that
+/// resolution, so levels are compared at half-millivolt tolerance rather
+/// than float equality: `2.5 - 9 × 0.1` and `1.6` are the same level even
+/// though their bit patterns differ.
+pub fn level_matches(a: f64, b: f64) -> bool {
+    (a - b).abs() < 5e-4
+}
+
 impl ModuleHammerSweep {
     fn records_at(&self, vpp: f64) -> impl Iterator<Item = &RowHammerRecord> {
         self.records
             .iter()
-            .filter(move |r| (r.vpp - vpp).abs() < 1e-9)
+            .filter(move |r| level_matches(r.vpp, vpp))
     }
 
     fn baseline_by_row<F: Fn(&RowHammerRecord) -> Option<f64>>(
@@ -147,7 +185,7 @@ impl ModuleHammerSweep {
     ) -> HashMap<u32, f64> {
         self.records_at(VPP_NOMINAL)
             .filter_map(|r| metric(r).map(|v| (r.row, v)))
-            .filter(|&(_, v)| v > 0.0)
+            .filter(|&(_, v)| v > 0.0 && v.is_finite())
             .collect()
     }
 
@@ -191,17 +229,31 @@ impl ModuleHammerSweep {
     }
 
     /// Figs. 4/6 data: per-row normalized values at `V_PPmin`.
+    ///
+    /// Rows with a zero (or non-finite) baseline — rows that never flip at
+    /// nominal `V_PP` — have no meaningful ratio and are excluded rather than
+    /// contributing `NaN`/`inf` to the population.
     pub fn row_ratios_at_vppmin(&self) -> (Vec<f64>, Vec<f64>) {
         let ber_base = self.baseline_by_row(&|r: &RowHammerRecord| Some(r.ber));
         let hc_base = self.baseline_by_row(&|r: &RowHammerRecord| r.hc_first.map(|h| h as f64));
         let mut ber = Vec::new();
         let mut hc = Vec::new();
         for r in self.records_at(self.vpp_min) {
-            if let Some(b) = ber_base.get(&r.row) {
-                ber.push(r.ber / b);
+            if let Some(&b) = ber_base.get(&r.row) {
+                if b > 0.0 {
+                    let ratio = r.ber / b;
+                    if ratio.is_finite() {
+                        ber.push(ratio);
+                    }
+                }
             }
-            if let (Some(h), Some(b)) = (r.hc_first, hc_base.get(&r.row)) {
-                hc.push(h as f64 / b);
+            if let (Some(h), Some(&b)) = (r.hc_first, hc_base.get(&r.row)) {
+                if b > 0.0 {
+                    let ratio = h as f64 / b;
+                    if ratio.is_finite() {
+                        hc.push(ratio);
+                    }
+                }
             }
         }
         (ber, hc)
@@ -212,6 +264,10 @@ impl ModuleHammerSweep {
 /// then the full ladder down to `V_PPmin` reusing each row's WCDP
 /// (§4.1/footnote 9).
 ///
+/// This is the single-threaded entry point; it delegates to the
+/// [`exec`](crate::exec) engine with one worker, so its output is
+/// byte-identical to a parallel run of the same configuration.
+///
 /// # Errors
 ///
 /// Propagates infrastructure errors.
@@ -219,48 +275,7 @@ pub fn rowhammer_sweep(
     config: &StudyConfig,
     id: ModuleId,
 ) -> Result<ModuleHammerSweep, StudyError> {
-    let mut mc = config.bring_up(id)?;
-    let vpp_min = mc.find_vppmin()?;
-    mc.set_vpp(VPP_NOMINAL)?;
-    let sample = config.sample(mc.module().geometry());
-    let levels = vpp_ladder(vpp_min);
-    let mut records = Vec::new();
-    let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
-
-    for &vpp in &levels {
-        mc.set_vpp(vpp)?;
-        for &row in sample.rows() {
-            let cfg = if let Some(&wcdp) = wcdp_by_row.get(&row) {
-                Alg1Config {
-                    wcdp_override: Some(wcdp),
-                    ..config.alg1
-                }
-            } else {
-                config.alg1
-            };
-            let m = match alg1::measure_row(&mut mc, config.bank, row, &cfg) {
-                Ok(m) => m,
-                Err(StudyError::NoAggressor { .. }) => continue,
-                Err(e) => return Err(e),
-            };
-            wcdp_by_row.entry(row).or_insert(m.wcdp);
-            records.push(RowHammerRecord {
-                module: id,
-                vpp,
-                bank: config.bank,
-                row,
-                wcdp: m.wcdp,
-                hc_first: m.hc_first,
-                ber: m.ber,
-            });
-        }
-    }
-    Ok(ModuleHammerSweep {
-        module: id,
-        vpp_min,
-        vpp_levels: levels,
-        records,
-    })
+    crate::exec::rowhammer_sweep(config, id, &crate::exec::ExecConfig::serial())
 }
 
 /// One module's `t_RCD` sweep across its ladder.
@@ -278,20 +293,31 @@ pub struct ModuleTrcdSweep {
 
 impl ModuleTrcdSweep {
     /// Worst (largest) `t_RCDmin` at each level — the Fig. 7 curve.
+    ///
+    /// Single pass over the records: each record is bucketed by its ladder
+    /// level index (via [`level_matches`]) instead of rescanning the record
+    /// list once per level.
     pub fn worst_per_level(&self) -> Vec<(f64, Option<f64>)> {
+        let mut worst: Vec<Option<f64>> = vec![None; self.vpp_levels.len()];
+        let mut incomplete = vec![false; self.vpp_levels.len()];
+        for r in &self.records {
+            let Some(li) = self
+                .vpp_levels
+                .iter()
+                .position(|&v| level_matches(v, r.vpp))
+            else {
+                continue;
+            };
+            match r.t_rcd_min_ns {
+                Some(t) => worst[li] = Some(worst[li].map_or(t, |w: f64| w.max(t))),
+                None => incomplete[li] = true,
+            }
+        }
         self.vpp_levels
             .iter()
-            .map(|&vpp| {
-                let mut worst: Option<f64> = None;
-                let mut incomplete = false;
-                for r in self.records.iter().filter(|r| (r.vpp - vpp).abs() < 1e-9) {
-                    match r.t_rcd_min_ns {
-                        Some(t) => worst = Some(worst.map_or(t, |w: f64| w.max(t))),
-                        None => incomplete = true,
-                    }
-                }
-                (vpp, if incomplete { None } else { worst })
-            })
+            .zip(worst)
+            .zip(incomplete)
+            .map(|((&vpp, w), inc)| (vpp, if inc { None } else { w }))
             .collect()
     }
 }
@@ -299,6 +325,9 @@ impl ModuleTrcdSweep {
 /// Runs the Alg. 2 sweep for one module. To bound cost, the `t_RCD` study
 /// sweeps nominal and `V_PPmin` plus evenly spaced intermediate levels
 /// (`levels_cap` total).
+///
+/// Single-threaded entry point; delegates to the [`exec`](crate::exec)
+/// engine with one worker (byte-identical to a parallel run).
 ///
 /// # Errors
 ///
@@ -308,32 +337,7 @@ pub fn trcd_sweep(
     id: ModuleId,
     levels_cap: usize,
 ) -> Result<ModuleTrcdSweep, StudyError> {
-    let mut mc = config.bring_up(id)?;
-    let vpp_min = mc.find_vppmin()?;
-    mc.set_vpp(VPP_NOMINAL)?;
-    let sample = config.sample(mc.module().geometry());
-    let ladder = vpp_ladder(vpp_min);
-    let levels: Vec<f64> = thin_levels(&ladder, levels_cap.max(2));
-    let mut records = Vec::new();
-    for &vpp in &levels {
-        mc.set_vpp(vpp)?;
-        for &row in sample.rows() {
-            let m = alg2::measure_row(&mut mc, config.bank, row, &config.alg2)?;
-            records.push(TrcdRecord {
-                module: id,
-                vpp,
-                bank: config.bank,
-                row,
-                t_rcd_min_ns: m.t_rcd_min_ns,
-            });
-        }
-    }
-    Ok(ModuleTrcdSweep {
-        module: id,
-        vpp_min,
-        vpp_levels: levels,
-        records,
-    })
+    crate::exec::trcd_sweep(config, id, levels_cap, &crate::exec::ExecConfig::serial())
 }
 
 /// One module's retention sweep.
@@ -353,7 +357,7 @@ impl ModuleRetentionSweep {
     /// Mean retention BER per window at one level — a Fig. 10a curve.
     pub fn mean_ber_curve(&self, vpp: f64) -> Vec<(f64, f64)> {
         let mut by_window: HashMap<u64, (f64, usize)> = HashMap::new();
-        for r in self.records.iter().filter(|r| (r.vpp - vpp).abs() < 1e-9) {
+        for r in self.records.iter().filter(|r| level_matches(r.vpp, vpp)) {
             let key = (r.window_s * 1e6) as u64;
             let e = by_window.entry(key).or_insert((0.0, 0));
             e.0 += r.ber;
@@ -371,7 +375,7 @@ impl ModuleRetentionSweep {
     pub fn row_bers_at(&self, vpp: f64, window_s: f64) -> Vec<f64> {
         self.records
             .iter()
-            .filter(|r| (r.vpp - vpp).abs() < 1e-9 && (r.window_s - window_s).abs() < 1e-9)
+            .filter(|r| level_matches(r.vpp, vpp) && (r.window_s - window_s).abs() < 1e-9)
             .map(|r| r.ber)
             .collect()
     }
@@ -380,6 +384,9 @@ impl ModuleRetentionSweep {
 /// Runs the Alg. 3 sweep for one module at 80 °C across the configured
 /// retention `V_PP` levels.
 ///
+/// Single-threaded entry point; delegates to the [`exec`](crate::exec)
+/// engine with one worker (byte-identical to a parallel run).
+///
 /// # Errors
 ///
 /// Propagates infrastructure errors.
@@ -387,39 +394,7 @@ pub fn retention_sweep(
     config: &StudyConfig,
     id: ModuleId,
 ) -> Result<ModuleRetentionSweep, StudyError> {
-    let mut mc = config.bring_up(id)?;
-    let vpp_min = mc.find_vppmin()?;
-    mc.set_temperature(80.0)?;
-    let sample = config.sample(mc.module().geometry());
-    let mut levels: Vec<f64> = config
-        .retention_vpp_levels
-        .iter()
-        .map(|&v| v.max(vpp_min))
-        .collect();
-    levels.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
-    let mut records = Vec::new();
-    for &vpp in &levels {
-        mc.set_vpp(vpp)?;
-        for &row in sample.rows() {
-            let m = alg3::measure_row(&mut mc, config.bank, row, &config.alg3)?;
-            for p in &m.points {
-                records.push(RetentionRecord {
-                    module: id,
-                    vpp,
-                    bank: config.bank,
-                    row,
-                    window_s: p.window_s,
-                    ber: p.ber,
-                });
-            }
-        }
-    }
-    Ok(ModuleRetentionSweep {
-        module: id,
-        vpp_min,
-        vpp_levels: levels,
-        records,
-    })
+    crate::exec::retention_sweep(config, id, &crate::exec::ExecConfig::serial())
 }
 
 /// Headline statistics across modules (Takeaway 1).
@@ -502,7 +477,7 @@ pub fn ratios_by_manufacturer(
 }
 
 /// Thins a ladder to at most `cap` levels, always keeping both endpoints.
-fn thin_levels(ladder: &[f64], cap: usize) -> Vec<f64> {
+pub(crate) fn thin_levels(ladder: &[f64], cap: usize) -> Vec<f64> {
     if ladder.len() <= cap {
         return ladder.to_vec();
     }
@@ -644,5 +619,110 @@ mod tests {
         let n = normalize_curve(&[2.0, 1.0]).unwrap();
         assert_eq!(n, vec![1.0, 0.5]);
         assert!(normalize_curve(&[0.0, 1.0]).is_err());
+    }
+
+    fn hammer_record(vpp: f64, row: u32, ber: f64, hc_first: Option<u64>) -> RowHammerRecord {
+        RowHammerRecord {
+            module: ModuleId::B3,
+            vpp,
+            bank: 0,
+            row,
+            wcdp: crate::patterns::DataPattern::CheckerboardAa,
+            hc_first,
+            ber,
+        }
+    }
+
+    #[test]
+    fn level_matching_tolerates_ladder_arithmetic() {
+        // Repeated 0.1 V decrements drift off 1.6 bit-for-bit; they are
+        // still the same ladder level.
+        let mut computed: f64 = 2.5;
+        for _ in 0..9 {
+            computed -= 0.1;
+        }
+        assert_ne!(computed.to_bits(), 1.6f64.to_bits());
+        assert!(level_matches(computed, 1.6));
+        // Adjacent 0.1 V levels never match.
+        assert!(!level_matches(1.6, 1.7));
+        assert!(!level_matches(2.5, 2.4));
+
+        // A sweep whose records carry the accumulated-arithmetic value is
+        // still found when querying the rounded level.
+        let sweep = ModuleHammerSweep {
+            module: ModuleId::B3,
+            vpp_min: 1.6,
+            vpp_levels: vec![2.5, computed],
+            records: vec![
+                hammer_record(2.5, 10, 1e-6, Some(100_000)),
+                hammer_record(computed, 10, 5e-7, Some(120_000)),
+            ],
+        };
+        assert_eq!(sweep.records_at(1.6).count(), 1);
+        let (ber, hc) = sweep.row_ratios_at_vppmin();
+        assert_eq!(ber.len(), 1);
+        assert_eq!(hc.len(), 1);
+    }
+
+    #[test]
+    fn row_ratios_exclude_zero_baseline_rows() {
+        // Row 10 never flips at nominal V_PP (BER 0, no HC_first): it must be
+        // excluded from the ratio populations instead of yielding NaN/inf.
+        let sweep = ModuleHammerSweep {
+            module: ModuleId::B3,
+            vpp_min: 1.6,
+            vpp_levels: vec![2.5, 1.6],
+            records: vec![
+                hammer_record(2.5, 10, 0.0, None),
+                hammer_record(2.5, 11, 1e-6, Some(100_000)),
+                hammer_record(1.6, 10, 2e-7, Some(250_000)),
+                hammer_record(1.6, 11, 5e-7, Some(130_000)),
+            ],
+        };
+        let (ber, hc) = sweep.row_ratios_at_vppmin();
+        assert_eq!(ber, vec![0.5]);
+        assert_eq!(hc, vec![1.3]);
+        assert!(ber.iter().chain(&hc).all(|v| v.is_finite()));
+        // Normalized series are likewise finite.
+        for p in sweep
+            .normalized_ber()
+            .iter()
+            .chain(&sweep.normalized_hc_first())
+        {
+            assert!(p.mean.is_finite());
+        }
+    }
+
+    #[test]
+    fn worst_per_level_single_pass_matches_per_level_scan() {
+        let rec = |vpp: f64, row: u32, t: Option<f64>| TrcdRecord {
+            module: ModuleId::A0,
+            vpp,
+            bank: 0,
+            row,
+            t_rcd_min_ns: t,
+        };
+        // Same ladder level as 1.6 with accumulated-arithmetic drift.
+        let mut computed: f64 = 2.5;
+        for _ in 0..9 {
+            computed -= 0.1;
+        }
+        let sweep = ModuleTrcdSweep {
+            module: ModuleId::A0,
+            vpp_min: 1.6,
+            vpp_levels: vec![2.5, 2.0, 1.6],
+            records: vec![
+                rec(2.5, 1, Some(12.0)),
+                rec(2.5, 2, Some(13.0)),
+                rec(2.0, 1, Some(14.0)),
+                rec(2.0, 2, None), // incomplete level
+                rec(computed, 1, Some(20.0)),
+                rec(computed, 2, Some(24.0)),
+            ],
+        };
+        assert_eq!(
+            sweep.worst_per_level(),
+            vec![(2.5, Some(13.0)), (2.0, None), (1.6, Some(24.0))]
+        );
     }
 }

@@ -40,6 +40,23 @@ pub fn cell_seed(row_seed: u64, bit: u32) -> u64 {
     combine(row_seed, 0x5EED_0000_0000_0000 | bit as u64)
 }
 
+/// Seed for one work chunk's measurement-noise stream:
+/// `(module_seed, bank, chunk index)`.
+///
+/// The parallel execution engine shards a module's row sample into chunks
+/// and rebases the device's cycle-to-cycle noise stream
+/// ([`reseed_noise`](../module/struct.DramModule.html#method.reseed_noise))
+/// on each chunk's seed. Because the stream depends only on these
+/// coordinates — never on which worker ran the chunk or in what order —
+/// sweep results are byte-identical for any worker count.
+#[inline]
+pub fn chunk_seed(module_seed: u64, bank: u32, chunk: u64) -> u64 {
+    combine(
+        module_seed,
+        0xC4A2_0000_0000_0000 ^ ((bank as u64) << 40) ^ chunk,
+    )
+}
+
 /// Uniform value in `[0, 1)` from a seed (53-bit precision).
 #[inline]
 pub fn uniform01(seed: u64) -> f64 {
@@ -165,6 +182,17 @@ mod tests {
         assert_ne!(cell_seed(r1, 0), cell_seed(r1, 1));
         // deterministic
         assert_eq!(row_seed(1, 0, 100), r1);
+    }
+
+    #[test]
+    fn chunk_seeds_are_coordinate_sensitive() {
+        let c = chunk_seed(1, 0, 0);
+        assert_ne!(c, chunk_seed(1, 0, 1));
+        assert_ne!(c, chunk_seed(1, 1, 0));
+        assert_ne!(c, chunk_seed(2, 0, 0));
+        // deterministic, and distinct from the row-seed domain
+        assert_eq!(chunk_seed(1, 0, 0), c);
+        assert_ne!(c, row_seed(1, 0, 0));
     }
 
     #[test]

@@ -122,6 +122,10 @@ pub struct DramModule {
     row_params: HashMap<(u32, u32), RowParams>,
     /// Calibrated mean of the exponential per-row `HC_first` spread.
     eta_mean: f64,
+    /// Base seed of the cycle-to-cycle measurement-noise stream. Defaults to
+    /// a specimen-derived value; the parallel execution engine rebases it per
+    /// work chunk so results do not depend on global operation order.
+    noise_seed: u64,
     /// Monotone sequence number behind the cycle-to-cycle measurement noise.
     noise_seq: u64,
     /// On-die ECC configuration (None for all Table 3 modules, per §4.1).
@@ -190,6 +194,7 @@ impl DramModule {
             trr: TrrEngine::new(trr_policy, hash::combine(seed, 0x7272)),
             row_params: HashMap::new(),
             eta_mean,
+            noise_seed: seed ^ SALT_NOISE,
             noise_seq: 0,
             ondie_ecc: OnDieEcc::None,
             ecc_corrections: 0,
@@ -560,8 +565,23 @@ impl DramModule {
     /// on the model would be bit-identical and the CV analysis vacuous.
     fn next_noise(&mut self, sigma: f64) -> f64 {
         self.noise_seq += 1;
-        (1.0 + sigma * hash::standard_normal(hash::combine(self.seed ^ SALT_NOISE, self.noise_seq)))
+        (1.0 + sigma * hash::standard_normal(hash::combine(self.noise_seed, self.noise_seq)))
             .max(0.5)
+    }
+
+    /// Rebases the cycle-to-cycle measurement-noise stream onto `stream_seed`
+    /// and restarts it from the beginning.
+    ///
+    /// Per-cell physics (thresholds, retention times, orientations) are
+    /// untouched — the module remains the same specimen. Only the run-to-run
+    /// noise becomes a pure function of `stream_seed` and the subsequent
+    /// operation sequence instead of the module's full history. The parallel
+    /// execution engine calls this with a seed derived from
+    /// `(seed, module, bank, chunk)` (see `hash::chunk_seed`) so that sweep
+    /// results are independent of worker count and scheduling.
+    pub fn reseed_noise(&mut self, stream_seed: u64) {
+        self.noise_seed = stream_seed;
+        self.noise_seq = 0;
     }
 
     fn params_for(&mut self, bank: u32, phys: u32) -> &RowParams {
@@ -1342,6 +1362,49 @@ mod tests {
             flips_refreshed < flips_unrefreshed,
             "refreshed {flips_refreshed} vs unrefreshed {flips_unrefreshed}"
         );
+    }
+
+    #[test]
+    fn reseed_noise_decouples_results_from_history() {
+        // Two modules of the same specimen, one with extra prior activity.
+        // After rebasing both noise streams onto the same chunk seed, the
+        // same measurement sequence must produce identical readouts even
+        // though their histories differ.
+        let run = |prior_hammers: u64| -> Vec<u64> {
+            let mut m = small_module(ModuleId::B0, 3);
+            let data = pattern_row(&m, 0xAAAA_AAAA_AAAA_AAAA);
+            let inv = pattern_row(&m, !0xAAAA_AAAA_AAAA_AAAAu64);
+            if prior_hammers > 0 {
+                m.write_row(0, 40, &data).unwrap();
+                m.hammer(0, 41, prior_hammers, 48.5).unwrap();
+            }
+            m.reseed_noise(crate::hash::chunk_seed(3, 0, 7));
+            let victim = 100;
+            let (below, above) = m.mapping().physical_neighbors(victim);
+            let (below, above) = (below.unwrap(), above.unwrap());
+            m.write_row(0, victim, &data).unwrap();
+            m.write_row(0, below, &inv).unwrap();
+            m.write_row(0, above, &inv).unwrap();
+            m.hammer(0, below, 300_000, 48.5).unwrap();
+            m.hammer(0, above, 300_000, 48.5).unwrap();
+            m.read_row(0, victim, 13.5).unwrap()
+        };
+        assert_eq!(run(0), run(120_000));
+        // Different chunk seeds give a different (still deterministic) run.
+        let mut m = small_module(ModuleId::B0, 3);
+        m.reseed_noise(crate::hash::chunk_seed(3, 0, 8));
+        let data = pattern_row(&m, 0xAAAA_AAAA_AAAA_AAAA);
+        let inv = pattern_row(&m, !0xAAAA_AAAA_AAAA_AAAAu64);
+        let victim = 100;
+        let (below, above) = m.mapping().physical_neighbors(victim);
+        let (below, above) = (below.unwrap(), above.unwrap());
+        m.write_row(0, victim, &data).unwrap();
+        m.write_row(0, below, &inv).unwrap();
+        m.write_row(0, above, &inv).unwrap();
+        m.hammer(0, below, 300_000, 48.5).unwrap();
+        m.hammer(0, above, 300_000, 48.5).unwrap();
+        let other = m.read_row(0, victim, 13.5).unwrap();
+        assert_ne!(other, run(0), "distinct chunk streams must differ");
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl SpdImage {
             Density::D16Gb => 0b0110,
         };
         bytes[offset::DENSITY_BANKS] = cap_code | (0b01 << 4); // 4 bank groups
-        // byte 5: bits 5:3 row bits − 12, bits 2:0 column bits − 9
+                                                               // byte 5: bits 5:3 row bits − 12, bits 2:0 column bits − 9
         let geometry = spec.geometry();
         let row_bits = (32 - (geometry.rows_per_bank - 1).leading_zeros()) as u8;
         bytes[offset::ADDRESSING] = ((row_bits - 12) << 3) | (10 - 9);

@@ -85,9 +85,9 @@ pub fn operating_point(circuit: &Circuit, config: &DcConfig) -> Result<Vec<f64>,
             stamper.voltage_source(k, s.plus, s.minus, s.waveform.value(config.at_time_s));
         }
         for m in &circuit.mosfets {
-            let op = m
-                .params
-                .evaluate(volts[m.drain], volts[m.gate], volts[m.source], m.bulk_volts);
+            let op =
+                m.params
+                    .evaluate(volts[m.drain], volts[m.gate], volts[m.source], m.bulk_volts);
             let i0 = op.i_ds
                 - op.di_dvd * volts[m.drain]
                 - op.di_dvg * volts[m.gate]
@@ -189,7 +189,12 @@ mod tests {
     fn waveforms_are_evaluated_at_late_time() {
         let mut c = Circuit::new();
         let a = c.node("a");
-        c.voltage_source("V1", a, Circuit::GROUND, Waveform::ramp(0.0, 0.0, 1e-9, 2.5));
+        c.voltage_source(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::ramp(0.0, 0.0, 1e-9, 2.5),
+        );
         c.resistor("R1", a, Circuit::GROUND, 1_000.0);
         let v = operating_point(&c, &DcConfig::default()).unwrap();
         assert!((v[a] - 2.5).abs() < 1e-6, "ramp settled value");

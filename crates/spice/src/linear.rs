@@ -112,8 +112,8 @@ impl Matrix {
         // back substitution
         for row in (0..n).rev() {
             let mut sum = b[row];
-            for k in (row + 1)..n {
-                sum -= self.data[row * n + k] * b[k];
+            for (k, &bk) in b.iter().enumerate().take(n).skip(row + 1) {
+                sum -= self.data[row * n + k] * bk;
             }
             b[row] = sum / self.data[row * n + row];
         }
@@ -187,9 +187,9 @@ mod tests {
         }
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.5).collect();
         let mut b = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
-                b[i] += a.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, &xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
             }
         }
         a.solve_in_place(&mut b).unwrap();

@@ -225,18 +225,15 @@ impl<'c> Transient<'c> {
 
                 // Extract node voltages, damp, and check convergence.
                 let mut max_err = 0.0f64;
-                for node in 1..n_nodes {
-                    let idx = node - 1;
-                    let target = x[idx];
-                    let old = candidate[node];
-                    let delta = (target - old).clamp(-cfg.max_dv, cfg.max_dv);
-                    let new = old + delta;
-                    let err = (new - old).abs();
+                for (old, &target) in candidate.iter_mut().skip(1).zip(x.iter()).take(n_nodes - 1) {
+                    let delta = (target - *old).clamp(-cfg.max_dv, cfg.max_dv);
+                    let new = *old + delta;
+                    let err = (new - *old).abs();
                     let tol = cfg.abstol + cfg.reltol * new.abs();
                     if err > tol {
                         max_err = max_err.max(err - tol);
                     }
-                    candidate[node] = new;
+                    *old = new;
                 }
                 if max_err == 0.0 {
                     converged = true;

@@ -38,9 +38,9 @@ proptest! {
         }
         let x_true: Vec<f64> = (0..n).map(|_| next() * 10.0 - 5.0).collect();
         let mut b = vec![0.0; n];
-        for i in 0..n {
-            for j in 0..n {
-                b[i] += a.get(i, j) * x_true[j];
+        for (i, bi) in b.iter_mut().enumerate() {
+            for (j, &xj) in x_true.iter().enumerate() {
+                *bi += a.get(i, j) * xj;
             }
         }
         a.solve_in_place(&mut b).unwrap();

@@ -59,7 +59,7 @@ impl Histogram {
                 reason: "bin count must be at least 1".to_string(),
             });
         }
-        if !(lo < hi) {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return Err(StatsError::InvalidParameter {
                 reason: format!("range [{lo}, {hi}] is empty"),
             });

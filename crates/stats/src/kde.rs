@@ -106,7 +106,7 @@ impl KernelDensity {
                 reason: "grid needs at least 2 points".to_string(),
             });
         }
-        if !(lo < hi) {
+        if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
             return Err(StatsError::InvalidParameter {
                 reason: format!("grid range [{lo}, {hi}] is empty"),
             });

@@ -66,12 +66,8 @@ fn main() {
 
     // --- 1. The attack at nominal V_PP ---------------------------------
     // B3: hammerable at 300K and the strongest V_PP responder in Table 3.
-    let module = DramModule::with_geometry(
-        registry::spec(ModuleId::B3),
-        7,
-        Geometry::small_test(),
-    )
-    .expect("module");
+    let module = DramModule::with_geometry(registry::spec(ModuleId::B3), 7, Geometry::small_test())
+        .expect("module");
     let mut mc = SoftMc::new(module);
     let (reference, readout) = run_attack(&mut mc, victim, hc);
     let flips_nominal = count_flips(&readout, &reference);

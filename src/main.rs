@@ -9,16 +9,75 @@
 //! hammervolt list                # Table 3 module inventory
 //! ```
 //!
-//! Set `HAMMERVOLT_ROWS` (default 8) to change the per-chunk row sample.
+//! The sweep commands run on the parallel execution engine:
+//!
+//! - `--jobs N` (or `HAMMERVOLT_JOBS`) sets the worker count; `0` means one
+//!   per CPU. Output is byte-identical for any worker count.
+//! - `--cache-dir PATH` (or `HAMMERVOLT_CACHE_DIR`) enables the
+//!   content-addressed sweep cache: completed module sweeps are persisted
+//!   and re-runs with the same configuration skip simulation entirely.
+//!
+//! `HAMMERVOLT_SCALE` selects the protocol (`smoke`, `quick` (default), or
+//! `paper`); `HAMMERVOLT_ROWS` overrides the per-chunk row sample.
 
 use hammervolt::dram::registry::{self, ModuleId};
+use hammervolt::study::exec::{self, ExecConfig};
 use hammervolt::study::records;
-use hammervolt::study::study::{retention_sweep, rowhammer_sweep, trcd_sweep, StudyConfig};
+use hammervolt::study::study::StudyConfig;
 use std::io::Write as _;
+
+const USAGE: &str =
+    "usage: hammervolt <sweep|trcd|retention|vppmin|list> [--jobs N] [--cache-dir PATH] [modules..]";
+
+/// Flags and positional module labels pulled out of the raw argument list.
+struct Cli {
+    exec: ExecConfig,
+    modules: Vec<ModuleId>,
+}
+
+fn parse_cli(args: &[String]) -> Cli {
+    let mut exec = ExecConfig::from_env();
+    let mut labels: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f, Some(v.to_string())),
+            None => (arg.as_str(), None),
+        };
+        let mut value = |name: &str| {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .unwrap_or_else(|| {
+                    eprintln!("{name} needs a value\n{USAGE}");
+                    std::process::exit(2);
+                })
+        };
+        match flag {
+            "--jobs" | "-j" => {
+                let v = value("--jobs");
+                exec.jobs = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--jobs expects a number, got {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--cache-dir" => exec.cache_dir = Some(value("--cache-dir").into()),
+            f if f.starts_with('-') => {
+                eprintln!("unknown flag {f:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+            _ => labels.push(arg.clone()),
+        }
+    }
+    Cli {
+        exec,
+        modules: parse_modules(&labels),
+    }
+}
 
 fn parse_modules(args: &[String]) -> Vec<ModuleId> {
     if args.is_empty() {
-        return ModuleId::ALL.to_vec();
+        return Vec::new();
     }
     args.iter()
         .map(|a| {
@@ -34,16 +93,28 @@ fn parse_modules(args: &[String]) -> Vec<ModuleId> {
         .collect()
 }
 
+/// The study configuration for this invocation: `HAMMERVOLT_SCALE` picks the
+/// protocol, `HAMMERVOLT_ROWS` overrides the row sample, and any module
+/// labels on the command line restrict the fleet.
 fn config(modules: Vec<ModuleId>) -> StudyConfig {
-    let rows = std::env::var("HAMMERVOLT_ROWS")
+    let mut cfg = match std::env::var("HAMMERVOLT_SCALE").as_deref() {
+        Ok("paper") => StudyConfig::paper(),
+        Ok("smoke") => StudyConfig::smoke(),
+        _ => StudyConfig {
+            rows_per_chunk: 8,
+            ..StudyConfig::quick()
+        },
+    };
+    if let Some(rows) = std::env::var("HAMMERVOLT_ROWS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(8);
-    StudyConfig {
-        rows_per_chunk: rows,
-        modules,
-        ..StudyConfig::quick()
+    {
+        cfg.rows_per_chunk = rows;
     }
+    if !modules.is_empty() {
+        cfg.modules = modules;
+    }
+    cfg
 }
 
 fn main() {
@@ -51,7 +122,7 @@ fn main() {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r.to_vec()),
         None => {
-            eprintln!("usage: hammervolt <sweep|trcd|retention|vppmin|list> [modules..]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
@@ -75,7 +146,8 @@ fn main() {
             }
         }
         "vppmin" => {
-            let cfg = config(parse_modules(&rest));
+            let cli = parse_cli(&rest);
+            let cfg = config(cli.modules);
             for &id in &cfg.modules {
                 let mut mc = cfg.bring_up(id).expect("bring-up");
                 let vppmin = mc.find_vppmin().expect("search");
@@ -83,31 +155,46 @@ fn main() {
             }
         }
         "sweep" => {
-            let cfg = config(parse_modules(&rest));
-            for &id in &cfg.modules {
-                eprintln!("sweeping {} ...", id.label());
-                let sweep = rowhammer_sweep(&cfg, id).expect("sweep");
+            let cli = parse_cli(&rest);
+            let cfg = config(cli.modules);
+            eprintln!(
+                "sweeping {} module(s) with {} worker(s) ...",
+                cfg.modules.len(),
+                cli.exec.effective_jobs()
+            );
+            let sweeps = exec::rowhammer_sweeps(&cfg, &cli.exec).expect("sweep");
+            for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
         }
         "trcd" => {
-            let cfg = config(parse_modules(&rest));
-            for &id in &cfg.modules {
-                eprintln!("sweeping {} ...", id.label());
-                let sweep = trcd_sweep(&cfg, id, 4).expect("sweep");
+            let cli = parse_cli(&rest);
+            let cfg = config(cli.modules);
+            eprintln!(
+                "sweeping {} module(s) with {} worker(s) ...",
+                cfg.modules.len(),
+                cli.exec.effective_jobs()
+            );
+            let sweeps = exec::trcd_sweeps(&cfg, 4, &cli.exec).expect("sweep");
+            for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
         }
         "retention" => {
-            let cfg = config(parse_modules(&rest));
-            for &id in &cfg.modules {
-                eprintln!("sweeping {} ...", id.label());
-                let sweep = retention_sweep(&cfg, id).expect("sweep");
+            let cli = parse_cli(&rest);
+            let cfg = config(cli.modules);
+            eprintln!(
+                "sweeping {} module(s) with {} worker(s) ...",
+                cfg.modules.len(),
+                cli.exec.effective_jobs()
+            );
+            let sweeps = exec::retention_sweeps(&cfg, &cli.exec).expect("sweep");
+            for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
         }
         other => {
-            eprintln!("unknown command {other:?}");
+            eprintln!("unknown command {other:?}\n{USAGE}");
             std::process::exit(2);
         }
     }

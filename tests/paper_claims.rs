@@ -105,7 +105,7 @@ fn guardband_shrinks_but_stays_positive_for_healthy_modules() {
         sweep
             .records
             .iter()
-            .filter(|r| (r.vpp - vpp).abs() < 1e-9)
+            .filter(|r| hammervolt::study::study::level_matches(r.vpp, vpp))
             .map(|r| r.t_rcd_min_ns)
             .collect()
     };

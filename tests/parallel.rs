@@ -1,0 +1,124 @@
+//! Integration tests for the parallel execution engine: byte-identical
+//! output across worker counts (API and CLI) and the content-addressed
+//! sweep cache.
+
+use hammervolt::dram::registry::ModuleId;
+use hammervolt::study::exec::{retention_sweeps, rowhammer_sweeps, trcd_sweeps, ExecConfig};
+use hammervolt::study::study::{ModuleHammerSweep, StudyConfig};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tiny(modules: &[ModuleId]) -> StudyConfig {
+    StudyConfig {
+        rows_per_chunk: 3,
+        ..StudyConfig::quick_subset(modules)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hammervolt-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The acceptance criterion: every sweep kind serializes byte-identically
+/// for 1 worker, 4 workers, and one worker per CPU.
+#[test]
+fn all_sweep_kinds_are_deterministic_across_worker_counts() {
+    let cfg = tiny(&[ModuleId::A0, ModuleId::B3]);
+    let ncpu = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let runs: Vec<(String, String, String)> = [1, 4, ncpu]
+        .iter()
+        .map(|&jobs| {
+            let exec = ExecConfig {
+                jobs,
+                cache_dir: None,
+            };
+            (
+                serde_json::to_string(&rowhammer_sweeps(&cfg, &exec).unwrap()).unwrap(),
+                serde_json::to_string(&trcd_sweeps(&cfg, 3, &exec).unwrap()).unwrap(),
+                serde_json::to_string(&retention_sweeps(&cfg, &exec).unwrap()).unwrap(),
+            )
+        })
+        .collect();
+    for run in &runs[1..] {
+        assert_eq!(runs[0].0, run.0, "RowHammer sweeps must not depend on jobs");
+        assert_eq!(runs[0].1, run.1, "t_RCD sweeps must not depend on jobs");
+        assert_eq!(runs[0].2, run.2, "retention sweeps must not depend on jobs");
+    }
+}
+
+/// `hammervolt sweep --jobs N` emits byte-identical JSONL for any N.
+#[test]
+fn cli_sweep_is_byte_identical_across_jobs() {
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_hammervolt"))
+            .args(["sweep", "--jobs", jobs, "B3"])
+            .env("HAMMERVOLT_SCALE", "smoke")
+            .env("HAMMERVOLT_ROWS", "2")
+            .env_remove("HAMMERVOLT_CACHE_DIR")
+            .env_remove("HAMMERVOLT_JOBS")
+            .output()
+            .expect("run hammervolt");
+        assert!(out.status.success(), "CLI failed: {out:?}");
+        out.stdout
+    };
+    let serial = run("1");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial,
+        run("4"),
+        "--jobs 4 must match --jobs 1 byte-for-byte"
+    );
+    assert_eq!(serial, run("0"), "--jobs 0 (auto) must match as well");
+}
+
+/// A warm cache serves the sweep from disk with zero re-simulation and
+/// byte-identical output. Zero re-simulation is proven by tampering with the
+/// cached entry: the tampered values come back verbatim, which simulation
+/// could never produce.
+#[test]
+fn warm_cache_round_trips_without_resimulation() {
+    let cfg = tiny(&[ModuleId::B3]);
+    let dir = temp_dir("cache");
+    let exec = ExecConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    let cold = rowhammer_sweeps(&cfg, &exec).unwrap();
+    let warm = rowhammer_sweeps(&cfg, &exec).unwrap();
+    assert_eq!(
+        serde_json::to_string(&cold).unwrap(),
+        serde_json::to_string(&warm).unwrap(),
+        "warm cache must reproduce the cold run byte-for-byte"
+    );
+
+    // Tamper with the single cache entry and re-run: the sentinel BER can
+    // only appear if the result was loaded, not recomputed.
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "one module, one cache entry");
+    let text = std::fs::read_to_string(&entries[0]).unwrap();
+    let mut sweep: ModuleHammerSweep = serde_json::from_str(text.trim()).unwrap();
+    const SENTINEL: f64 = 0.123_456_789;
+    sweep.records[0].ber = SENTINEL;
+    std::fs::write(&entries[0], serde_json::to_string(&sweep).unwrap()).unwrap();
+
+    let tampered = rowhammer_sweeps(&cfg, &exec).unwrap();
+    assert_eq!(
+        tampered[0].records[0].ber, SENTINEL,
+        "cache hit must be served from disk, not re-simulated"
+    );
+
+    // A different configuration misses the tampered entry and recomputes.
+    let other = StudyConfig {
+        rows_per_chunk: 4,
+        ..cfg
+    };
+    let fresh = rowhammer_sweeps(&other, &exec).unwrap();
+    assert!(fresh[0].records.iter().all(|r| r.ber != SENTINEL));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,114 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps the workspace's `[[bench]]` targets compiling and runnable with no
+//! network access. Each `bench_function` performs a short warm-up, then
+//! `sample_size` timed samples, and prints median/mean nanoseconds per
+//! iteration. There is no statistical analysis, plotting, or baseline
+//! comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Bench harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+        };
+        // Warm-up and calibration: grow iterations until one sample takes
+        // at least ~1 ms, so timer quantization doesn't dominate.
+        f(&mut bencher);
+        while bencher.samples.last().is_some_and(|&ns| ns < 1_000_000.0)
+            && bencher.iters_per_sample < 1 << 20
+        {
+            bencher.iters_per_sample *= 4;
+            bencher.samples.clear();
+            f(&mut bencher);
+        }
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut per_iter: Vec<f64> = bencher
+            .samples
+            .iter()
+            .map(|&ns| ns / bencher.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = per_iter[per_iter.len() / 2];
+        let mean: f64 = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!("{name}: median {median:.1} ns/iter, mean {mean:.1} ns/iter");
+        self
+    }
+}
+
+/// Per-benchmark timing driver passed to the closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times one sample of the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed().as_nanos() as f64);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,158 @@
+//! Offline stub of `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`], range and
+//! [`any`](arbitrary::any) strategies, tuples, [`collection::vec`],
+//! [`sample::select`], [`Just`](strategy::Just), and [`prop_oneof!`].
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking** — a failing case reports its inputs and panics.
+//! - **Deterministic** — each test's RNG is seeded from the test's name, so
+//!   failures reproduce exactly across runs and machines.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `prop::` namespace tests reach through the prelude
+/// (`prop::collection::vec`, `prop::sample::select`, `prop::num::..`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Accepts an optional leading `#![proptest_config(expr)]`, then any number
+/// of `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            let mut __rejected: u32 = 0;
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let __inputs = ::std::format!(
+                    ::std::concat!($(::std::stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __case += 1,
+                    ::std::result::Result::Err(e) if e.is_rejection() => {
+                        __rejected += 1;
+                        ::std::assert!(
+                            __rejected < __config.cases * 64,
+                            "proptest {}: too many prop_assume rejections",
+                            ::std::stringify!($name),
+                        );
+                    }
+                    ::std::result::Result::Err(e) => ::std::panic!(
+                        "proptest case failed: {}\n  inputs: {}",
+                        e,
+                        __inputs,
+                    ),
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let __l = $lhs;
+        let __r = $rhs;
+        if __l != __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                    ::std::stringify!($lhs),
+                    ::std::stringify!($rhs),
+                    __l,
+                    __r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::boxed($arm)),+
+        ])
+    };
+}

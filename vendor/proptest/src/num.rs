@@ -1,0 +1,30 @@
+//! Numeric strategies (`prop::num::f64::NORMAL`).
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing normal (finite, non-zero, non-subnormal) doubles
+    /// of either sign across a wide magnitude range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalF64;
+
+    /// The normal-doubles strategy constant, mirroring
+    /// `proptest::num::f64::NORMAL`.
+    pub const NORMAL: NormalF64 = NormalF64;
+
+    impl Strategy for NormalF64 {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // mantissa in [0.5, 1), decimal exponent in [-37, 37]: always a
+            // normal float, never zero/subnormal/inf/NaN. The exponent range
+            // is deliberately narrower than the full double range so tests
+            // that `prop_assume!` a moderate magnitude don't starve.
+            let mantissa = 0.5 + rng.next_f64() * 0.5;
+            let exponent = (rng.next_u64() % 75) as i32 - 37;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * mantissa * 10f64.powi(exponent)
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed set of values.
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.index(self.options.len())].clone()
+    }
+}
+
+/// A strategy choosing uniformly from `options`; must be non-empty.
+#[must_use]
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select over empty options");
+    Select { options }
+}

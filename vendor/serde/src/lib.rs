@@ -1,0 +1,364 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! The real `serde` models serialization through visitor-based `Serializer`/
+//! `Deserializer` traits. This vendored subset — built so the workspace
+//! compiles and runs with no network access — routes everything through a
+//! single JSON-like [`value::Value`] tree instead. The public surface the
+//! workspace actually uses is preserved:
+//!
+//! - `serde::{Serialize, Deserialize}` traits (the `Deserialize` lifetime
+//!   parameter is kept so `for<'de> Deserialize<'de>` bounds compile),
+//! - `#[derive(Serialize, Deserialize)]` for structs and enums without
+//!   `#[serde(...)]` attributes (see the `serde_derive` stub),
+//! - the companion `serde_json` stub for text encoding.
+//!
+//! Determinism note: struct fields serialize in declaration order and map
+//! entries in sorted key order, so serialized output is byte-stable — a
+//! property the study's cached-sweep layer relies on.
+
+#![forbid(unsafe_code)]
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Value};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+///
+/// The `'de` lifetime is unused by this subset (values are owned) but kept so
+/// code written against real serde (`for<'de> Deserialize<'de>` bounds)
+/// compiles unchanged.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value's shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // i128 covers every value this workspace stores in a u128 (72-bit
+        // ECC codewords); larger magnitudes are a logic error.
+        Value::Int(i128::try_from(*self).expect("u128 value exceeds i128::MAX"))
+    }
+}
+
+impl<'de> Deserialize<'de> for u128 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Int(i) => u128::try_from(*i)
+                .map_err(|_| DeError::custom(format!("integer {i} out of range for u128"))),
+            other => Err(DeError::mismatch("u128", other)),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(DeError::mismatch("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    /// Leaks the parsed string. Only static spec tables (`ModuleSpec`) carry
+    /// `&'static str` fields, and they are deserialized at most a handful of
+    /// times per process, so the leak is bounded.
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::mismatch("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::mismatch("fixed-length array", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Conversion between map keys and the JSON object-key strings that carry
+/// them (JSON object keys are always strings).
+pub trait JsonKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_key(s: &str) -> Option<Self>;
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Option<Self> {
+                s.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Option<Self> {
+        Some(s.to_string())
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: JsonKey + Ord,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        // Sorted key order keeps serialized output byte-stable regardless of
+        // the hasher's iteration order.
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for std::collections::HashMap<K, V, S>
+where
+    K: JsonKey + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    let key = K::from_key(k)
+                        .ok_or_else(|| DeError::custom(format!("invalid map key {k:?}")))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}
+
+impl<K, V> Serialize for std::collections::BTreeMap<K, V>
+where
+    K: JsonKey,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: JsonKey + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| {
+                    let key = K::from_key(k)
+                        .ok_or_else(|| DeError::custom(format!("invalid map key {k:?}")))?;
+                    Ok((key, V::from_value(val)?))
+                })
+                .collect(),
+            other => Err(DeError::mismatch("object", other)),
+        }
+    }
+}

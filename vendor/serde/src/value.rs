@@ -1,0 +1,105 @@
+//! The JSON-like value tree every (de)serialization routes through, plus
+//! helpers the derive macros generate calls to.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (JSON numbers without a fraction or exponent).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object; absent fields read as `Null` (which
+    /// lets `Option` fields deserialize to `None`, as with real serde).
+    pub fn field(&self, name: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == name))
+            .map_or(&NULL, |(_, v)| v)
+    }
+
+    /// A one-word description of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// A type-mismatch error.
+    pub fn mismatch(expected: &str, got: &Value) -> Self {
+        DeError {
+            msg: format!("expected {expected}, got {}", got.kind()),
+        }
+    }
+
+    /// Wraps the error with the context of the field it occurred in.
+    #[must_use]
+    pub fn in_field(self, ty: &str, field: &str) -> Self {
+        DeError {
+            msg: format!("{ty}.{field}: {}", self.msg),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Deserializes one named field of a struct (derive-generated code calls
+/// this). Missing fields read as `Null` so `Option` fields default to `None`.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error, annotated with its name.
+pub fn field<'de, T: crate::Deserialize<'de>>(
+    v: &Value,
+    ty: &str,
+    name: &str,
+) -> Result<T, DeError> {
+    T::from_value(v.field(name)).map_err(|e| e.in_field(ty, name))
+}
