@@ -1,44 +1,32 @@
 //! Regenerates Fig. 3: normalized RowHammer BER across `V_PP` levels, one
 //! curve per module, with 90 % confidence bands.
 
+use hammervolt_bench::figures::fig03_series;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::Series;
 
 fn main() {
     let scale = Scale::from_env();
     println!("Fig. 3: Normalized BER values across different V_PP levels");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    let mut series = Vec::new();
-    for sweep in rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep") {
-        let id = sweep.module;
-        let mut s = Series::new(id.label());
-        for p in sweep.normalized_ber() {
-            s.push_with_band(p.vpp, p.mean, p.band);
-        }
-        if !s.is_empty() {
-            println!(
-                "{}: normalized BER at V_PPmin ({:.1} V) = {:.3} [{:.3}, {:.3}]",
-                id.label(),
-                sweep.vpp_min,
-                s.points.last().unwrap().y,
-                s.points
-                    .last()
-                    .unwrap()
-                    .band
-                    .map(|b| b.lo)
-                    .unwrap_or(f64::NAN),
-                s.points
-                    .last()
-                    .unwrap()
-                    .band
-                    .map(|b| b.hi)
-                    .unwrap_or(f64::NAN),
-            );
-            series.push(s);
-        }
+    let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
+    let series = fig03_series(&sweeps);
+    for s in &series {
+        let sweep = sweeps
+            .iter()
+            .find(|sw| sw.module.label() == s.label)
+            .expect("series labels come from sweeps");
+        let last = s.points.last().expect("non-empty series");
+        println!(
+            "{}: normalized BER at V_PPmin ({:.1} V) = {:.3} [{:.3}, {:.3}]",
+            s.label,
+            sweep.vpp_min,
+            last.y,
+            last.band.map(|b| b.lo).unwrap_or(f64::NAN),
+            last.band.map(|b| b.hi).unwrap_or(f64::NAN),
+        );
     }
     let plot = render(
         &series,

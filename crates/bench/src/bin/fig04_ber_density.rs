@@ -1,12 +1,12 @@
 //! Regenerates Fig. 4: population density of per-row normalized BER at
 //! `V_PPmin`, per manufacturer.
 
+use hammervolt_bench::figures::fig04_series;
 use hammervolt_bench::{paper, Scale};
 use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_core::study::ratios_by_manufacturer;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::{KernelDensity, Series};
 
 fn main() {
     let scale = Scale::from_env();
@@ -15,7 +15,6 @@ fn main() {
     let cfg = scale.config();
     let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
     let grouped = ratios_by_manufacturer(&sweeps);
-    let mut series = Vec::new();
     for mfr in Manufacturer::ALL {
         let Some((ber, _)) = grouped.get(&mfr) else {
             continue;
@@ -36,14 +35,8 @@ fn main() {
             paper_range.0,
             paper_range.1
         );
-        let kde = KernelDensity::fit(ber).expect("kde");
-        let grid = kde.grid(0.2, 1.3, 64).expect("grid");
-        let mut s = Series::new(format!("Mfr. {}", mfr.letter()));
-        for (x, d) in grid {
-            s.push(x, d);
-        }
-        series.push(s);
     }
+    let series = fig04_series(&sweeps);
     let plot = render(
         &series,
         &PlotConfig {

@@ -1,32 +1,28 @@
 //! Regenerates Fig. 5: normalized `HC_first` across `V_PP` levels, one curve
 //! per module, with 90 % confidence bands.
 
+use hammervolt_bench::figures::fig05_series;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::Series;
 
 fn main() {
     let scale = Scale::from_env();
     println!("Fig. 5: Normalized HC_first values across different V_PP levels");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    let mut series = Vec::new();
-    for sweep in rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep") {
-        let id = sweep.module;
-        let mut s = Series::new(id.label());
-        for p in sweep.normalized_hc_first() {
-            s.push_with_band(p.vpp, p.mean, p.band);
-        }
-        if let Some(last) = s.points.last() {
-            println!(
-                "{}: normalized HC_first at V_PPmin ({:.1} V) = {:.3}",
-                id.label(),
-                sweep.vpp_min,
-                last.y,
-            );
-            series.push(s);
-        }
+    let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
+    let series = fig05_series(&sweeps);
+    for s in &series {
+        let sweep = sweeps
+            .iter()
+            .find(|sw| sw.module.label() == s.label)
+            .expect("series labels come from sweeps");
+        let last = s.points.last().expect("non-empty series");
+        println!(
+            "{}: normalized HC_first at V_PPmin ({:.1} V) = {:.3}",
+            s.label, sweep.vpp_min, last.y,
+        );
     }
     let plot = render(
         &series,

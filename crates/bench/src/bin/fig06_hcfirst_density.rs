@@ -1,13 +1,13 @@
 //! Regenerates Fig. 6: population density of per-row normalized `HC_first`
 //! at `V_PPmin`, per manufacturer.
 
+use hammervolt_bench::figures::fig06_series;
 use hammervolt_bench::{paper, Scale};
 use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_core::study::ratios_by_manufacturer;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::descriptive::fraction_where;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::{KernelDensity, Series};
 
 fn main() {
     let scale = Scale::from_env();
@@ -16,7 +16,6 @@ fn main() {
     let cfg = scale.config();
     let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
     let grouped = ratios_by_manufacturer(&sweeps);
-    let mut series = Vec::new();
     for mfr in Manufacturer::ALL {
         let Some((_, hc)) = grouped.get(&mfr) else {
             continue;
@@ -40,15 +39,9 @@ fn main() {
             paper_range.1,
             increased * 100.0
         );
-        let kde = KernelDensity::fit(hc).expect("kde");
-        let grid = kde.grid(0.8, 2.0, 64).expect("grid");
-        let mut s = Series::new(format!("Mfr. {}", mfr.letter()));
-        for (x, d) in grid {
-            s.push(x, d);
-        }
-        series.push(s);
     }
     println!("\n(paper: HC_first increases in 83.5 % of Mfr. C rows vs 50.9 % of Mfr. A rows)");
+    let series = fig06_series(&sweeps);
     let plot = render(
         &series,
         &PlotConfig {

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 7: minimum reliable `t_RCD` across `V_PP` levels, one
 //! curve per module, with the nominal 13.5 ns annotated.
 
+use hammervolt_bench::figures::fig07_series;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::trcd_sweeps;
 use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::Series;
 
 fn main() {
     let scale = Scale::from_env();
@@ -16,29 +16,26 @@ fn main() {
         Scale::Paper => 12,
         _ => 4,
     };
-    let mut series = Vec::new();
+    let sweeps = trcd_sweeps(&cfg, levels_cap, &scale.exec()).expect("sweep");
+    let series = fig07_series(&sweeps);
     let mut exceeders = Vec::new();
-    for sweep in trcd_sweeps(&cfg, levels_cap, &scale.exec()).expect("sweep") {
-        let id = sweep.module;
-        let mut s = Series::new(id.label());
-        for (vpp, worst) in sweep.worst_per_level() {
-            if let Some(t) = worst {
-                s.push(vpp, t);
-            }
-        }
+    for s in &series {
+        let sweep = sweeps
+            .iter()
+            .find(|sw| sw.module.label() == s.label)
+            .expect("series labels come from sweeps");
         if let Some(last) = s.points.last() {
             if last.y > NOMINAL_T_RCD_NS {
-                exceeders.push(format!("{} ({:.1} ns)", id.label(), last.y));
+                exceeders.push(format!("{} ({:.1} ns)", s.label, last.y));
             }
             println!(
                 "{}: worst t_RCDmin {:.1} ns at 2.5 V → {:.1} ns at V_PPmin {:.1} V",
-                id.label(),
+                s.label,
                 s.points.first().unwrap().y,
                 last.y,
                 sweep.vpp_min,
             );
         }
-        series.push(s);
     }
     println!(
         "\nmodules exceeding nominal 13.5 ns at V_PPmin: {} \

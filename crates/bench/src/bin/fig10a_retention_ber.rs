@@ -1,49 +1,30 @@
 //! Regenerates Fig. 10a: data-retention BER across refresh windows for
 //! several `V_PP` levels (80 °C), averaged across modules and rows.
 
+use hammervolt_bench::figures::fig10a_series;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::retention_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::Series;
-use std::collections::BTreeMap;
 
 fn main() {
     let scale = Scale::from_env();
     println!("Fig. 10a: Retention BER across refresh windows per V_PP (80 °C)");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    // (vpp level, window µs) → (sum, n)
-    let mut acc: BTreeMap<(u64, u64), (f64, usize)> = BTreeMap::new();
-    for sweep in retention_sweeps(&cfg, &scale.exec()).expect("sweep") {
-        for r in &sweep.records {
-            let key = ((r.vpp * 1000.0) as u64, (r.window_s * 1e6) as u64);
-            let e = acc.entry(key).or_insert((0.0, 0));
-            e.0 += r.ber;
-            e.1 += 1;
-        }
-    }
-    let mut by_vpp: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
-    for ((vpp_mv, w_us), (sum, n)) in acc {
-        by_vpp
-            .entry(vpp_mv)
-            .or_default()
-            .push((w_us as f64 / 1e6, sum / n as f64));
-    }
-    let mut series = Vec::new();
-    for (vpp_mv, curve) in by_vpp.iter().rev() {
-        let vpp = *vpp_mv as f64 / 1000.0;
-        let mut s = Series::new(format!("{vpp:.1} V"));
-        for &(w, ber) in curve {
-            // log-scaled x-axis for the ASCII plot
-            s.push(w.log10(), ber);
-        }
-        let four_s = curve
+    let sweeps = retention_sweeps(&cfg, &scale.exec()).expect("sweep");
+    let series = fig10a_series(&sweeps);
+    let four_s_log = 4.0f64.log10();
+    for s in &series {
+        let four_s = s
+            .points
             .iter()
-            .find(|(w, _)| (*w - 4.0).abs() < 0.01)
-            .map(|&(_, b)| b)
+            .find(|p| (p.x - four_s_log).abs() < 0.01)
+            .map(|p| p.y)
             .unwrap_or(f64::NAN);
-        println!("V_PP = {vpp:.1} V: mean BER at t_REFW = 4 s is {four_s:.2e}");
-        series.push(s);
+        println!(
+            "V_PP = {}: mean BER at t_REFW = 4 s is {four_s:.2e}",
+            s.label
+        );
     }
     println!(
         "\n(paper Obsv. 12: the retention BER curve is higher at smaller V_PP; \

@@ -1,11 +1,11 @@
 //! Regenerates Fig. 10b: population density of per-row retention BER at a
 //! 4 s refresh window, per manufacturer, at nominal and reduced `V_PP`.
 
+use hammervolt_bench::figures::fig10b_series;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::retention_sweeps;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::plot::{render, PlotConfig};
-use hammervolt_stats::{KernelDensity, Series};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -13,9 +13,10 @@ fn main() {
     println!("Fig. 10b: Per-row retention BER distribution at t_REFW = 4 s (80 °C)");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
-    // (mfr, vpp mV) → row BERs at 4 s
+    let sweeps = retention_sweeps(&cfg, &scale.exec()).expect("sweep");
+    // (mfr, vpp mV) → row BERs at 4 s, for the prose summary
     let mut pops: BTreeMap<(char, u64), Vec<f64>> = BTreeMap::new();
-    for sweep in retention_sweeps(&cfg, &scale.exec()).expect("sweep") {
+    for sweep in &sweeps {
         let id = sweep.module;
         for &vpp in &sweep.vpp_levels {
             let rows = sweep.row_bers_at(vpp, 4.0);
@@ -29,7 +30,6 @@ fn main() {
         ("B", 0.002, 0.005),
         ("C", 0.014, 0.025),
     ];
-    let mut series = Vec::new();
     for mfr in Manufacturer::ALL {
         for &vpp_mv in &[2500u64, 1500] {
             let Some(bers) = pops.get(&(mfr.letter(), vpp_mv)) else {
@@ -50,18 +50,9 @@ fn main() {
                 p_nom,
                 p_red
             );
-            if let Ok(kde) = KernelDensity::fit(bers) {
-                if let Ok(grid) = kde.auto_grid(64) {
-                    let mut s =
-                        Series::new(format!("{} {:.1}V", mfr.letter(), vpp_mv as f64 / 1000.0));
-                    for (x, d) in grid {
-                        s.push(x, d);
-                    }
-                    series.push(s);
-                }
-            }
         }
     }
+    let series = fig10b_series(&sweeps);
     let plot = render(
         &series,
         &PlotConfig {
@@ -72,4 +63,5 @@ fn main() {
         },
     );
     println!("\n{plot}");
+    println!("{}", serde_json::to_string(&series).expect("serialize"));
 }

@@ -2,11 +2,9 @@
 //! reduction at `V_PPmin` across modules that stay reliable at the nominal
 //! latency, plus the 24 ns / 15 ns fixes for the failing modules.
 
+use hammervolt_bench::figures::guardband_summary;
 use hammervolt_bench::{compare_line, paper, Scale};
 use hammervolt_core::exec::trcd_sweeps;
-use hammervolt_core::mitigation::{guardband, guardband_reduction};
-use hammervolt_core::study::level_matches;
-use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
@@ -14,6 +12,8 @@ fn main() {
     println!("§6.1: t_RCD guardband under reduced V_PP");
     println!("{}\n", scale.banner());
     let cfg = scale.config();
+    let sweeps = trcd_sweeps(&cfg, 2, &scale.exec()).expect("sweep");
+    let summary = guardband_summary(&sweeps);
     let mut t = AsciiTable::new(vec![
         "DIMM".into(),
         "worst@2.5V (ns)".into(),
@@ -22,62 +22,25 @@ fn main() {
         "nominal OK?".into(),
         "fix".into(),
     ]);
-    let mut reductions = Vec::new();
-    let mut failing = Vec::new();
-    for sweep in trcd_sweeps(&cfg, 2, &scale.exec()).expect("sweep") {
-        let id = sweep.module;
-        let at = |vpp: f64| -> Vec<Option<f64>> {
-            sweep
-                .records
-                .iter()
-                .filter(|r| level_matches(r.vpp, vpp))
-                .map(|r| r.t_rcd_min_ns)
-                .collect()
-        };
-        let nominal = guardband(&at(VPP_NOMINAL)).expect("nominal guardband");
-        let reduced = guardband(&at(sweep.vpp_min)).expect("reduced guardband");
-        let loss = guardband_reduction(&nominal, &reduced);
-        if reduced.reliable_at_nominal {
-            if let Some(l) = loss {
-                reductions.push(l);
-            }
-        } else {
-            failing.push(id.label());
-        }
-        let fix = if reduced.reliable_at_nominal {
-            "-".to_string()
-        } else if reduced.worst_t_rcd_ns <= 15.0 {
-            "t_RCD = 15 ns".to_string()
-        } else {
-            "t_RCD = 24 ns".to_string()
-        };
+    for row in &summary.rows {
         t.add_row(vec![
-            id.label(),
-            format!("{:.1}", nominal.worst_t_rcd_ns),
-            format!("{:.1}", reduced.worst_t_rcd_ns),
-            loss.map(|l| format!("{:.1} %", l * 100.0))
+            row.module.clone(),
+            format!("{:.1}", row.worst_nominal_ns),
+            format!("{:.1}", row.worst_vppmin_ns),
+            row.guardband_loss
+                .map(|l| format!("{:.1} %", l * 100.0))
                 .unwrap_or_else(|| "-".into()),
-            if reduced.reliable_at_nominal {
-                "yes"
-            } else {
-                "NO"
-            }
-            .into(),
-            fix,
+            if row.reliable_at_nominal { "yes" } else { "NO" }.into(),
+            row.fix.clone(),
         ]);
     }
     print!("{}", t.render());
-    let mean_loss = if reductions.is_empty() {
-        f64::NAN
-    } else {
-        reductions.iter().sum::<f64>() / reductions.len() as f64
-    };
     println!(
         "\nmodules failing nominal t_RCD at V_PPmin: {} (paper: A0, A1, A2, B2, B5)",
-        if failing.is_empty() {
+        if summary.failing.is_empty() {
             "none".into()
         } else {
-            failing.join(", ")
+            summary.failing.join(", ")
         }
     );
     println!(
@@ -85,7 +48,8 @@ fn main() {
         compare_line(
             "mean guardband reduction (reliable modules)",
             paper::GUARDBAND_REDUCTION,
-            mean_loss
+            summary.mean_reduction
         )
     );
+    println!("{}", serde_json::to_string(&summary).expect("serialize"));
 }

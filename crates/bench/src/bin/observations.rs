@@ -1,9 +1,9 @@
 //! Regenerates the paper's headline findings (Takeaway 1, Obsvs. 1–6):
 //! aggregate BER/`HC_first` statistics at `V_PPmin` across all modules.
 
+use hammervolt_bench::figures::observation_findings;
 use hammervolt_bench::{compare_line, paper, Scale};
 use hammervolt_core::exec::rowhammer_sweeps;
-use hammervolt_core::study::aggregate_findings;
 
 fn main() {
     let scale = Scale::from_env();
@@ -29,7 +29,7 @@ fn main() {
             mean(&hc),
         );
     }
-    let f = aggregate_findings(&sweeps).expect("aggregate");
+    let f = observation_findings(&sweeps);
     println!("\n--- paper vs measured (fractional changes at V_PPmin) ---");
     println!(
         "{}",

@@ -1,12 +1,13 @@
 //! Regenerates Table 1: summary of the tested DDR4 DRAM chips per vendor.
 
-use hammervolt_dram::registry::{spec, ModuleId};
+use hammervolt_bench::figures::table1_rows;
 use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::table::AsciiTable;
 use std::collections::BTreeMap;
 
 fn main() {
     println!("Table 1: Summary of the tested DDR4 DRAM chips\n");
+    let rows = table1_rows();
     let mut t = AsciiTable::new(vec![
         "Mfr.".into(),
         "#DIMMs".into(),
@@ -16,45 +17,25 @@ fn main() {
         "Org.".into(),
         "Date".into(),
     ]);
-    // group identical (density, die rev, org, date) lines per vendor
-    type GroupKey = (char, String, String, String, String);
-    let mut groups: BTreeMap<GroupKey, (u32, u32)> = BTreeMap::new();
-    for id in ModuleId::ALL {
-        let s = spec(id);
-        let key = (
-            s.mfr.letter(),
-            s.density.to_string(),
-            s.die_revision
-                .map(|c| c.to_string())
-                .unwrap_or_else(|| "-".into()),
-            s.org.to_string(),
-            s.mfr_date
-                .map(|(w, y)| format!("{w:02}-{y:02}"))
-                .unwrap_or_else(|| "-".into()),
-        );
-        let e = groups.entry(key).or_insert((0, 0));
-        e.0 += 1;
-        e.1 += s.chips;
-    }
     let mut totals: BTreeMap<char, (u32, u32)> = BTreeMap::new();
-    for ((mfr, density, rev, org, date), (dimms, chips)) in &groups {
+    for row in &rows {
         let name = Manufacturer::ALL
             .iter()
-            .find(|m| m.letter() == *mfr)
+            .find(|m| m.letter() == row.mfr)
             .map(|m| format!("Mfr. {} ({})", m.letter(), m.name()))
             .unwrap_or_default();
         t.add_row(vec![
             name,
-            dimms.to_string(),
-            chips.to_string(),
-            density.clone(),
-            rev.clone(),
-            org.clone(),
-            date.clone(),
+            row.dimms.to_string(),
+            row.chips.to_string(),
+            row.density.clone(),
+            row.die_revision.clone(),
+            row.org.clone(),
+            row.date.clone(),
         ]);
-        let e = totals.entry(*mfr).or_insert((0, 0));
-        e.0 += dimms;
-        e.1 += chips;
+        let e = totals.entry(row.mfr).or_insert((0, 0));
+        e.0 += row.dimms;
+        e.1 += row.chips;
     }
     print!("{}", t.render());
     println!();
@@ -68,4 +49,5 @@ fn main() {
         "total: {} DIMMs, {} chips (paper: 30 DIMMs, 272 chips)",
         grand.0, grand.1
     );
+    println!("{}", serde_json::to_string(&rows).expect("serialize"));
 }

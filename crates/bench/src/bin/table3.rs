@@ -3,53 +3,11 @@
 //!
 //! Scale via `HAMMERVOLT_SCALE` (smoke / default quick / paper).
 
+use hammervolt_bench::figures::table3_rows;
 use hammervolt_bench::Scale;
 use hammervolt_core::exec::rowhammer_sweeps;
-use hammervolt_core::study::{level_matches, ModuleHammerSweep};
-use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_dram::registry::spec;
 use hammervolt_stats::table::{fmt_ber, fmt_kilo, AsciiTable};
-
-fn module_row(sweep: &ModuleHammerSweep, t: &mut AsciiTable) {
-    let id = sweep.module;
-    let s = spec(id);
-    let stats_at = |vpp: f64| -> (Option<u64>, f64) {
-        let mut min_hc: Option<u64> = None;
-        let mut sum = 0.0;
-        let mut n = 0usize;
-        for r in sweep.records.iter().filter(|r| level_matches(r.vpp, vpp)) {
-            if let Some(h) = r.hc_first {
-                min_hc = Some(min_hc.map_or(h, |m| m.min(h)));
-            }
-            sum += r.ber;
-            n += 1;
-        }
-        (min_hc, if n > 0 { sum / n as f64 } else { 0.0 })
-    };
-    let (hc_nom, ber_nom) = stats_at(VPP_NOMINAL);
-    let (hc_min, ber_min) = stats_at(sweep.vpp_min);
-    t.add_row(vec![
-        id.label(),
-        s.dimm_model.to_string(),
-        s.density.to_string(),
-        s.frequency_mts.to_string(),
-        s.org.to_string(),
-        hc_nom
-            .map(|h| fmt_kilo(h as f64))
-            .unwrap_or_else(|| ">600K".into()),
-        fmt_ber(ber_nom),
-        format!("{:.1}", sweep.vpp_min),
-        hc_min
-            .map(|h| fmt_kilo(h as f64))
-            .unwrap_or_else(|| ">600K".into()),
-        fmt_ber(ber_min),
-        format!(
-            "{:.1}K/{}",
-            s.hc_first_nominal / 1e3,
-            fmt_ber(s.ber_nominal)
-        ),
-    ]);
-}
 
 fn main() {
     let scale = Scale::from_env();
@@ -69,8 +27,32 @@ fn main() {
         "BER@min".into(),
         "paper(HCf/BER@2.5)".into(),
     ]);
-    for sweep in rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep") {
-        module_row(&sweep, &mut t);
+    let sweeps = rowhammer_sweeps(&cfg, &scale.exec()).expect("sweep");
+    let rows = table3_rows(&sweeps);
+    // table3_rows preserves sweep order, so rows and sweeps zip cleanly.
+    for (row, sweep) in rows.iter().zip(&sweeps) {
+        let s = spec(sweep.module);
+        t.add_row(vec![
+            row.module.clone(),
+            s.dimm_model.to_string(),
+            s.density.to_string(),
+            s.frequency_mts.to_string(),
+            s.org.to_string(),
+            row.hc_first_nominal
+                .map(|h| fmt_kilo(h as f64))
+                .unwrap_or_else(|| ">600K".into()),
+            fmt_ber(row.ber_nominal),
+            format!("{:.1}", row.vpp_min),
+            row.hc_first_vppmin
+                .map(|h| fmt_kilo(h as f64))
+                .unwrap_or_else(|| ">600K".into()),
+            fmt_ber(row.ber_vppmin),
+            format!(
+                "{:.1}K/{}",
+                s.hc_first_nominal / 1e3,
+                fmt_ber(s.ber_nominal)
+            ),
+        ]);
     }
     print!("{}", t.render());
     println!(
@@ -78,4 +60,5 @@ fn main() {
          at HC = 300K. The right-most column shows the paper's Table 3 record \
          at nominal V_PP for comparison."
     );
+    println!("{}", serde_json::to_string(&rows).expect("serialize"));
 }

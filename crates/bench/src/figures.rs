@@ -1,0 +1,420 @@
+//! Figure/table payload builders: the data behind every bin in `src/bin/`.
+//!
+//! Each harness bin prints human-readable prose plus a machine-readable JSON
+//! block; these functions compute that JSON payload from sweep results so
+//! the bins and the `hammervolt-testkit` golden-figure oracle share one code
+//! path. A bin that drifts from its golden snapshot therefore reflects a
+//! genuine change in the computed data, not formatting skew between two
+//! implementations.
+//!
+//! All builders are pure functions of their sweep inputs (plus the static
+//! module registry), so goldens pin the full pipeline from records to
+//! figures while staying independent of run scale.
+
+use hammervolt_core::mitigation::{guardband, guardband_reduction};
+use hammervolt_core::study::{
+    aggregate_findings, level_matches, ratios_by_manufacturer, HammerFindings, ModuleHammerSweep,
+    ModuleRetentionSweep, ModuleTrcdSweep,
+};
+use hammervolt_dram::physics::VPP_NOMINAL;
+use hammervolt_dram::registry::{spec, ModuleId};
+use hammervolt_dram::vendor::Manufacturer;
+use hammervolt_stats::{KernelDensity, Series};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One vendor group of Table 1 (identical density/die-rev/org/date chips).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Manufacturer letter (A/B/C).
+    pub mfr: char,
+    /// DIMMs in this group.
+    pub dimms: u32,
+    /// Total chips in this group.
+    pub chips: u32,
+    /// Chip density, e.g. "4Gb".
+    pub density: String,
+    /// Die revision letter or "-".
+    pub die_revision: String,
+    /// Chip organization, e.g. "x8".
+    pub org: String,
+    /// Manufacturing date as "ww-yy" or "-".
+    pub date: String,
+}
+
+/// Table 1 rows grouped per vendor, in deterministic (sorted) order.
+pub fn table1_rows() -> Vec<Table1Row> {
+    type GroupKey = (char, String, String, String, String);
+    let mut groups: BTreeMap<GroupKey, (u32, u32)> = BTreeMap::new();
+    for id in ModuleId::ALL {
+        let s = spec(id);
+        let key = (
+            s.mfr.letter(),
+            s.density.to_string(),
+            s.die_revision
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
+            s.org.to_string(),
+            s.mfr_date
+                .map(|(w, y)| format!("{w:02}-{y:02}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        let e = groups.entry(key).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += s.chips;
+    }
+    groups
+        .into_iter()
+        .map(
+            |((mfr, density, die_revision, org, date), (dimms, chips))| Table1Row {
+                mfr,
+                dimms,
+                chips,
+                density,
+                die_revision,
+                org,
+                date,
+            },
+        )
+        .collect()
+}
+
+/// One module line of Table 3: RowHammer characteristics at nominal `V_PP`
+/// and at `V_PPmin`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Module label (A0..C9).
+    pub module: String,
+    /// Minimum `HC_first` across tested rows at nominal `V_PP`, if any row
+    /// flipped.
+    pub hc_first_nominal: Option<u64>,
+    /// Mean row BER at nominal `V_PP`.
+    pub ber_nominal: f64,
+    /// `V_PPmin` found by the §4.1 procedure.
+    pub vpp_min: f64,
+    /// Minimum `HC_first` at `V_PPmin`.
+    pub hc_first_vppmin: Option<u64>,
+    /// Mean row BER at `V_PPmin`.
+    pub ber_vppmin: f64,
+}
+
+/// Per-level `HC_first` minimum and mean BER for one sweep.
+fn hammer_stats_at(sweep: &ModuleHammerSweep, vpp: f64) -> (Option<u64>, f64) {
+    let mut min_hc: Option<u64> = None;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for r in sweep.records.iter().filter(|r| level_matches(r.vpp, vpp)) {
+        if let Some(h) = r.hc_first {
+            min_hc = Some(min_hc.map_or(h, |m| m.min(h)));
+        }
+        sum += r.ber;
+        n += 1;
+    }
+    (min_hc, if n > 0 { sum / n as f64 } else { 0.0 })
+}
+
+/// Table 3 rows, one per sweep, in sweep order.
+pub fn table3_rows(sweeps: &[ModuleHammerSweep]) -> Vec<Table3Row> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let (hc_nom, ber_nom) = hammer_stats_at(sweep, VPP_NOMINAL);
+            let (hc_min, ber_min) = hammer_stats_at(sweep, sweep.vpp_min);
+            Table3Row {
+                module: sweep.module.label(),
+                hc_first_nominal: hc_nom,
+                ber_nominal: ber_nom,
+                vpp_min: sweep.vpp_min,
+                hc_first_vppmin: hc_min,
+                ber_vppmin: ber_min,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 3 series: normalized BER across `V_PP` levels, one curve per module
+/// with 90 % confidence bands. Modules with no normalizable rows are
+/// omitted, matching the bin.
+pub fn fig03_series(sweeps: &[ModuleHammerSweep]) -> Vec<Series> {
+    sweeps
+        .iter()
+        .filter_map(|sweep| {
+            let mut s = Series::new(sweep.module.label());
+            for p in sweep.normalized_ber() {
+                s.push_with_band(p.vpp, p.mean, p.band);
+            }
+            (!s.is_empty()).then_some(s)
+        })
+        .collect()
+}
+
+/// Fig. 5 series: normalized `HC_first` across `V_PP` levels per module.
+pub fn fig05_series(sweeps: &[ModuleHammerSweep]) -> Vec<Series> {
+    sweeps
+        .iter()
+        .filter_map(|sweep| {
+            let mut s = Series::new(sweep.module.label());
+            for p in sweep.normalized_hc_first() {
+                s.push_with_band(p.vpp, p.mean, p.band);
+            }
+            (!s.is_empty()).then_some(s)
+        })
+        .collect()
+}
+
+/// Population-density series over per-manufacturer ratio populations: the
+/// shared shape of Figs. 4 and 6.
+fn density_series(
+    sweeps: &[ModuleHammerSweep],
+    pick_hc: bool,
+    grid_lo: f64,
+    grid_hi: f64,
+) -> Vec<Series> {
+    let grouped = ratios_by_manufacturer(sweeps);
+    let mut out = Vec::new();
+    for mfr in Manufacturer::ALL {
+        let Some((ber, hc)) = grouped.get(&mfr) else {
+            continue;
+        };
+        let pop = if pick_hc { hc } else { ber };
+        if pop.is_empty() {
+            continue;
+        }
+        let Ok(kde) = KernelDensity::fit(pop) else {
+            continue;
+        };
+        let Ok(grid) = kde.grid(grid_lo, grid_hi, 64) else {
+            continue;
+        };
+        let mut s = Series::new(format!("Mfr. {}", mfr.letter()));
+        for (x, d) in grid {
+            s.push(x, d);
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Fig. 4 series: population density of per-row normalized BER at
+/// `V_PPmin`, per manufacturer.
+pub fn fig04_series(sweeps: &[ModuleHammerSweep]) -> Vec<Series> {
+    density_series(sweeps, false, 0.2, 1.3)
+}
+
+/// Fig. 6 series: population density of per-row normalized `HC_first` at
+/// `V_PPmin`, per manufacturer.
+pub fn fig06_series(sweeps: &[ModuleHammerSweep]) -> Vec<Series> {
+    density_series(sweeps, true, 0.8, 2.0)
+}
+
+/// Fig. 7 series: worst-case minimum reliable `t_RCD` per level, one curve
+/// per module (levels where any row exceeded the sweep ceiling are
+/// skipped).
+pub fn fig07_series(sweeps: &[ModuleTrcdSweep]) -> Vec<Series> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut s = Series::new(sweep.module.label());
+            for (vpp, worst) in sweep.worst_per_level() {
+                if let Some(t) = worst {
+                    s.push(vpp, t);
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Fig. 10a series: mean retention BER across refresh windows, one curve
+/// per `V_PP` level (descending), averaged across modules and rows. The x
+/// coordinate is `log10(t_REFW seconds)` as plotted by the bin.
+pub fn fig10a_series(sweeps: &[ModuleRetentionSweep]) -> Vec<Series> {
+    // (vpp mV, window µs) → (sum, n)
+    let mut acc: BTreeMap<(u64, u64), (f64, usize)> = BTreeMap::new();
+    for sweep in sweeps {
+        for r in &sweep.records {
+            let key = ((r.vpp * 1000.0) as u64, (r.window_s * 1e6) as u64);
+            let e = acc.entry(key).or_insert((0.0, 0));
+            e.0 += r.ber;
+            e.1 += 1;
+        }
+    }
+    let mut by_vpp: BTreeMap<u64, Vec<(f64, f64)>> = BTreeMap::new();
+    for ((vpp_mv, w_us), (sum, n)) in acc {
+        by_vpp
+            .entry(vpp_mv)
+            .or_default()
+            .push((w_us as f64 / 1e6, sum / n as f64));
+    }
+    let mut out = Vec::new();
+    for (vpp_mv, curve) in by_vpp.iter().rev() {
+        let vpp = *vpp_mv as f64 / 1000.0;
+        let mut s = Series::new(format!("{vpp:.1} V"));
+        for &(w, ber) in curve {
+            s.push(w.log10(), ber);
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Fig. 10b series: per-row retention-BER population density at a 4 s
+/// refresh window, per manufacturer, at nominal (2.5 V) and reduced
+/// (1.5 V) `V_PP`.
+pub fn fig10b_series(sweeps: &[ModuleRetentionSweep]) -> Vec<Series> {
+    let mut pops: BTreeMap<(char, u64), Vec<f64>> = BTreeMap::new();
+    for sweep in sweeps {
+        let id = sweep.module;
+        for &vpp in &sweep.vpp_levels {
+            let rows = sweep.row_bers_at(vpp, 4.0);
+            pops.entry((id.manufacturer().letter(), (vpp * 1000.0) as u64))
+                .or_default()
+                .extend(rows);
+        }
+    }
+    let mut out = Vec::new();
+    for mfr in Manufacturer::ALL {
+        for &vpp_mv in &[2500u64, 1500] {
+            let Some(bers) = pops.get(&(mfr.letter(), vpp_mv)) else {
+                continue;
+            };
+            if bers.is_empty() {
+                continue;
+            }
+            if let Ok(kde) = KernelDensity::fit(bers) {
+                if let Ok(grid) = kde.auto_grid(64) {
+                    let mut s =
+                        Series::new(format!("{} {:.1}V", mfr.letter(), vpp_mv as f64 / 1000.0));
+                    for (x, d) in grid {
+                        s.push(x, d);
+                    }
+                    out.push(s);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One module line of the §6.1 guardband analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandRow {
+    /// Module label.
+    pub module: String,
+    /// Worst `t_RCDmin` at nominal `V_PP` (ns).
+    pub worst_nominal_ns: f64,
+    /// Worst `t_RCDmin` at `V_PPmin` (ns).
+    pub worst_vppmin_ns: f64,
+    /// Relative guardband loss between the two, when defined.
+    pub guardband_loss: Option<f64>,
+    /// Whether the module stays reliable at the nominal 13.5 ns latency.
+    pub reliable_at_nominal: bool,
+    /// The latency fix for failing modules ("-", "t_RCD = 15 ns", or
+    /// "t_RCD = 24 ns").
+    pub fix: String,
+}
+
+/// The full §6.1 guardband payload: per-module rows plus the headline
+/// numbers the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GuardbandSummary {
+    /// Per-module accounting.
+    pub rows: Vec<GuardbandRow>,
+    /// Mean guardband reduction across modules that stay reliable at the
+    /// nominal latency (paper: 21.9 %); `NaN` when no module qualifies.
+    pub mean_reduction: f64,
+    /// Labels of modules failing nominal `t_RCD` at `V_PPmin` (paper: A0,
+    /// A1, A2, B2, B5).
+    pub failing: Vec<String>,
+}
+
+/// Builds the §6.1 guardband analysis from `t_RCD` sweeps.
+pub fn guardband_summary(sweeps: &[ModuleTrcdSweep]) -> GuardbandSummary {
+    let mut rows = Vec::new();
+    let mut reductions = Vec::new();
+    let mut failing = Vec::new();
+    for sweep in sweeps {
+        let at = |vpp: f64| -> Vec<Option<f64>> {
+            sweep
+                .records
+                .iter()
+                .filter(|r| level_matches(r.vpp, vpp))
+                .map(|r| r.t_rcd_min_ns)
+                .collect()
+        };
+        let nominal = guardband(&at(VPP_NOMINAL)).expect("nominal guardband");
+        let reduced = guardband(&at(sweep.vpp_min)).expect("reduced guardband");
+        let loss = guardband_reduction(&nominal, &reduced);
+        if reduced.reliable_at_nominal {
+            if let Some(l) = loss {
+                reductions.push(l);
+            }
+        } else {
+            failing.push(sweep.module.label());
+        }
+        let fix = if reduced.reliable_at_nominal {
+            "-".to_string()
+        } else if reduced.worst_t_rcd_ns <= 15.0 {
+            "t_RCD = 15 ns".to_string()
+        } else {
+            "t_RCD = 24 ns".to_string()
+        };
+        rows.push(GuardbandRow {
+            module: sweep.module.label(),
+            worst_nominal_ns: nominal.worst_t_rcd_ns,
+            worst_vppmin_ns: reduced.worst_t_rcd_ns,
+            guardband_loss: loss,
+            reliable_at_nominal: reduced.reliable_at_nominal,
+            fix,
+        });
+    }
+    let mean_reduction = if reductions.is_empty() {
+        f64::NAN
+    } else {
+        reductions.iter().sum::<f64>() / reductions.len() as f64
+    };
+    GuardbandSummary {
+        rows,
+        mean_reduction,
+        failing,
+    }
+}
+
+/// The Takeaway 1 aggregate findings (the `observations` bin's payload).
+///
+/// # Panics
+///
+/// Panics if the sweeps carry no normalizable rows — the bin treats that as
+/// a hard configuration error.
+pub fn observation_findings(sweeps: &[ModuleHammerSweep]) -> HammerFindings {
+    aggregate_findings(sweeps).expect("aggregate findings")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_cover_all_vendors() {
+        let rows = table1_rows();
+        let dimms: u32 = rows.iter().map(|r| r.dimms).sum();
+        let chips: u32 = rows.iter().map(|r| r.chips).sum();
+        assert_eq!(dimms, 30, "the paper tests 30 DIMMs");
+        assert_eq!(chips, 272, "the paper tests 272 chips");
+        for mfr in ['A', 'B', 'C'] {
+            assert!(rows.iter().any(|r| r.mfr == mfr), "missing Mfr. {mfr}");
+        }
+        // Deterministic order: sorted by the group key.
+        let mut sorted = rows.clone();
+        sorted.sort_by(|a, b| {
+            (a.mfr, &a.density, &a.die_revision, &a.org, &a.date).cmp(&(
+                b.mfr,
+                &b.density,
+                &b.die_revision,
+                &b.org,
+                &b.date,
+            ))
+        });
+        assert_eq!(rows, sorted);
+    }
+}

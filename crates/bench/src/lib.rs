@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod figures;
+
 use hammervolt_core::exec::ExecConfig;
 use hammervolt_core::study::StudyConfig;
 

@@ -36,6 +36,12 @@
 //! different key, so entries never need invalidation. Serialization
 //! round-trips floats exactly (shortest-representation printing), so cached
 //! and freshly computed sweeps are byte-identical.
+//!
+//! Entries are not trusted blindly: each one is a [`CacheEnvelope`] carrying
+//! the writer's sweep key and an FNV-1a checksum over the payload bytes.
+//! [`cache_load`] re-derives both and falls back to recomputation on any
+//! mismatch, so a truncated, bit-flipped, or key-swapped entry (the faults
+//! `hammervolt-testkit` injects) is detected and recomputed, never served.
 
 use crate::alg1::{self, Alg1Config};
 use crate::alg2;
@@ -392,10 +398,34 @@ fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
 
 const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
+/// On-disk format version; bumped whenever the envelope layout changes so
+/// old entries miss instead of misparsing.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// The verified on-disk wrapper around one cached sweep.
+///
+/// The payload is stored as a JSON string (the sweep's exact serialization),
+/// so the checksum covers the precise bytes that deserialize back into the
+/// sweep and warm loads stay byte-identical to cold computes. `key` records
+/// the sweep key the *writer* derived from its configuration; a reader
+/// computing a different key (stale-key swap, renamed file) rejects the
+/// entry even if its checksum is internally consistent.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheEnvelope {
+    /// Envelope format version ([`CACHE_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Writer's sweep key (config hash + kind + parameter), zero-padded hex.
+    pub key: String,
+    /// FNV-1a-64 over the payload bytes, zero-padded hex.
+    pub checksum: String,
+    /// The sweep's JSON serialization.
+    pub payload: String,
+}
+
 /// The cache key for one module's sweep: a hash of the full configuration
 /// (with `modules` normalized to the one module, so subset runs share
 /// entries), the sweep kind, and any kind-specific parameter.
-fn sweep_key(config: &StudyConfig, id: ModuleId, kind: &str, extra: u64) -> u64 {
+pub fn sweep_key(config: &StudyConfig, id: ModuleId, kind: &str, extra: u64) -> u64 {
     let normalized = StudyConfig {
         modules: vec![id],
         ..config.clone()
@@ -406,22 +436,57 @@ fn sweep_key(config: &StudyConfig, id: ModuleId, kind: &str, extra: u64) -> u64 
     fnv1a64(json.as_bytes(), h)
 }
 
-fn cache_path(dir: &Path, kind: &str, id: ModuleId, key: u64) -> PathBuf {
+/// The cache file path for one `(kind, module, key)` entry.
+pub fn cache_path(dir: &Path, kind: &str, id: ModuleId, key: u64) -> PathBuf {
     dir.join(format!("{kind}-{}-{key:016x}.jsonl", id.label()))
 }
 
-/// Loads a cached sweep; `None` on miss or any read/parse failure (the
-/// entry is then recomputed and rewritten).
-fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path) -> Option<T> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let line = text.lines().find(|l| !l.trim().is_empty())?;
-    serde_json::from_str(line).ok()
+/// Seals a payload into its single-line envelope form: the exact line
+/// [`cache_store`] writes for `key`. Public so conformance tests can forge
+/// valid entries (proving warm hits are served from disk) and fault
+/// injectors can re-seal corrupted payloads.
+pub fn seal_entry(key: u64, payload_json: &str) -> String {
+    let envelope = CacheEnvelope {
+        version: CACHE_FORMAT_VERSION,
+        key: format!("{key:016x}"),
+        checksum: format!("{:016x}", fnv1a64(payload_json.as_bytes(), FNV_OFFSET)),
+        payload: payload_json.to_string(),
+    };
+    serde_json::to_string(&envelope).expect("envelope serializes")
 }
 
-/// Persists a sweep as one JSON line, atomically (write-then-rename), so a
-/// concurrent reader never sees a partial entry. Best-effort: cache I/O
-/// failures never fail the sweep.
-fn cache_store<T: Serialize>(path: &Path, value: &T) {
+/// Verifies an envelope line against the reader's expected key and returns
+/// the payload on success. `None` on parse failure, version skew, key
+/// mismatch (stale-key swap), or checksum mismatch (corruption).
+fn open_entry(line: &str, expected_key: u64) -> Option<String> {
+    let envelope: CacheEnvelope = serde_json::from_str(line).ok()?;
+    if envelope.version != CACHE_FORMAT_VERSION {
+        return None;
+    }
+    if envelope.key != format!("{expected_key:016x}") {
+        return None;
+    }
+    let computed = format!("{:016x}", fnv1a64(envelope.payload.as_bytes(), FNV_OFFSET));
+    if envelope.checksum != computed {
+        return None;
+    }
+    Some(envelope.payload)
+}
+
+/// Loads and verifies a cached sweep; `None` on miss, any read/parse
+/// failure, or an envelope whose key or checksum does not match (the entry
+/// is then recomputed and rewritten).
+fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> Option<T> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let line = text.lines().find(|l| !l.trim().is_empty())?;
+    let payload = open_entry(line, expected_key)?;
+    serde_json::from_str(&payload).ok()
+}
+
+/// Persists a sweep as one sealed envelope line, atomically
+/// (write-then-rename), so a concurrent reader never sees a partial entry.
+/// Best-effort: cache I/O failures never fail the sweep.
+fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
     let Some(dir) = path.parent() else { return };
     if std::fs::create_dir_all(dir).is_err() {
         return;
@@ -429,8 +494,9 @@ fn cache_store<T: Serialize>(path: &Path, value: &T) {
     let Ok(json) = serde_json::to_string(value) else {
         return;
     };
+    let line = seal_entry(key, &json);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, json + "\n").is_ok() {
+    if std::fs::write(&tmp, line + "\n").is_ok() {
         let _ = std::fs::rename(&tmp, path);
     }
 }
@@ -455,8 +521,8 @@ where
     let mut slots: Vec<Option<T>> = Vec::with_capacity(modules.len());
     let mut missing: Vec<ModuleId> = Vec::new();
     for &id in modules {
-        let path = cache_path(dir, kind, id, sweep_key(config, id, kind, extra));
-        let hit = cache_load::<T>(&path);
+        let key = sweep_key(config, id, kind, extra);
+        let hit = cache_load::<T>(&cache_path(dir, kind, id, key), key);
         if hit.is_none() {
             missing.push(id);
         }
@@ -467,8 +533,8 @@ where
     for (slot, &id) in slots.iter_mut().zip(modules) {
         if slot.is_none() {
             let sweep = fresh.next().expect("compute returns one sweep per module");
-            let path = cache_path(dir, kind, id, sweep_key(config, id, kind, extra));
-            cache_store(&path, &sweep);
+            let key = sweep_key(config, id, kind, extra);
+            cache_store(&cache_path(dir, kind, id, key), key, &sweep);
             *slot = Some(sweep);
         }
     }
@@ -766,7 +832,69 @@ mod tests {
         let sweep = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
         assert!(!sweep.records.is_empty());
         // The corrupt entry was replaced by a valid one.
-        assert!(cache_load::<ModuleHammerSweep>(&path).is_some());
+        assert!(cache_load::<ModuleHammerSweep>(&path, key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn envelope_seal_open_round_trip() {
+        let payload = r#"{"hello":[1,2,3]}"#;
+        let line = seal_entry(42, payload);
+        assert_eq!(open_entry(&line, 42).as_deref(), Some(payload));
+        // Wrong expected key: a stale-key swap is rejected.
+        assert_eq!(open_entry(&line, 43), None);
+    }
+
+    #[test]
+    fn envelope_rejects_corruption() {
+        let payload = r#"{"ber":0.25,"rows":[7,8]}"#;
+        let line = seal_entry(7, payload);
+
+        // Single-character payload corruption breaks the checksum.
+        let tampered = line.replace("0.25", "0.26");
+        assert_ne!(tampered, line, "tamper must change the line");
+        assert_eq!(open_entry(&tampered, 7), None);
+
+        // Truncation breaks JSON parsing.
+        assert_eq!(open_entry(&line[..line.len() / 2], 7), None);
+
+        // A version bump invalidates old entries wholesale.
+        let old = line.replace(
+            &format!("\"version\":{CACHE_FORMAT_VERSION}"),
+            "\"version\":1",
+        );
+        assert_ne!(old, line, "version field must be present");
+        assert_eq!(open_entry(&old, 7), None);
+    }
+
+    #[test]
+    fn tampered_cache_payload_is_detected_and_recomputed() {
+        let cfg = tiny_config(&[ModuleId::B3]);
+        let dir = unique_temp_dir("tamper");
+        let exec = ExecConfig {
+            jobs: 1,
+            cache_dir: Some(dir.clone()),
+        };
+        let cold = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
+        let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);
+        let path = cache_path(&dir, "hammer", ModuleId::B3, key);
+
+        // Flip one payload character without re-sealing: the checksum catches
+        // it and the engine recomputes the true result.
+        let line = std::fs::read_to_string(&path).unwrap();
+        let mut envelope: CacheEnvelope = serde_json::from_str(line.trim()).unwrap();
+        let mut sweep: ModuleHammerSweep = serde_json::from_str(&envelope.payload).unwrap();
+        sweep.records[0].ber = 0.123_456_789;
+        envelope.payload = serde_json::to_string(&sweep).unwrap();
+        std::fs::write(&path, serde_json::to_string(&envelope).unwrap()).unwrap();
+
+        let reread = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
+        assert_ne!(reread.records[0].ber, 0.123_456_789);
+        assert_eq!(
+            serde_json::to_string(&reread).unwrap(),
+            serde_json::to_string(&cold).unwrap(),
+            "detection must fall back to the true recomputed sweep"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

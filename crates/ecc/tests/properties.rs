@@ -1,6 +1,6 @@
 //! Property-based tests for the SECDED code and row analysis.
 
-use hammervolt_ecc::analysis::analyze_row;
+use hammervolt_ecc::analysis::{analyze_row, erroneous_word_counts};
 use hammervolt_ecc::hamming::{survives_flips, Codeword, DecodeOutcome, CODE_BITS};
 use proptest::prelude::*;
 
@@ -73,5 +73,94 @@ proptest! {
             a.secded_correctable(),
             a.flips_per_erroneous_word.iter().all(|&c| c == 1)
         );
+    }
+
+    #[test]
+    fn raw_round_trip_and_flip_involution(
+        data in any::<u64>(),
+        pos in 0u32..CODE_BITS,
+    ) {
+        let cw = Codeword::encode(data);
+        prop_assert_eq!(Codeword::from_raw(cw.raw()), cw);
+        // Flipping the same bit twice restores the codeword exactly.
+        prop_assert_eq!(cw.with_bit_flipped(pos).with_bit_flipped(pos), cw);
+        // A single flip survives SECDED; the empty fault set trivially does.
+        prop_assert!(survives_flips(data, &[]));
+        prop_assert!(survives_flips(data, &[pos]));
+    }
+
+    // Minimum distance 4: a weight-3 error can never land on a codeword,
+    // so three flips must never decode as `Clean`. (Miscorrection to the
+    // wrong data is allowed — that is the SECDED contract, not a bug.)
+    #[test]
+    fn triple_flip_never_reads_clean(
+        data in any::<u64>(),
+        a in 0u32..CODE_BITS,
+        b in 0u32..CODE_BITS,
+        c in 0u32..CODE_BITS,
+    ) {
+        prop_assume!(a != b && b != c && a != c);
+        let cw = Codeword::encode(data)
+            .with_bit_flipped(a)
+            .with_bit_flipped(b)
+            .with_bit_flipped(c);
+        prop_assert!(
+            !matches!(cw.decode(), DecodeOutcome::Clean { .. }),
+            "weight-3 error decoded Clean at ({}, {}, {})", a, b, c
+        );
+    }
+
+    // The corrected position reported by decode really is the flipped bit:
+    // undoing it yields a codeword that decodes Clean to the original data.
+    #[test]
+    fn reported_correction_position_is_exact(
+        data in any::<u64>(),
+        pos in 0u32..CODE_BITS,
+    ) {
+        let faulty = Codeword::encode(data).with_bit_flipped(pos);
+        match faulty.decode() {
+            DecodeOutcome::Corrected { position, .. } => {
+                let repaired = faulty.with_bit_flipped(position);
+                prop_assert_eq!(repaired.decode(), DecodeOutcome::Clean { data });
+            }
+            other => prop_assert!(false, "single flip must correct, got {:?}", other),
+        }
+    }
+
+    // Obsv. 13–15 plumbing: the BER reported for a row equals flips over
+    // capacity, and the Fig. 11 histogram input preserves row order.
+    #[test]
+    fn ber_and_histogram_are_consistent(
+        rows in prop::collection::vec(
+            (
+                prop::collection::vec(any::<u64>(), 1..16),
+                prop::collection::vec((0usize..16, 0u32..64), 0..8),
+            ),
+            1..8,
+        ),
+    ) {
+        let analyses: Vec<_> = rows
+            .iter()
+            .map(|(reference, flips)| {
+                let mut readout = reference.clone();
+                for &(word, bit) in flips {
+                    let w = word % readout.len();
+                    readout[w] ^= 1u64 << bit;
+                }
+                analyze_row(reference, &readout)
+            })
+            .collect();
+        for a in &analyses {
+            let expected =
+                a.total_bit_flips as f64 / (a.total_words as f64 * 64.0);
+            prop_assert!((a.bit_error_rate() - expected).abs() < 1e-15);
+            prop_assert!(a.bit_error_rate() <= 1.0);
+            prop_assert_eq!(a.is_clean(), a.total_bit_flips == 0);
+        }
+        let histogram = erroneous_word_counts(&analyses);
+        prop_assert_eq!(histogram.len(), analyses.len());
+        for (h, a) in histogram.iter().zip(&analyses) {
+            prop_assert_eq!(*h, a.erroneous_words() as u64);
+        }
     }
 }

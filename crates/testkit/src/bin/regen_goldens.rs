@@ -1,0 +1,60 @@
+//! Regenerates (or checks) the golden-figure snapshots under `goldens/`.
+//!
+//! - `cargo run -p hammervolt-testkit --bin regen-goldens` rewrites every
+//!   golden from a fresh serial run of the golden-configuration study.
+//! - With `--check`, nothing is written: the computed set is compared
+//!   against the checked-in files, a drift summary is printed for every
+//!   mismatch, and the process exits non-zero on any drift — the CI
+//!   golden-drift gate.
+
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_testkit::compute_goldens;
+use hammervolt_testkit::golden::{golden_dir, golden_path, Golden};
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let computed = compute_goldens(&ExecConfig::serial()).expect("golden sweep");
+    if check {
+        let mut drifted = 0usize;
+        for g in &computed {
+            let path = golden_path(&g.name);
+            let verdict = match std::fs::read_to_string(&path) {
+                Err(e) => Some(format!("golden {}: unreadable ({e})", g.name)),
+                Ok(text) => match Golden::parse(&text) {
+                    Err(e) => Some(e),
+                    Ok(checked) => checked.diff(g),
+                },
+            };
+            match verdict {
+                Some(summary) => {
+                    drifted += 1;
+                    println!("DRIFT {summary}");
+                }
+                None => println!("ok    {} ({} lines)", g.name, g.lines.len()),
+            }
+        }
+        if drifted > 0 {
+            println!(
+                "\n{drifted} golden(s) drifted; run `cargo run -p hammervolt-testkit \
+                 --bin regen-goldens` and commit the result if the change is intentional"
+            );
+            std::process::exit(1);
+        }
+        println!("all {} goldens match", computed.len());
+    } else {
+        let dir = golden_dir();
+        std::fs::create_dir_all(&dir).expect("create goldens dir");
+        for g in &computed {
+            let path = golden_path(&g.name);
+            let rendered = g.render();
+            let changed = std::fs::read_to_string(&path).map(|t| t != rendered);
+            std::fs::write(&path, rendered).expect("write golden");
+            match changed {
+                Ok(false) => println!("unchanged {}", g.name),
+                Ok(true) => println!("updated   {}", g.name),
+                Err(_) => println!("created   {}", g.name),
+            }
+        }
+        println!("wrote {} goldens to {}", computed.len(), dir.display());
+    }
+}

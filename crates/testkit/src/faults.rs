@@ -1,0 +1,232 @@
+//! Deterministic fault injectors.
+//!
+//! Two fault domains, both fully deterministic (no clocks, no RNG) so a
+//! failing drill reproduces byte-for-byte:
+//!
+//! - **Cache faults** operate on sweep-cache entry files: truncation,
+//!   single-bit flips, and stale-key swaps (serving module A's entry under
+//!   module B's path). The hardened cache must detect all of them and
+//!   recompute.
+//! - **Program faults** perturb SoftMC command programs: stripping
+//!   activates, reordering leading command slots, corrupting write data,
+//!   and inflating loop counts. The engine must reject structurally broken
+//!   programs with [`hammervolt_softmc::SoftMcError::BadProgram`], and data
+//!   corruption must surface as readback divergence.
+
+use hammervolt_softmc::program::{Op, Program};
+use hammervolt_softmc::Instruction;
+use std::io;
+use std::path::Path;
+
+// ---------------------------------------------------------------------
+// Cache-file faults
+// ---------------------------------------------------------------------
+
+/// Truncates the file to `keep` bytes (no-op when already shorter).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn truncate_file(path: &Path, keep: usize) -> io::Result<()> {
+    let bytes = std::fs::read(path)?;
+    let keep = keep.min(bytes.len());
+    std::fs::write(path, &bytes[..keep])
+}
+
+/// Flips one bit of the file in place. `byte_index` wraps around the file
+/// length so callers can use fixed offsets without knowing the exact size.
+///
+/// # Errors
+///
+/// Propagates I/O errors; fails on an empty file.
+pub fn flip_bit(path: &Path, byte_index: usize, bit: u8) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    if bytes.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "cannot flip a bit in an empty file",
+        ));
+    }
+    let i = byte_index % bytes.len();
+    bytes[i] ^= 1u8 << (bit % 8);
+    std::fs::write(path, bytes)
+}
+
+/// Swaps the contents of two files — the stale-key fault: each entry is a
+/// perfectly sealed envelope, just for the *other* key.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn swap_files(a: &Path, b: &Path) -> io::Result<()> {
+    let bytes_a = std::fs::read(a)?;
+    let bytes_b = std::fs::read(b)?;
+    std::fs::write(a, bytes_b)?;
+    std::fs::write(b, bytes_a)
+}
+
+// ---------------------------------------------------------------------
+// SoftMC program faults
+// ---------------------------------------------------------------------
+
+fn map_ops(ops: &[Op], f: &impl Fn(&Instruction) -> Option<Instruction>) -> Vec<Op> {
+    ops.iter()
+        .filter_map(|op| match op {
+            Op::Inst(inst) => f(inst).map(Op::Inst),
+            Op::Loop { count, body } => Some(Op::Loop {
+                count: *count,
+                body: map_ops(body, f),
+            }),
+        })
+        .collect()
+}
+
+/// Removes every ACT from the program (top level and inside loops): any
+/// dependent RD/WR/PRE then targets a bank with no open row.
+pub fn strip_activates(program: &Program) -> Program {
+    Program {
+        ops: map_ops(&program.ops, &|inst| match inst {
+            Instruction::Act { .. } => None,
+            other => Some(*other),
+        }),
+    }
+}
+
+/// Swaps the first two command slots (recursing into a leading loop): the
+/// command-ordering fault of a corrupted instruction buffer.
+pub fn swap_leading_slots(program: &Program) -> Program {
+    fn swap_first_two(ops: &mut [Op]) {
+        if ops.len() >= 2 {
+            ops.swap(0, 1);
+        } else if let Some(Op::Loop { body, .. }) = ops.first_mut() {
+            swap_first_two(body);
+        }
+    }
+    let mut out = program.clone();
+    swap_first_two(&mut out.ops);
+    out
+}
+
+/// XORs every WR data word with `mask` — silent data corruption in the
+/// command stream, detectable only by readback comparison.
+pub fn corrupt_write_data(program: &Program, mask: u64) -> Program {
+    Program {
+        ops: map_ops(&program.ops, &|inst| match inst {
+            Instruction::Wr { bank, column, data } => Some(Instruction::Wr {
+                bank: *bank,
+                column: *column,
+                data: *data ^ mask,
+            }),
+            other => Some(*other),
+        }),
+    }
+}
+
+/// Multiplies every loop count by `factor` — a stuck iteration counter.
+pub fn inflate_loops(program: &Program, factor: u64) -> Program {
+    fn inflate(ops: &[Op], factor: u64) -> Vec<Op> {
+        ops.iter()
+            .map(|op| match op {
+                Op::Inst(inst) => Op::Inst(*inst),
+                Op::Loop { count, body } => Op::Loop {
+                    count: count.saturating_mul(factor),
+                    body: inflate(body, factor),
+                },
+            })
+            .collect()
+    }
+    Program {
+        ops: inflate(&program.ops, factor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_faults_apply_deterministically() {
+        let dir = std::env::temp_dir().join(format!("testkit-faults-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.bin");
+        let b = dir.join("b.bin");
+        std::fs::write(&a, b"hello world").unwrap();
+        std::fs::write(&b, b"other").unwrap();
+
+        truncate_file(&a, 5).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), b"hello");
+
+        flip_bit(&a, 0, 0).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), b"iello");
+        flip_bit(&a, 0, 0).unwrap(); // involution
+        assert_eq!(std::fs::read(&a).unwrap(), b"hello");
+        // wrap-around indexing
+        flip_bit(&a, 5, 1).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), b"jello");
+
+        swap_files(&a, &b).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), b"other");
+        assert_eq!(std::fs::read(&b).unwrap(), b"jello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn strip_activates_removes_all_acts() {
+        let p = Program::init_row(0, 3, 4, 0xAB);
+        let stripped = strip_activates(&p);
+        assert_eq!(stripped.command_count(), p.command_count() - 1);
+        fn has_act(ops: &[Op]) -> bool {
+            ops.iter().any(|op| match op {
+                Op::Inst(Instruction::Act { .. }) => true,
+                Op::Inst(_) => false,
+                Op::Loop { body, .. } => has_act(body),
+            })
+        }
+        assert!(has_act(&p.ops));
+        assert!(!has_act(&stripped.ops));
+        // also inside loops
+        let h = strip_activates(&Program::hammer_double_sided(0, 1, 3, 10));
+        assert!(!has_act(&h.ops));
+        assert_eq!(h.command_count(), 20); // only the PREs remain
+    }
+
+    #[test]
+    fn swap_leading_slots_reorders_and_recurses() {
+        let p = Program::init_row(0, 3, 2, 0xAB);
+        let swapped = swap_leading_slots(&p);
+        assert!(matches!(swapped.ops[0], Op::Inst(Instruction::Wr { .. })));
+        assert!(matches!(swapped.ops[1], Op::Inst(Instruction::Act { .. })));
+        // a single leading loop: the swap happens inside its body
+        let h = Program::hammer_double_sided(0, 1, 3, 5);
+        let hs = swap_leading_slots(&h);
+        match &hs.ops[0] {
+            Op::Loop { body, .. } => {
+                assert!(matches!(body[0], Op::Inst(Instruction::Pre { .. })));
+                assert!(matches!(body[1], Op::Inst(Instruction::Act { .. })));
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_write_data_flips_only_data() {
+        let p = Program::init_row(1, 2, 3, 0xF0);
+        let c = corrupt_write_data(&p, 0xFF);
+        assert_eq!(c.command_count(), p.command_count());
+        for op in &c.ops {
+            if let Op::Inst(Instruction::Wr { data, .. }) = op {
+                assert_eq!(*data, 0x0F);
+            }
+        }
+        // involution restores the original
+        assert_eq!(corrupt_write_data(&c, 0xFF), p);
+    }
+
+    #[test]
+    fn inflate_loops_multiplies_counts() {
+        let p = Program::hammer_double_sided(0, 1, 3, 7);
+        let inflated = inflate_loops(&p, 3);
+        assert_eq!(inflated.command_count(), 3 * p.command_count());
+        assert_eq!(inflate_loops(&p, 1), p);
+    }
+}

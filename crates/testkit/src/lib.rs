@@ -1,0 +1,157 @@
+//! Workspace-wide conformance and fault-injection harness.
+//!
+//! Four layers, each exercising a different failure class:
+//!
+//! 1. **Golden-figure oracle** ([`golden`], `tests/goldens.rs`): every
+//!    figure/table payload the `hammervolt-bench` bins emit is snapshotted
+//!    as a content-hashed JSONL file under `goldens/`. Any change to the
+//!    physics model, the methodology, or the figure builders shows up as a
+//!    hash drift with a line-level diff. Regenerate with the
+//!    `regen-goldens` bin after an intentional change.
+//! 2. **Paper-invariant properties** (`tests/invariants.rs`): the paper's
+//!    Observations 1–15 as executable monotonicity/ordering properties
+//!    over the `hammervolt-dram` physics model, run under the vendored
+//!    `proptest`.
+//! 3. **Differential oracle** (`tests/differential.rs`): serial, parallel,
+//!    and warm-cache executions of every sweep kind must be
+//!    byte-identical.
+//! 4. **Fault injection** ([`faults`], `tests/faults.rs`): deterministic
+//!    corruption of sweep-cache entries (truncation, bit flips, stale-key
+//!    swaps) and of SoftMC command programs; the system must detect and
+//!    recompute (or reject), never serve poisoned results.
+//!
+//! The golden configuration is intentionally tiny — one module per
+//! manufacturer, two rows per chunk — so the whole suite stays seconds-fast
+//! while still covering all three vendor models end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod golden;
+
+use hammervolt_bench::figures::{
+    fig03_series, fig04_series, fig05_series, fig06_series, fig07_series, fig10a_series,
+    fig10b_series, guardband_summary, observation_findings, table1_rows, table3_rows,
+};
+use hammervolt_core::error::StudyError;
+use hammervolt_core::exec::{retention_sweeps, rowhammer_sweeps, trcd_sweeps, ExecConfig};
+use hammervolt_core::study::StudyConfig;
+use hammervolt_dram::registry::ModuleId;
+
+use golden::Golden;
+
+/// FNV-1a-64 offset basis (shared with the sweep cache's content hashing).
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// FNV-1a-64 over `bytes`, continuing from state `h` (seed with
+/// [`FNV_OFFSET`]).
+pub fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The conformance study configuration: one module per manufacturer with a
+/// minimal row sample. Small enough that the full golden set regenerates in
+/// seconds, yet it exercises every vendor model, every sweep kind, and
+/// every figure builder.
+pub fn golden_config() -> StudyConfig {
+    StudyConfig {
+        rows_per_chunk: 2,
+        ..StudyConfig::quick_subset(&[ModuleId::A0, ModuleId::B3, ModuleId::C5])
+    }
+}
+
+/// The `t_RCD` ladder cap used for the guardband golden (mirrors the
+/// `guardband` bin).
+pub const GUARDBAND_LEVELS_CAP: usize = 2;
+
+/// The `t_RCD` ladder cap used for the Fig. 7 golden (mirrors the fast
+/// scales of the `fig07_trcd_vs_vpp` bin).
+pub const FIG07_LEVELS_CAP: usize = 4;
+
+/// Names of every golden snapshot, one per `hammervolt-bench` bin, in
+/// regeneration order.
+pub const GOLDEN_NAMES: [&str; 11] = [
+    "table1",
+    "table3",
+    "fig03_ber_vs_vpp",
+    "fig04_ber_density",
+    "fig05_hcfirst_vs_vpp",
+    "fig06_hcfirst_density",
+    "fig07_trcd_vs_vpp",
+    "fig10a_retention_ber",
+    "fig10b_retention_density",
+    "guardband",
+    "observations",
+];
+
+/// Computes the full golden set from the [`golden_config`] study: one
+/// [`Golden`] per bench bin, in [`GOLDEN_NAMES`] order. Sweeps are shared
+/// across figures exactly as in the bins (the hammer sweep feeds six
+/// payloads), so the set is cheap to regenerate and internally consistent.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from the underlying sweeps.
+pub fn compute_goldens(exec: &ExecConfig) -> Result<Vec<Golden>, StudyError> {
+    let cfg = golden_config();
+    let hammer = rowhammer_sweeps(&cfg, exec)?;
+    let trcd_guard = trcd_sweeps(&cfg, GUARDBAND_LEVELS_CAP, exec)?;
+    let trcd_fig07 = trcd_sweeps(&cfg, FIG07_LEVELS_CAP, exec)?;
+    let retention = retention_sweeps(&cfg, exec)?;
+    Ok(vec![
+        Golden::from_items("table1", &table1_rows()),
+        Golden::from_items("table3", &table3_rows(&hammer)),
+        Golden::from_items("fig03_ber_vs_vpp", &fig03_series(&hammer)),
+        Golden::from_items("fig04_ber_density", &fig04_series(&hammer)),
+        Golden::from_items("fig05_hcfirst_vs_vpp", &fig05_series(&hammer)),
+        Golden::from_items("fig06_hcfirst_density", &fig06_series(&hammer)),
+        Golden::from_items("fig07_trcd_vs_vpp", &fig07_series(&trcd_fig07)),
+        Golden::from_items("fig10a_retention_ber", &fig10a_series(&retention)),
+        Golden::from_items("fig10b_retention_density", &fig10b_series(&retention)),
+        Golden::single("guardband", &guardband_summary(&trcd_guard)),
+        Golden::single("observations", &observation_findings(&hammer)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // FNV-1a-64 of the empty string is the offset basis.
+        assert_eq!(fnv1a64(b"", FNV_OFFSET), FNV_OFFSET);
+        // Incremental hashing equals one-shot hashing.
+        let one_shot = fnv1a64(b"hammervolt", FNV_OFFSET);
+        let split = fnv1a64(b"volt", fnv1a64(b"hammer", FNV_OFFSET));
+        assert_eq!(one_shot, split);
+        assert_ne!(one_shot, fnv1a64(b"hammerVolt", FNV_OFFSET));
+    }
+
+    #[test]
+    fn golden_config_covers_each_manufacturer_once() {
+        let cfg = golden_config();
+        assert_eq!(cfg.modules.len(), 3);
+        let letters: Vec<char> = cfg
+            .modules
+            .iter()
+            .map(|m| m.manufacturer().letter())
+            .collect();
+        assert_eq!(letters, vec!['A', 'B', 'C']);
+        assert_eq!(cfg.rows_per_chunk, 2);
+        assert!(cfg.reduced_geometry, "golden runs must stay fast");
+    }
+
+    #[test]
+    fn golden_names_are_unique_and_complete() {
+        let mut names = GOLDEN_NAMES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), GOLDEN_NAMES.len());
+    }
+}

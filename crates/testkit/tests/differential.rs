@@ -1,0 +1,69 @@
+//! Differential oracle: the execution engine must produce byte-identical
+//! sweep output no matter how it is scheduled or cached.
+//!
+//! For every sweep kind (RowHammer/Alg. 1, t_RCD/Alg. 2, retention/Alg. 3)
+//! four executions are compared: serial, parallel (`--jobs 3`), a cold
+//! cache-populating run, and a warm cache-served run. All four must agree
+//! to the byte — the same guarantee the root crate's `tests/parallel.rs`
+//! checks at smoke scale, here at golden scale as part of the conformance
+//! suite.
+
+use hammervolt_core::exec::{retention_sweeps, rowhammer_sweeps, trcd_sweeps, ExecConfig};
+use hammervolt_testkit::{golden_config, FIG07_LEVELS_CAP};
+use serde::Serialize;
+use std::path::PathBuf;
+
+fn canon<T: Serialize>(sweeps: &[T]) -> String {
+    serde_json::to_string(sweeps).expect("serialize")
+}
+
+fn temp_cache(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("testkit-diff-{tag}-{}", std::process::id()))
+}
+
+/// Runs one sweep kind under all four execution shapes and asserts
+/// byte-identity.
+fn assert_differential<T, F>(tag: &str, run: F)
+where
+    T: Serialize,
+    F: Fn(&ExecConfig) -> Vec<T>,
+{
+    let serial = canon(&run(&ExecConfig::serial()));
+    let parallel = canon(&run(&ExecConfig::with_jobs(3)));
+    assert_eq!(serial, parallel, "{tag}: serial vs --jobs 3 diverged");
+
+    let dir = temp_cache(tag);
+    let cached = ExecConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    let cold = canon(&run(&cached));
+    assert_eq!(serial, cold, "{tag}: serial vs cold-cache diverged");
+    let warm = canon(&run(&cached));
+    assert_eq!(serial, warm, "{tag}: serial vs warm-cache diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rowhammer_sweeps_are_schedule_and_cache_invariant() {
+    let cfg = golden_config();
+    assert_differential("hammer", |exec| {
+        rowhammer_sweeps(&cfg, exec).expect("hammer sweep")
+    });
+}
+
+#[test]
+fn trcd_sweeps_are_schedule_and_cache_invariant() {
+    let cfg = golden_config();
+    assert_differential("trcd", |exec| {
+        trcd_sweeps(&cfg, FIG07_LEVELS_CAP, exec).expect("trcd sweep")
+    });
+}
+
+#[test]
+fn retention_sweeps_are_schedule_and_cache_invariant() {
+    let cfg = golden_config();
+    assert_differential("retention", |exec| {
+        retention_sweeps(&cfg, exec).expect("retention sweep")
+    });
+}

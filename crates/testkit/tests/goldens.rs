@@ -1,0 +1,84 @@
+//! Golden-figure conformance: every `hammervolt-bench` payload is pinned
+//! to a checked-in, content-hashed snapshot.
+//!
+//! On drift this test prints a per-golden summary (hashes, line counts,
+//! first differing line). After an *intentional* model or methodology
+//! change, regenerate with either
+//! `cargo run -p hammervolt-testkit --bin regen-goldens --release` or
+//! `HAMMERVOLT_REGEN_GOLDENS=1 cargo test -p hammervolt-testkit --release`.
+
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_testkit::golden::{golden_path, Golden};
+use hammervolt_testkit::{compute_goldens, GOLDEN_NAMES};
+
+#[test]
+fn checked_in_goldens_match_computed_payloads() {
+    let computed = compute_goldens(&ExecConfig::serial()).expect("golden sweeps");
+    assert_eq!(computed.len(), GOLDEN_NAMES.len());
+    for (g, &name) in computed.iter().zip(GOLDEN_NAMES.iter()) {
+        assert_eq!(g.name, name, "golden order must match GOLDEN_NAMES");
+        assert!(!g.lines.is_empty(), "golden {name} computed empty");
+    }
+
+    if std::env::var("HAMMERVOLT_REGEN_GOLDENS").as_deref() == Ok("1") {
+        for g in &computed {
+            let path = golden_path(&g.name);
+            std::fs::create_dir_all(path.parent().unwrap()).expect("goldens dir");
+            std::fs::write(&path, g.render()).expect("write golden");
+        }
+        return;
+    }
+
+    let mut failures = Vec::new();
+    for g in &computed {
+        let path = golden_path(&g.name);
+        match std::fs::read_to_string(&path) {
+            Err(e) => failures.push(format!(
+                "golden {}: missing/unreadable at {} ({e})",
+                g.name,
+                path.display()
+            )),
+            Ok(text) => match Golden::parse(&text) {
+                Err(e) => failures.push(e),
+                Ok(checked) => {
+                    if let Some(diff) = checked.diff(g) {
+                        failures.push(diff);
+                    }
+                }
+            },
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden drift ({} of {}):\n{}\n\nif intentional, regenerate with \
+         `cargo run -p hammervolt-testkit --bin regen-goldens --release`",
+        failures.len(),
+        computed.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_payloads_parse_as_json() {
+    // Independent of drift: whatever is checked in must be structurally
+    // valid (header verifies, every payload line parses as JSON).
+    let mut seen = 0;
+    for &name in &GOLDEN_NAMES {
+        let path = golden_path(name);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // absence is reported by the drift test
+        };
+        let g = Golden::parse(&text).unwrap_or_else(|e| panic!("golden {name}: {e}"));
+        assert_eq!(g.name, name, "file {} names golden {}", name, g.name);
+        for (i, line) in g.lines.iter().enumerate() {
+            serde_json::from_str::<serde::Value>(line)
+                .unwrap_or_else(|e| panic!("golden {name} line {}: bad JSON ({e})", i + 1));
+        }
+        seen += 1;
+    }
+    assert_eq!(
+        seen,
+        GOLDEN_NAMES.len(),
+        "expected every golden to be checked in"
+    );
+}

@@ -3,8 +3,10 @@
 //! sweep cache.
 
 use hammervolt::dram::registry::ModuleId;
-use hammervolt::study::exec::{retention_sweeps, rowhammer_sweeps, trcd_sweeps, ExecConfig};
-use hammervolt::study::study::{ModuleHammerSweep, StudyConfig};
+use hammervolt::study::exec::{
+    retention_sweeps, rowhammer_sweeps, seal_entry, sweep_key, trcd_sweeps, ExecConfig,
+};
+use hammervolt::study::study::StudyConfig;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -73,46 +75,105 @@ fn cli_sweep_is_byte_identical_across_jobs() {
     assert_eq!(serial, run("0"), "--jobs 0 (auto) must match as well");
 }
 
-/// A warm cache serves the sweep from disk with zero re-simulation and
-/// byte-identical output. Zero re-simulation is proven by tampering with the
-/// cached entry: the tampered values come back verbatim, which simulation
-/// could never produce.
+/// A warm cache serves every sweep kind from disk with byte-identical
+/// output: cold (compute + store) and warm (load) runs must serialize
+/// identically for the rowhammer, t_RCD (Alg. 2), and retention (Alg. 3)
+/// sweeps alike.
 #[test]
-fn warm_cache_round_trips_without_resimulation() {
+fn warm_cache_round_trips_every_sweep_kind() {
     let cfg = tiny(&[ModuleId::B3]);
-    let dir = temp_dir("cache");
+    let dir = temp_dir("cache-kinds");
+    let exec = ExecConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+    };
+    let cold = (
+        serde_json::to_string(&rowhammer_sweeps(&cfg, &exec).unwrap()).unwrap(),
+        serde_json::to_string(&trcd_sweeps(&cfg, 3, &exec).unwrap()).unwrap(),
+        serde_json::to_string(&retention_sweeps(&cfg, &exec).unwrap()).unwrap(),
+    );
+    let warm = (
+        serde_json::to_string(&rowhammer_sweeps(&cfg, &exec).unwrap()).unwrap(),
+        serde_json::to_string(&trcd_sweeps(&cfg, 3, &exec).unwrap()).unwrap(),
+        serde_json::to_string(&retention_sweeps(&cfg, &exec).unwrap()).unwrap(),
+    );
+    assert_eq!(cold.0, warm.0, "warm rowhammer sweep must match cold");
+    assert_eq!(cold.1, warm.1, "warm t_RCD sweep must match cold");
+    assert_eq!(cold.2, warm.2, "warm retention sweep must match cold");
+
+    // Warm runs must also match a cache-less serial run: the cache may never
+    // change results, only skip re-simulation.
+    let serial = ExecConfig::serial();
+    assert_eq!(
+        cold.0,
+        serde_json::to_string(&rowhammer_sweeps(&cfg, &serial).unwrap()).unwrap()
+    );
+    assert_eq!(
+        cold.1,
+        serde_json::to_string(&trcd_sweeps(&cfg, 3, &serial).unwrap()).unwrap()
+    );
+    assert_eq!(
+        cold.2,
+        serde_json::to_string(&retention_sweeps(&cfg, &serial).unwrap()).unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cache entries are checksummed: a tampered payload is detected and
+/// recomputed, while a correctly *sealed* forged entry is served verbatim —
+/// which both closes the silent-corruption hole and proves warm hits come
+/// from disk rather than re-simulation.
+#[test]
+fn cache_detects_tampering_but_serves_sealed_entries() {
+    let cfg = tiny(&[ModuleId::B3]);
+    let dir = temp_dir("cache-seal");
     let exec = ExecConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
     };
     let cold = rowhammer_sweeps(&cfg, &exec).unwrap();
-    let warm = rowhammer_sweeps(&cfg, &exec).unwrap();
-    assert_eq!(
-        serde_json::to_string(&cold).unwrap(),
-        serde_json::to_string(&warm).unwrap(),
-        "warm cache must reproduce the cold run byte-for-byte"
-    );
-
-    // Tamper with the single cache entry and re-run: the sentinel BER can
-    // only appear if the result was loaded, not recomputed.
     let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
         .unwrap()
         .map(|e| e.unwrap().path())
         .collect();
     assert_eq!(entries.len(), 1, "one module, one cache entry");
-    let text = std::fs::read_to_string(&entries[0]).unwrap();
-    let mut sweep: ModuleHammerSweep = serde_json::from_str(text.trim()).unwrap();
     const SENTINEL: f64 = 0.123_456_789;
-    sweep.records[0].ber = SENTINEL;
-    std::fs::write(&entries[0], serde_json::to_string(&sweep).unwrap()).unwrap();
 
-    let tampered = rowhammer_sweeps(&cfg, &exec).unwrap();
+    // Naive tamper: rewrite the payload without re-sealing. The checksum
+    // mismatch must force a recompute of the true result.
+    let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);
+    let mut sweep = cold[0].clone();
+    sweep.records[0].ber = SENTINEL;
+    let tampered_line = seal_entry(key, &serde_json::to_string(&sweep).unwrap());
+    // Corrupt the sealed line's checksum field so it no longer matches.
+    let broken = tampered_line.replacen("\"checksum\":\"", "\"checksum\":\"0", 1);
+    std::fs::write(&entries[0], broken).unwrap();
+    let recomputed = rowhammer_sweeps(&cfg, &exec).unwrap();
+    assert_ne!(
+        recomputed[0].records[0].ber, SENTINEL,
+        "poisoned entry must be recomputed, not served"
+    );
     assert_eq!(
-        tampered[0].records[0].ber, SENTINEL,
-        "cache hit must be served from disk, not re-simulated"
+        serde_json::to_string(&recomputed).unwrap(),
+        serde_json::to_string(&cold).unwrap(),
     );
 
-    // A different configuration misses the tampered entry and recomputes.
+    // Forged-but-valid entry: sealing the sentinel payload with the correct
+    // key makes it indistinguishable from a real entry, so it is served —
+    // proving the warm path performs zero re-simulation.
+    std::fs::write(
+        &entries[0],
+        seal_entry(key, &serde_json::to_string(&sweep).unwrap()) + "\n",
+    )
+    .unwrap();
+    let served = rowhammer_sweeps(&cfg, &exec).unwrap();
+    assert_eq!(
+        served[0].records[0].ber, SENTINEL,
+        "a correctly sealed entry must be served from disk"
+    );
+
+    // A different configuration derives a different key, misses the forged
+    // entry, and recomputes.
     let other = StudyConfig {
         rows_per_chunk: 4,
         ..cfg

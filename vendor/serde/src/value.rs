@@ -54,6 +54,18 @@ impl Value {
     }
 }
 
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> crate::Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeError {
