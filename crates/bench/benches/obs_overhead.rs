@@ -1,0 +1,97 @@
+//! Criterion benches for the observability layer's hot-path cost.
+//!
+//! The determinism contract says instrumentation is a side channel; this
+//! bench pins down the *performance* side of that contract. The cases to
+//! compare:
+//!
+//! - `hammer_300k_obs_disabled` vs `hammer_300k_obs_metrics`: the same bulk
+//!   hammer loop with all observability off and with the metrics flag on.
+//!   The disabled case must be within noise of the pre-observability
+//!   baseline (each instrumentation site is one relaxed atomic load).
+//! - `counter_add_disabled` / `counter_add_enabled`: raw cost of one
+//!   `counter_add!` call site in both states.
+//! - `measure_ber_300k_obs_disabled` / `..._obs_metrics`: an Alg. 1 BER
+//!   measurement, the hottest instrumented study path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hammervolt_core::alg1;
+use hammervolt_core::patterns::DataPattern;
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_obs::counter_add;
+use hammervolt_softmc::SoftMc;
+use std::hint::black_box;
+
+fn session() -> SoftMc {
+    let module =
+        DramModule::with_geometry(registry::spec(ModuleId::B0), 3, Geometry::small_test()).unwrap();
+    SoftMc::new(module)
+}
+
+fn bench_hammer(c: &mut Criterion, name: &str, metrics: bool) {
+    hammervolt_obs::set_metrics(metrics);
+    let mut mc = session();
+    mc.init_row(0, 100, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            mc.hammer_double_sided(0, black_box(99), black_box(101), 300_000)
+                .unwrap();
+        })
+    });
+    hammervolt_obs::set_metrics(false);
+}
+
+fn bench_hammer_disabled(c: &mut Criterion) {
+    bench_hammer(c, "hammer_300k_obs_disabled", false);
+}
+
+fn bench_hammer_metrics(c: &mut Criterion) {
+    bench_hammer(c, "hammer_300k_obs_metrics", true);
+}
+
+fn bench_measure_ber(c: &mut Criterion, name: &str, metrics: bool) {
+    hammervolt_obs::set_metrics(metrics);
+    let mut mc = session();
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            alg1::measure_ber(
+                &mut mc,
+                0,
+                black_box(100),
+                DataPattern::CheckerboardAa,
+                300_000,
+            )
+            .unwrap()
+        })
+    });
+    hammervolt_obs::set_metrics(false);
+}
+
+fn bench_ber_disabled(c: &mut Criterion) {
+    bench_measure_ber(c, "measure_ber_300k_obs_disabled", false);
+}
+
+fn bench_ber_metrics(c: &mut Criterion) {
+    bench_measure_ber(c, "measure_ber_300k_obs_metrics", true);
+}
+
+fn bench_counter_site(c: &mut Criterion) {
+    hammervolt_obs::set_metrics(false);
+    c.bench_function("counter_add_disabled", |b| {
+        b.iter(|| counter_add!("bench_obs_overhead", black_box(1u64)))
+    });
+    hammervolt_obs::set_metrics(true);
+    c.bench_function("counter_add_enabled", |b| {
+        b.iter(|| counter_add!("bench_obs_overhead", black_box(1u64)))
+    });
+    hammervolt_obs::set_metrics(false);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hammer_disabled, bench_hammer_metrics, bench_ber_disabled,
+        bench_ber_metrics, bench_counter_site
+}
+criterion_main!(benches);

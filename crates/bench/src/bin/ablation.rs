@@ -13,6 +13,7 @@ use hammervolt_dram::physics::{
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Ablation: which mechanism produces which population behaviour?\n");
     let vpp_min = 1.6;
     let mut t = AsciiTable::new(vec![

@@ -9,6 +9,7 @@ use hammervolt_dram::vendor::Manufacturer;
 use hammervolt_stats::plot::{render, PlotConfig};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 4: Population density of normalized BER at V_PPmin, per Mfr.");
     println!("{}\n", scale.banner());

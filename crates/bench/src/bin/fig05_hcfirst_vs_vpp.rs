@@ -7,6 +7,7 @@ use hammervolt_core::exec::rowhammer_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 5: Normalized HC_first values across different V_PP levels");
     println!("{}\n", scale.banner());

@@ -10,6 +10,7 @@ use hammervolt_stats::descriptive::fraction_where;
 use hammervolt_stats::plot::{render, PlotConfig};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 6: Population density of normalized HC_first at V_PPmin, per Mfr.");
     println!("{}\n", scale.banner());

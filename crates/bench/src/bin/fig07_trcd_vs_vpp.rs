@@ -8,6 +8,7 @@ use hammervolt_dram::timing::NOMINAL_T_RCD_NS;
 use hammervolt_stats::plot::{render, PlotConfig};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 7: Minimum reliable t_RCD across different V_PP levels");
     println!("{}\n", scale.banner());

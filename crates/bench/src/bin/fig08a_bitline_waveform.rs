@@ -6,6 +6,7 @@ use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::Series;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Fig. 8a: Bitline voltage waveform during row activation (SPICE)\n");
     let params = DramCellParams::default();
     let sim = ActivationSim::new(params);

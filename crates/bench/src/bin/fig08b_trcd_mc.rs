@@ -7,6 +7,7 @@ use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::{KernelDensity, Series};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Fig. 8b: t_RCDmin distribution across Monte-Carlo trials (SPICE)\n");
     let trials = match std::env::var("HAMMERVOLT_SCALE").as_deref() {
         Ok("paper") => 10_000,

@@ -7,6 +7,7 @@ use hammervolt_stats::plot::{render, PlotConfig};
 use hammervolt_stats::Series;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Fig. 9a: Cell capacitor voltage during charge restoration (SPICE)\n");
     let params = DramCellParams::default();
     let sim = ActivationSim::new(params);

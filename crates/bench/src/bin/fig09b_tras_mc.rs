@@ -10,6 +10,7 @@ use hammervolt_stats::{KernelDensity, Series};
 const NOMINAL_T_RAS_NS: f64 = 32.0;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Fig. 9b: t_RASmin distribution across Monte-Carlo trials (SPICE)\n");
     let trials = match std::env::var("HAMMERVOLT_SCALE").as_deref() {
         Ok("paper") => 10_000,

@@ -7,6 +7,7 @@ use hammervolt_core::exec::retention_sweeps;
 use hammervolt_stats::plot::{render, PlotConfig};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 10a: Retention BER across refresh windows per V_PP (80 °C)");
     println!("{}\n", scale.banner());

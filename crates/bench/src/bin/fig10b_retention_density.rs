@@ -9,6 +9,7 @@ use hammervolt_stats::plot::{render, PlotConfig};
 use std::collections::BTreeMap;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 10b: Per-row retention BER distribution at t_REFW = 4 s (80 °C)");
     println!("{}\n", scale.banner());

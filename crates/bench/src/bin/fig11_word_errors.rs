@@ -11,6 +11,7 @@ use hammervolt_stats::plot::render_bars;
 use std::collections::BTreeMap;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Fig. 11: Rows by erroneous 64-bit word count at 64/128 ms, V_PPmin");
     println!("{}\n", scale.banner());

@@ -8,6 +8,7 @@ use hammervolt_core::exec::trcd_sweeps;
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("§6.1: t_RCD guardband under reduced V_PP");
     println!("{}\n", scale.banner());

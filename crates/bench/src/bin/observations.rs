@@ -6,6 +6,7 @@ use hammervolt_bench::{compare_line, paper, Scale};
 use hammervolt_core::exec::rowhammer_sweeps;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Takeaway 1: effect of V_PP on RowHammer — aggregate findings");
     println!("{}\n", scale.banner());

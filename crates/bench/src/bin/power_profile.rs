@@ -12,6 +12,7 @@ use hammervolt_softmc::SoftMc;
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("I_PP during a sustained double-sided attack (module B3)\n");
     let mut t = AsciiTable::new(vec![
         "V_PP (V)".into(),

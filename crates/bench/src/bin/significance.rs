@@ -6,6 +6,7 @@ use hammervolt_core::alg1::{self, Alg1Config};
 use hammervolt_core::significance;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("§4.6: statistical significance (coefficient of variation)");
     println!("{}\n", scale.banner());

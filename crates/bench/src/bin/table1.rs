@@ -6,6 +6,7 @@ use hammervolt_stats::table::AsciiTable;
 use std::collections::BTreeMap;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Table 1: Summary of the tested DDR4 DRAM chips\n");
     let rows = table1_rows();
     let mut t = AsciiTable::new(vec![

@@ -4,6 +4,7 @@ use hammervolt_spice::dram_cell::DramCellParams;
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("Table 2: Key parameters used in SPICE simulations\n");
     let p = DramCellParams::default();
     let mut t = AsciiTable::new(vec!["Component".into(), "Parameters".into()]);

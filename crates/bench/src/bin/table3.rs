@@ -10,6 +10,7 @@ use hammervolt_dram::registry::spec;
 use hammervolt_stats::table::{fmt_ber, fmt_kilo, AsciiTable};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Table 3: Tested DRAM modules at V_PP = 2.5 V and V_PP = V_PPmin");
     println!("{}\n", scale.banner());

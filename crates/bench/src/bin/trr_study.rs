@@ -57,6 +57,7 @@ fn attack_with_refresh(id: ModuleId, attack: &Attack, budget: u64, refresh_burst
 }
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     println!("TRR extension study: attack shapes × refresh (module B0)\n");
     let budget = 600_000;
     let mut t = AsciiTable::new(vec![

@@ -7,6 +7,7 @@ use hammervolt_dram::registry::spec;
 use hammervolt_stats::table::AsciiTable;
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("§8 / Table 3: recommended wordline voltage per module");
     println!("{}\n", scale.banner());

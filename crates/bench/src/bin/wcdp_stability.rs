@@ -9,6 +9,7 @@ use hammervolt_bench::Scale;
 use hammervolt_core::alg1::{self, Alg1Config};
 
 fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
     let scale = Scale::from_env();
     println!("Footnote 9: does the worst-case data pattern change with V_PP?");
     println!("{}\n", scale.banner());

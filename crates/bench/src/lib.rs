@@ -14,6 +14,21 @@ pub mod figures;
 use hammervolt_core::exec::ExecConfig;
 use hammervolt_core::study::StudyConfig;
 
+/// Installs the shared observability wiring for a harness bin: reads the
+/// `HAMMERVOLT_TRACE_OUT`/`HAMMERVOLT_MANIFEST_OUT`/`HAMMERVOLT_METRICS`/
+/// `HAMMERVOLT_PROGRESS` environment variables, strips `--trace-out`,
+/// `--manifest-out`, `--metrics`, and `--progress` from the process argument
+/// list, and returns the guard that writes the run manifest on drop. Call it
+/// first thing in `main` and keep the guard alive for the whole run:
+///
+/// ```no_run
+/// let _obs = hammervolt_bench::obs_init("fig07");
+/// // ... regenerate the figure while the guard is alive ...
+/// ```
+pub fn obs_init(bin: &str) -> hammervolt_obs::cli::RunGuard {
+    hammervolt_obs::cli::init_bin(bin)
+}
+
 /// Run scale, selected with the `HAMMERVOLT_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

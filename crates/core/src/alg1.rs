@@ -13,6 +13,7 @@
 
 use crate::error::StudyError;
 use crate::patterns::{self, DataPattern};
+use hammervolt_obs::counter_add;
 use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +106,7 @@ pub fn measure_ber(
     wcdp: DataPattern,
     hc: u64,
 ) -> Result<f64, StudyError> {
+    counter_add!("alg1_ber_measurements", 1);
     let (below, above) = aggressors_of(mc, victim)?;
     mc.init_row(bank, victim, wcdp.word())?;
     mc.init_row(bank, below, wcdp.inverse().word())?;
@@ -161,10 +163,12 @@ pub fn search_hc_first(
     wcdp: DataPattern,
     config: &Alg1Config,
 ) -> Result<Option<u64>, StudyError> {
+    let mut span = hammervolt_obs::Span::begin("alg1.search_hc_first");
     let mut hc = config.fixed_hc as i64;
     let mut step = config.initial_step as i64;
     let min_step = config.min_step.max(1) as i64;
     let mut any_flip = false;
+    let mut steps = 0u64;
     while step > min_step {
         let ber = measure_ber(mc, bank, victim, wcdp, hc.max(min_step) as u64)?;
         if ber == 0.0 {
@@ -174,7 +178,11 @@ pub fn search_hc_first(
             hc -= step;
         }
         step /= 2;
+        steps += 1;
     }
+    counter_add!("alg1_search_steps", steps);
+    span.field_u64("row", u64::from(victim));
+    span.field_u64("steps", steps);
     if any_flip {
         Ok(Some(hc.max(min_step) as u64))
     } else {
@@ -200,6 +208,10 @@ pub fn measure_row(
             reason: "iterations must be at least 1".to_string(),
         });
     }
+    let mut span = hammervolt_obs::Span::begin("alg1.measure_row");
+    span.field_u64("row", u64::from(victim));
+    counter_add!("alg1_rows", 1);
+    counter_add!("alg1_iterations", config.iterations);
     let wcdp = select_wcdp(mc, bank, victim, config)?;
     let mut ber_samples = Vec::with_capacity(config.iterations as usize);
     let mut hc_first: Option<u64> = None;

@@ -9,6 +9,7 @@
 use crate::error::StudyError;
 use crate::patterns::{self, DataPattern};
 use hammervolt_dram::timing::{COMMAND_SLOT_NS, NOMINAL_T_RCD_NS};
+use hammervolt_obs::counter_add;
 use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
 
@@ -135,6 +136,7 @@ fn sweep_once(
     let mut best_reliable: Option<f64> = None;
     let mut found_faulty = false;
     loop {
+        counter_add!("alg2_probe_reads", 1);
         let faulty = row_is_faulty_at(mc, bank, row, wcdp, t_rcd)?;
         if faulty {
             found_faulty = true;
@@ -176,6 +178,10 @@ pub fn measure_row(
             reason: "iterations must be at least 1".to_string(),
         });
     }
+    let mut span = hammervolt_obs::Span::begin("alg2.measure_row");
+    span.field_u64("row", u64::from(row));
+    counter_add!("alg2_rows", 1);
+    counter_add!("alg2_iterations", config.iterations);
     let wcdp = select_wcdp(mc, bank, row, config)?;
     let mut worst: Option<f64> = None;
     for _ in 0..config.iterations {

@@ -8,6 +8,7 @@
 
 use crate::error::StudyError;
 use crate::patterns::{self, DataPattern};
+use hammervolt_obs::counter_add;
 use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
 
@@ -105,6 +106,7 @@ pub fn measure_window(
     wcdp: DataPattern,
     window_s: f64,
 ) -> Result<f64, StudyError> {
+    counter_add!("alg3_window_measurements", 1);
     mc.init_row(bank, row, wcdp.word())?;
     mc.wait_ns(window_s * 1e9)?;
     // Conservative read timing: only retention, not t_RCD, may fail here.
@@ -178,6 +180,10 @@ pub fn measure_row(
             reason: "iterations must be at least 1".to_string(),
         });
     }
+    let mut span = hammervolt_obs::Span::begin("alg3.measure_row");
+    span.field_u64("row", u64::from(row));
+    counter_add!("alg3_rows", 1);
+    counter_add!("alg3_iterations", config.iterations);
     let wcdp = select_wcdp(mc, bank, row, config)?;
     let mut points = Vec::with_capacity(config.windows_s.len());
     for &window in &config.windows_s {

@@ -39,7 +39,7 @@
 //!
 //! Entries are not trusted blindly: each one is a [`CacheEnvelope`] carrying
 //! the writer's sweep key and an FNV-1a checksum over the payload bytes.
-//! [`cache_load`] re-derives both and falls back to recomputation on any
+//! `cache_read` re-derives both and falls back to recomputation on any
 //! mismatch, so a truncated, bit-flipped, or key-swapped entry (the faults
 //! `hammervolt-testkit` injects) is detected and recomputed, never served.
 
@@ -57,12 +57,14 @@ use crate::study::{
 use hammervolt_dram::hash;
 use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_dram::registry::ModuleId;
+use hammervolt_obs::{counter_add, histogram_record, manifest, progress, Span};
 use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the engine runs: worker count and optional sweep cache.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -93,16 +95,63 @@ impl ExecConfig {
 
     /// Reads `HAMMERVOLT_JOBS` (worker count, `0` = auto) and
     /// `HAMMERVOLT_CACHE_DIR` (cache directory) from the environment.
-    /// Unset variables leave the defaults: one worker per CPU, no cache.
+    /// Unset (or empty) variables leave the defaults: one worker per CPU,
+    /// no cache. A variable that is set but unparsable or unusable is
+    /// reported through the observability event sink (stderr when no sink
+    /// is installed) before falling back, never silently ignored.
     pub fn from_env() -> Self {
-        let jobs = std::env::var("HAMMERVOLT_JOBS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        let cache_dir = std::env::var("HAMMERVOLT_CACHE_DIR")
-            .ok()
-            .filter(|v| !v.is_empty())
-            .map(PathBuf::from);
+        let jobs = match std::env::var("HAMMERVOLT_JOBS") {
+            Ok(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    hammervolt_obs::warn(
+                        "exec",
+                        &format!(
+                            "HAMMERVOLT_JOBS={v:?} is not a valid worker count; \
+                             using auto (one worker per CPU)"
+                        ),
+                    );
+                    0
+                }
+            },
+            Err(std::env::VarError::NotPresent) => 0,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                hammervolt_obs::warn(
+                    "exec",
+                    "HAMMERVOLT_JOBS is set but not valid UTF-8; using auto",
+                );
+                0
+            }
+        };
+        let cache_dir = match std::env::var("HAMMERVOLT_CACHE_DIR") {
+            Ok(v) if v.is_empty() => None,
+            Ok(v) => {
+                let dir = PathBuf::from(v);
+                // Probe usability now so a bad directory is reported once at
+                // configuration time instead of degrading every sweep into
+                // silent cache misses.
+                if let Err(err) = std::fs::create_dir_all(&dir) {
+                    hammervolt_obs::warn(
+                        "exec",
+                        &format!(
+                            "HAMMERVOLT_CACHE_DIR={} is unusable ({err}); caching disabled",
+                            dir.display()
+                        ),
+                    );
+                    None
+                } else {
+                    Some(dir)
+                }
+            }
+            Err(std::env::VarError::NotPresent) => None,
+            Err(std::env::VarError::NotUnicode(_)) => {
+                hammervolt_obs::warn(
+                    "exec",
+                    "HAMMERVOLT_CACHE_DIR is set but not valid UTF-8; caching disabled",
+                );
+                None
+            }
+        };
         ExecConfig { jobs, cache_dir }
     }
 
@@ -327,10 +376,15 @@ type Assembled<R> = (f64, Vec<f64>, Vec<R>);
 /// Plans the `(module, chunk)` units for a module list, runs them on the
 /// worker pool, and reassembles each module's records in canonical order
 /// (level-major, chunks ascending — the order a serial sweep produces).
+///
+/// `parent_span` is the sweep-wide span id shard spans attach to (`0` for
+/// none); instrumentation is a pure side channel and never affects which
+/// units run or how their outputs assemble.
 fn run_sharded<R, F>(
     config: &StudyConfig,
     modules: &[ModuleId],
     exec: &ExecConfig,
+    parent_span: u64,
     run_unit: F,
 ) -> Result<Vec<Assembled<R>>, StudyError>
 where
@@ -354,8 +408,33 @@ where
             });
         }
     }
+    counter_add!("exec_modules", modules.len());
+    counter_add!("exec_units", units.len());
+    progress::add_totals(modules.len() as u64, units.len() as u64);
+    // Per-module outstanding-unit counts so the progress line can tick a
+    // module the moment its last unit completes, whichever worker ran it.
+    let outstanding: Vec<AtomicUsize> = modules.iter().map(|_| AtomicUsize::new(0)).collect();
+    for u in &units {
+        outstanding[u.module_index].fetch_add(1, Ordering::Relaxed);
+    }
     let outputs = parallel_map(&units, exec.effective_jobs(), |u| {
-        run_unit(u.id, u.chunk, &u.rows)
+        let mut span = Span::begin_child_of(parent_span, "exec.shard");
+        span.field_str("module", &u.id.label());
+        span.field_u64("bank", u64::from(config.bank));
+        span.field_u64("chunk", u.chunk);
+        span.field_u64("rows", u.rows.len() as u64);
+        let timed = hammervolt_obs::metrics_enabled().then(Instant::now);
+        let out = run_unit(u.id, u.chunk, &u.rows);
+        if let Some(t0) = timed {
+            histogram_record!("exec_unit_us", t0.elapsed().as_micros());
+        }
+        if hammervolt_obs::progress_enabled() {
+            progress::unit_done();
+            if outstanding[u.module_index].fetch_sub(1, Ordering::Relaxed) == 1 {
+                progress::module_done();
+            }
+        }
+        out
     });
     let mut per_module: Vec<Vec<UnitOut<R>>> = modules.iter().map(|_| Vec::new()).collect();
     for (unit, out) in units.iter().zip(outputs) {
@@ -473,14 +552,45 @@ fn open_entry(line: &str, expected_key: u64) -> Option<String> {
     Some(envelope.payload)
 }
 
+/// Outcome of one cache lookup, distinguishing a plain miss (no entry on
+/// disk) from a *corrupt* entry — present but truncated, bit-flipped,
+/// key-swapped, or version-skewed — so recoveries are countable.
+enum CacheRead<T> {
+    /// Verified entry, payload deserialized.
+    Hit(T),
+    /// No entry on disk (or the file is unreadable).
+    Miss,
+    /// An entry exists but failed envelope or payload verification; it will
+    /// be recomputed and rewritten, never served.
+    Corrupt,
+}
+
+/// Reads and classifies one cache entry (see [`CacheRead`]).
+fn cache_read<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> CacheRead<T> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return CacheRead::Miss;
+    };
+    let Some(line) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return CacheRead::Corrupt;
+    };
+    let Some(payload) = open_entry(line, expected_key) else {
+        return CacheRead::Corrupt;
+    };
+    match serde_json::from_str(&payload) {
+        Ok(value) => CacheRead::Hit(value),
+        Err(_) => CacheRead::Corrupt,
+    }
+}
+
 /// Loads and verifies a cached sweep; `None` on miss, any read/parse
 /// failure, or an envelope whose key or checksum does not match (the entry
 /// is then recomputed and rewritten).
+#[cfg(test)]
 fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> Option<T> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let line = text.lines().find(|l| !l.trim().is_empty())?;
-    let payload = open_entry(line, expected_key)?;
-    serde_json::from_str(&payload).ok()
+    match cache_read(path, expected_key) {
+        CacheRead::Hit(value) => Some(value),
+        CacheRead::Miss | CacheRead::Corrupt => None,
+    }
 }
 
 /// Persists a sweep as one sealed envelope line, atomically
@@ -496,8 +606,8 @@ fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
     };
     let line = seal_entry(key, &json);
     let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    if std::fs::write(&tmp, line + "\n").is_ok() {
-        let _ = std::fs::rename(&tmp, path);
+    if std::fs::write(&tmp, line + "\n").is_ok() && std::fs::rename(&tmp, path).is_ok() {
+        counter_add!("cache_stores", 1);
     }
 }
 
@@ -515,6 +625,15 @@ where
     T: Serialize + for<'de> Deserialize<'de>,
     G: FnOnce(&[ModuleId]) -> Result<Vec<T>, StudyError>,
 {
+    // Touch-register the cache counters so every manifest reports them,
+    // zero included — a run without a cache dir should say "0 hits", not
+    // omit the counter.
+    if hammervolt_obs::metrics_enabled() {
+        hammervolt_obs::metrics::counter("cache_hits");
+        hammervolt_obs::metrics::counter("cache_misses");
+        hammervolt_obs::metrics::counter("cache_corrupt_recovered");
+        hammervolt_obs::metrics::counter("cache_stores");
+    }
     let Some(dir) = exec.cache_dir.as_deref() else {
         return compute(modules);
     };
@@ -522,7 +641,31 @@ where
     let mut missing: Vec<ModuleId> = Vec::new();
     for &id in modules {
         let key = sweep_key(config, id, kind, extra);
-        let hit = cache_load::<T>(&cache_path(dir, kind, id, key), key);
+        let hit = match cache_read::<T>(&cache_path(dir, kind, id, key), key) {
+            CacheRead::Hit(value) => {
+                counter_add!("cache_hits", 1);
+                progress::cache_lookup(true);
+                Some(value)
+            }
+            CacheRead::Miss => {
+                counter_add!("cache_misses", 1);
+                progress::cache_lookup(false);
+                None
+            }
+            CacheRead::Corrupt => {
+                counter_add!("cache_misses", 1);
+                counter_add!("cache_corrupt_recovered", 1);
+                progress::cache_lookup(false);
+                hammervolt_obs::warn(
+                    "exec",
+                    &format!(
+                        "corrupt cache entry for {kind}/{} rejected; recomputing",
+                        id.label()
+                    ),
+                );
+                None
+            }
+        };
         if hit.is_none() {
             missing.push(id);
         }
@@ -548,13 +691,36 @@ where
 // Public sweep drivers
 // ---------------------------------------------------------------------------
 
+/// Opens the sweep-wide trace span and records the study-configuration hash
+/// as the manifest's `config_hash` annotation. The hash is an FNV-1a-64
+/// over the configuration's exact JSON serialization, so any parameter
+/// change produces a new hash (the same property the sweep cache keys rely
+/// on). Inert when nothing collects.
+fn begin_sweep(config: &StudyConfig, exec: &ExecConfig, kind: &str, modules: usize) -> Span {
+    if hammervolt_obs::collecting() {
+        let json = serde_json::to_string(config).expect("StudyConfig serializes");
+        manifest::annotate(
+            "config_hash",
+            &format!("{:016x}", fnv1a64(json.as_bytes(), FNV_OFFSET)),
+        );
+        manifest::annotate("jobs", &exec.effective_jobs().to_string());
+    }
+    let mut span = Span::begin("exec.sweep");
+    span.field_str("kind", kind);
+    span.field_u64("modules", modules as u64);
+    span
+}
+
 fn hammer_sweeps_for(
     config: &StudyConfig,
     modules: &[ModuleId],
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleHammerSweep>, StudyError> {
+    let _phase = manifest::phase("sweep:hammer");
+    let sweep_span = begin_sweep(config, exec, "hammer", modules.len());
+    let parent = sweep_span.id();
     with_cache(config, modules, exec, "hammer", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+        let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
             hammer_unit(config, id, chunk, rows)
         })?;
         Ok(missing
@@ -604,6 +770,9 @@ fn trcd_sweeps_for(
     levels_cap: usize,
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
+    let _phase = manifest::phase("sweep:trcd");
+    let sweep_span = begin_sweep(config, exec, "trcd", modules.len());
+    let parent = sweep_span.id();
     with_cache(
         config,
         modules,
@@ -611,7 +780,7 @@ fn trcd_sweeps_for(
         "trcd",
         levels_cap as u64,
         |missing| {
-            let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+            let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
                 trcd_unit(config, id, levels_cap, chunk, rows)
             })?;
             Ok(missing
@@ -662,8 +831,11 @@ fn retention_sweeps_for(
     modules: &[ModuleId],
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
+    let _phase = manifest::phase("sweep:retention");
+    let sweep_span = begin_sweep(config, exec, "retention", modules.len());
+    let parent = sweep_span.id();
     with_cache(config, modules, exec, "retention", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, |id, chunk, rows| {
+        let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
             retention_unit(config, id, chunk, rows)
         })?;
         Ok(missing
@@ -896,6 +1068,27 @@ mod tests {
             "detection must fall back to the true recomputed sweep"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn from_env_warns_on_unparsable_jobs_instead_of_silent_fallback() {
+        // Env vars and the event sink are process-global; this is the only
+        // test in this binary that touches either.
+        let sink = std::sync::Arc::new(hammervolt_obs::MemorySink::new());
+        hammervolt_obs::set_sink(Some(sink.clone()));
+        std::env::set_var("HAMMERVOLT_JOBS", "not-a-number");
+        let cfg = ExecConfig::from_env();
+        std::env::remove_var("HAMMERVOLT_JOBS");
+        hammervolt_obs::set_sink(None);
+
+        assert_eq!(cfg.jobs, 0, "unparsable HAMMERVOLT_JOBS falls back to auto");
+        let lines = sink.lines();
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("\"type\":\"warn\"") && l.contains("HAMMERVOLT_JOBS")),
+            "a warn event must be emitted for the bad value: {lines:?}"
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::registry::ModuleSpec;
 use crate::timing;
 use crate::trr::{TrrEngine, TrrPolicy};
 use crate::vendor::{self, Manufacturer, VendorProfile};
+use hammervolt_obs::counter_add;
 use std::collections::HashMap;
 
 /// Hash-domain salts so the independent per-cell properties draw from
@@ -684,6 +685,7 @@ impl DramModule {
 
     /// Accumulates disturbance on the physical neighbors of an activated row.
     fn disturb_neighbors(&mut self, bank: u32, row: u32, count: f64) {
+        counter_add!("dram_disturb_events", 1);
         let count = count * self.next_noise(0.025);
         let phys = self.mapping.logical_to_physical(row);
         let rows = self.geometry.rows_per_bank;
@@ -771,6 +773,12 @@ impl DramModule {
 
         let rseed = hash::row_seed(self.seed, bank, phys);
         let hammer_possible = p_hammer[1] * (columns as f64) * 64.0 > 1e-4;
+        // Flip attribution for the metrics registry: tallied locally (plain
+        // integer adds), flushed once per materialization. Pure observation —
+        // nothing below reads these.
+        let mut n_hammer = 0u64;
+        let mut n_ret = 0u64;
+        let mut n_cluster = 0u64;
         if hammer_possible || p_ret > 0.0 {
             for word in 0..columns {
                 let current = state.data[word as usize];
@@ -812,6 +820,7 @@ impl DramModule {
                         let p = if aligned { p_hammer[0] } else { p_hammer[1] };
                         if p > 0.0 && hash::uniform01(hash::combine(cseed, SALT_HC)) < p {
                             flips |= 1 << bit;
+                            n_hammer += 1;
                             continue;
                         }
                     }
@@ -819,10 +828,11 @@ impl DramModule {
                     // Retention flips.
                     if p_ret > 0.0 && hash::uniform01(hash::combine(cseed, SALT_RET)) < p_ret {
                         flips |= 1 << bit;
+                        n_ret += 1;
                     }
                 }
                 if cluster_relevant {
-                    flips |= self.cluster_flips(
+                    let cluster = self.cluster_flips(
                         &params,
                         rseed,
                         phys,
@@ -833,6 +843,8 @@ impl DramModule {
                         vpp,
                         charge_penalty,
                     );
+                    n_cluster += u64::from((cluster & !flips).count_ones());
+                    flips |= cluster;
                 }
                 state.data[word as usize] ^= flips;
             }
@@ -856,8 +868,14 @@ impl DramModule {
                     vpp,
                     charge_penalty,
                 );
+                n_cluster += u64::from(flips.count_ones());
                 state.data[word as usize] ^= flips;
             }
+        }
+        if n_hammer + n_ret + n_cluster > 0 {
+            counter_add!("dram_flips_hammer", n_hammer);
+            counter_add!("dram_flips_retention", n_ret);
+            counter_add!("dram_flips_cluster", n_cluster);
         }
 
         // Restore and reinsert.
@@ -950,6 +968,10 @@ impl DramModule {
             if hash::uniform01(hash::combine(cseed, SALT_TRCD)) < p {
                 corrupted ^= 1 << bit;
             }
+        }
+        if corrupted != stored {
+            counter_add!("dram_flips_trcd", (corrupted ^ stored).count_ones());
+            counter_add!("dram_trcd_corrupt_reads", 1);
         }
         corrupted
     }

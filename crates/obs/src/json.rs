@@ -1,0 +1,106 @@
+//! The minimal JSON emission this crate needs: string escaping and a tiny
+//! object writer. Output is deliberately canonical — fixed field order,
+//! integers only for timing values — so event lines and manifests are
+//! byte-stable and parse under any JSON reader (including the workspace's
+//! vendored `serde_json`).
+
+/// Appends `s` to `out` as a JSON string literal (quotes included).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An incremental writer for one JSON object: tracks comma placement so
+/// callers just append fields in the order they want them emitted.
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    fields: usize,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object (`{` already written).
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            fields: 0,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.fields > 0 {
+            self.buf.push(',');
+        }
+        self.fields += 1;
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Appends `"key":<unsigned>`.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+    }
+
+    /// Appends `"key":"<string>"` (escaped).
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        write_str(&mut self.buf, v);
+    }
+
+    /// Appends `"key":<raw>` where `raw` is already-valid JSON (a nested
+    /// object, array, or `null`).
+    pub fn field_raw(&mut self, key: &str, raw: &str) {
+        self.key(key);
+        self.buf.push_str(raw);
+    }
+
+    /// Closes the object and returns the finished text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut s = String::new();
+        write_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn object_writer_produces_valid_json() {
+        let mut w = ObjectWriter::new();
+        w.field_str("name", "x\"y");
+        w.field_u64("n", 7);
+        w.field_raw("inner", "{\"a\":1}");
+        let text = w.finish();
+        assert_eq!(text, r#"{"name":"x\"y","n":7,"inner":{"a":1}}"#);
+        // Round-trips through the workspace's JSON reader.
+        let v: serde::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.field("n"), &serde::Value::Int(7));
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+}

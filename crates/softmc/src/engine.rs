@@ -14,6 +14,22 @@ use crate::inst::Instruction;
 use crate::program::{Op, Program};
 use hammervolt_dram::timing::{TimingParams, COMMAND_SLOT_NS};
 use hammervolt_dram::DramModule;
+use hammervolt_obs::counter_add;
+
+/// A program run's DDR4 command mix, tallied locally (plain integer adds on
+/// the hot path) and flushed to the process-wide metrics registry once per
+/// run. Coalesced hammer loops count their *logical* commands — `count ×
+/// pairs` ACT/PRE each — so the mix reports what the device experienced,
+/// not how the engine optimized it.
+#[derive(Debug, Clone, Copy, Default)]
+struct CmdMix {
+    act: u64,
+    pre: u64,
+    rd: u64,
+    wr: u64,
+    refresh: u64,
+    wait: u64,
+}
 
 /// Per-bank controller-side state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -35,6 +51,8 @@ pub struct Engine<'d> {
     last_cmd_ns: f64,
     /// Read data collected in program order.
     reads: Vec<u64>,
+    /// Command tally for the current program run.
+    mix: CmdMix,
 }
 
 impl<'d> Engine<'d> {
@@ -48,6 +66,7 @@ impl<'d> Engine<'d> {
             banks,
             last_cmd_ns,
             reads: Vec::new(),
+            mix: CmdMix::default(),
         }
     }
 
@@ -59,8 +78,32 @@ impl<'d> Engine<'d> {
     /// issued up to the failure point.
     pub fn run(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
         self.reads.clear();
-        self.run_ops(&program.ops)?;
+        self.mix = CmdMix::default();
+        let result = self.run_ops(&program.ops);
+        self.flush_mix(&result);
+        result?;
         Ok(std::mem::take(&mut self.reads))
+    }
+
+    /// Flushes the run's command tally to the metrics registry. Pure side
+    /// channel: a handful of relaxed atomic adds when metrics are on, one
+    /// atomic load when off.
+    fn flush_mix(&self, result: &Result<(), SoftMcError>) {
+        if !hammervolt_obs::metrics_enabled() {
+            return;
+        }
+        counter_add!("softmc_programs", 1);
+        counter_add!("softmc_act", self.mix.act);
+        counter_add!("softmc_pre", self.mix.pre);
+        counter_add!("softmc_rd", self.mix.rd);
+        counter_add!("softmc_wr", self.mix.wr);
+        counter_add!("softmc_ref", self.mix.refresh);
+        counter_add!("softmc_wait", self.mix.wait);
+        match result {
+            Ok(()) => {}
+            Err(SoftMcError::BadProgram { .. }) => counter_add!("softmc_bad_programs", 1),
+            Err(_) => counter_add!("softmc_device_errors", 1),
+        }
     }
 
     fn run_ops(&mut self, ops: &[Op]) -> Result<(), SoftMcError> {
@@ -102,6 +145,9 @@ impl<'d> Engine<'d> {
 
     fn run_hammer_loop(&mut self, count: u64, pairs: &[(u32, u32)]) -> Result<(), SoftMcError> {
         let period = self.timing.act_pre_period_ns();
+        let logical = count.saturating_mul(pairs.len() as u64);
+        self.mix.act = self.mix.act.saturating_add(logical);
+        self.mix.pre = self.mix.pre.saturating_add(logical);
         for &(bank, row) in pairs {
             // Close timing bookkeeping for the bank: hammering leaves it
             // precharged.
@@ -130,6 +176,14 @@ impl<'d> Engine<'d> {
 
     /// Issues one instruction with timing enforcement.
     fn issue(&mut self, inst: Instruction) -> Result<(), SoftMcError> {
+        match inst {
+            Instruction::Act { .. } => self.mix.act += 1,
+            Instruction::Pre { .. } => self.mix.pre += 1,
+            Instruction::Rd { .. } => self.mix.rd += 1,
+            Instruction::Wr { .. } => self.mix.wr += 1,
+            Instruction::Ref => self.mix.refresh += 1,
+            Instruction::Wait { .. } => self.mix.wait += 1,
+        }
         match inst {
             Instruction::Act { bank, row } => {
                 let track = self.banks.get(bank as usize).copied().unwrap_or_default();

@@ -144,6 +144,7 @@ impl SoftMc {
     ///
     /// Fails if even nominal `V_PP` is rejected.
     pub fn find_vppmin(&mut self) -> Result<f64, SoftMcError> {
+        let mut span = hammervolt_obs::Span::begin("softmc.find_vppmin");
         self.set_vpp(VPP_NOMINAL)?;
         let mut last_good = VPP_NOMINAL;
         let mut step = 1;
@@ -160,6 +161,9 @@ impl SoftMc {
             step += 1;
         }
         self.set_vpp(last_good)?;
+        hammervolt_obs::counter_add!("softmc_vppmin_searches", 1);
+        hammervolt_obs::counter_add!("softmc_vppmin_steps", step);
+        span.field_u64("steps", step as u64);
         Ok(last_good)
     }
 

@@ -1,0 +1,260 @@
+//! Schema validator for observability output: trace JSONL files and run
+//! manifests.
+//!
+//! ```text
+//! validate-trace <trace.jsonl> [--manifest <manifest.json>]
+//! validate-trace --manifest <manifest.json>
+//! ```
+//!
+//! Trace checks: every line is a JSON object with a string `type`; `span`
+//! lines carry a unique positive `id`, a non-empty `name`, and integer
+//! `start_us`/`dur_us`; every non-zero `parent` references a span id that
+//! exists somewhere in the file (children drop before their parents, so
+//! forward references are legal). An embedded `manifest` event is validated
+//! like a standalone manifest file.
+//!
+//! Manifest checks: `schema` is 1, `bin` is non-empty, `wall_us` is an
+//! integer, `phases` is a non-empty object, and `counters` holds at least
+//! ten entries including the cache and SoftMC command-mix counters the
+//! conformance suite relies on.
+//!
+//! Exit status: 0 when everything validates, 1 on any defect (each printed
+//! as `FAIL <detail>`), 2 on usage errors.
+
+use serde::Value;
+
+const USAGE: &str = "usage: validate-trace <trace.jsonl> [--manifest <manifest.json>]";
+
+/// Counters that must appear in every manifest produced by a sweep run.
+const REQUIRED_COUNTERS: [&str; 5] = [
+    "cache_hits",
+    "cache_misses",
+    "softmc_act",
+    "softmc_pre",
+    "softmc_rd",
+];
+
+/// Minimum number of distinct counters in a valid sweep manifest.
+const MIN_COUNTERS: usize = 10;
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) => u64::try_from(*i).ok(),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// Validates one manifest object, appending defects to `errors` with the
+/// given context label.
+fn check_manifest(m: &Value, ctx: &str, errors: &mut Vec<String>) {
+    let mut fail = |msg: String| errors.push(format!("{ctx}: {msg}"));
+    if m.as_object().is_none() {
+        fail(format!("manifest is {}, not an object", m.kind()));
+        return;
+    }
+    if as_u64(m.field("schema")) != Some(1) {
+        fail(format!("schema must be 1, got {:?}", m.field("schema")));
+    }
+    match as_str(m.field("bin")) {
+        Some(b) if !b.is_empty() => {}
+        other => fail(format!("bin must be a non-empty string, got {other:?}")),
+    }
+    if as_u64(m.field("wall_us")).is_none() {
+        fail("wall_us must be an unsigned integer".to_string());
+    }
+    match m.field("phases").as_object() {
+        None => fail("phases must be an object".to_string()),
+        Some([]) => fail("phases must not be empty".to_string()),
+        Some(entries) => {
+            for (name, us) in entries {
+                if as_u64(us).is_none() {
+                    fail(format!("phase {name:?} wall time is not an integer"));
+                }
+            }
+        }
+    }
+    match m.field("counters").as_object() {
+        None => fail("counters must be an object".to_string()),
+        Some(entries) => {
+            if entries.len() < MIN_COUNTERS {
+                fail(format!(
+                    "only {} counters, expected at least {MIN_COUNTERS}",
+                    entries.len()
+                ));
+            }
+            for (name, value) in entries {
+                if as_u64(value).is_none() {
+                    fail(format!("counter {name:?} is not an unsigned integer"));
+                }
+            }
+            for required in REQUIRED_COUNTERS {
+                if !entries.iter().any(|(k, _)| k == required) {
+                    fail(format!("required counter {required:?} missing"));
+                }
+            }
+        }
+    }
+}
+
+/// Validates a trace JSONL file. Returns `(spans, manifests)` seen.
+fn check_trace(text: &str, errors: &mut Vec<String>) -> (usize, usize) {
+    struct SpanLine {
+        line_no: usize,
+        id: u64,
+        parent: u64,
+    }
+    let mut spans: Vec<SpanLine> = Vec::new();
+    let mut manifests = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let v: Value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errors.push(format!("line {line_no}: not valid JSON ({e})"));
+                continue;
+            }
+        };
+        let Some(kind) = as_str(v.field("type")) else {
+            errors.push(format!("line {line_no}: missing string field \"type\""));
+            continue;
+        };
+        match kind {
+            "span" => {
+                let id = as_u64(v.field("id")).unwrap_or(0);
+                if id == 0 {
+                    errors.push(format!(
+                        "line {line_no}: span id must be a positive integer"
+                    ));
+                }
+                match as_str(v.field("name")) {
+                    Some(n) if !n.is_empty() => {}
+                    _ => errors.push(format!("line {line_no}: span name must be non-empty")),
+                }
+                for key in ["start_us", "dur_us", "parent"] {
+                    if as_u64(v.field(key)).is_none() {
+                        errors.push(format!(
+                            "line {line_no}: span field {key:?} must be an unsigned integer"
+                        ));
+                    }
+                }
+                spans.push(SpanLine {
+                    line_no,
+                    id,
+                    parent: as_u64(v.field("parent")).unwrap_or(0),
+                });
+            }
+            "manifest" => {
+                manifests += 1;
+                check_manifest(
+                    v.field("data"),
+                    &format!("line {line_no} (manifest event)"),
+                    errors,
+                );
+            }
+            "warn" => {
+                for key in ["source", "msg"] {
+                    if as_str(v.field(key)).is_none() {
+                        errors.push(format!(
+                            "line {line_no}: warn field {key:?} must be a string"
+                        ));
+                    }
+                }
+            }
+            other => {
+                errors.push(format!("line {line_no}: unknown event type {other:?}"));
+            }
+        }
+    }
+    let mut ids: Vec<u64> = spans.iter().map(|s| s.id).filter(|&id| id != 0).collect();
+    let before = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != before {
+        errors.push(format!(
+            "span ids are not unique ({} ids, {} distinct)",
+            before,
+            ids.len()
+        ));
+    }
+    for span in &spans {
+        if span.parent != 0 && ids.binary_search(&span.parent).is_err() {
+            errors.push(format!(
+                "line {}: span {} names parent {} but no span has that id",
+                span.line_no, span.id, span.parent
+            ));
+        }
+    }
+    (spans.len(), manifests)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_path: Option<String> = None;
+    let mut manifest_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--manifest" => match it.next() {
+                Some(p) => manifest_path = Some(p),
+                None => {
+                    eprintln!("--manifest needs a value\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            f if f.starts_with('-') => {
+                eprintln!("unknown flag {f:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+            _ => trace_path = Some(arg),
+        }
+    }
+    if trace_path.is_none() && manifest_path.is_none() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let mut errors = Vec::new();
+    if let Some(path) = &trace_path {
+        match std::fs::read_to_string(path) {
+            Err(e) => errors.push(format!("trace {path}: unreadable ({e})")),
+            Ok(text) => {
+                let (spans, manifests) = check_trace(&text, &mut errors);
+                if spans == 0 {
+                    errors.push(format!("trace {path}: contains no spans"));
+                }
+                println!(
+                    "trace {path}: {} lines, {spans} spans, {manifests} manifest event(s)",
+                    text.lines().count()
+                );
+            }
+        }
+    }
+    if let Some(path) = &manifest_path {
+        match std::fs::read_to_string(path) {
+            Err(e) => errors.push(format!("manifest {path}: unreadable ({e})")),
+            Ok(text) => match serde_json::from_str::<Value>(text.trim()) {
+                Err(e) => errors.push(format!("manifest {path}: not valid JSON ({e})")),
+                Ok(v) => {
+                    check_manifest(&v, &format!("manifest {path}"), &mut errors);
+                    println!("manifest {path}: parsed");
+                }
+            },
+        }
+    }
+
+    if errors.is_empty() {
+        println!("ok");
+    } else {
+        for e in &errors {
+            println!("FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -73,9 +73,10 @@ pub const GUARDBAND_LEVELS_CAP: usize = 2;
 /// scales of the `fig07_trcd_vs_vpp` bin).
 pub const FIG07_LEVELS_CAP: usize = 4;
 
-/// Names of every golden snapshot, one per `hammervolt-bench` bin, in
-/// regeneration order.
-pub const GOLDEN_NAMES: [&str; 11] = [
+/// Names of every golden snapshot in regeneration order: one per
+/// `hammervolt-bench` bin, plus the observability manifest's deterministic
+/// subset.
+pub const GOLDEN_NAMES: [&str; 12] = [
     "table1",
     "table3",
     "fig03_ber_vs_vpp",
@@ -87,6 +88,7 @@ pub const GOLDEN_NAMES: [&str; 11] = [
     "fig10b_retention_density",
     "guardband",
     "observations",
+    "obs_manifest_stable",
 ];
 
 /// Computes the full golden set from the [`golden_config`] study: one
@@ -115,7 +117,39 @@ pub fn compute_goldens(exec: &ExecConfig) -> Result<Vec<Golden>, StudyError> {
         Golden::from_items("fig10b_retention_density", &fig10b_series(&retention)),
         Golden::single("guardband", &guardband_summary(&trcd_guard)),
         Golden::single("observations", &observation_findings(&hammer)),
+        obs_manifest_golden(&cfg)?,
     ])
+}
+
+/// Computes the `obs_manifest_stable` golden: the manifest's deterministic
+/// subset — config hash plus every counter — for a serial, uncached hammer
+/// sweep of the golden configuration with metrics enabled.
+///
+/// The sweep is re-run here (rather than reusing the one `compute_goldens`
+/// already ran) so the counter values never depend on the caller's
+/// scheduling or cache state: serial and uncached is the one shape whose
+/// counts are reproducible by construction. Counters hold only
+/// deterministic event counts — wall-clock time lives in histograms, which
+/// the stable subset excludes — so this golden pins the instrumentation
+/// contract the same way the figure goldens pin the physics.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from the underlying sweep.
+fn obs_manifest_golden(cfg: &StudyConfig) -> Result<Golden, StudyError> {
+    let was_on = hammervolt_obs::metrics_enabled();
+    hammervolt_obs::metrics::reset();
+    hammervolt_obs::manifest::reset();
+    hammervolt_obs::set_metrics(true);
+    let run = rowhammer_sweeps(cfg, &ExecConfig::serial());
+    let line = hammervolt_obs::manifest::stable_subset_json();
+    hammervolt_obs::set_metrics(was_on);
+    hammervolt_obs::manifest::reset();
+    run?;
+    Ok(Golden {
+        name: "obs_manifest_stable".to_string(),
+        lines: vec![line],
+    })
 }
 
 #[cfg(test)]

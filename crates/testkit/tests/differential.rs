@@ -9,9 +9,11 @@
 //! suite.
 
 use hammervolt_core::exec::{retention_sweeps, rowhammer_sweeps, trcd_sweeps, ExecConfig};
+use hammervolt_obs::MemorySink;
 use hammervolt_testkit::{golden_config, FIG07_LEVELS_CAP};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn canon<T: Serialize>(sweeps: &[T]) -> String {
     serde_json::to_string(sweeps).expect("serialize")
@@ -66,4 +68,54 @@ fn retention_sweeps_are_schedule_and_cache_invariant() {
     assert_differential("retention", |exec| {
         retention_sweeps(&cfg, exec).expect("retention sweep")
     });
+}
+
+/// The observability layer is a pure side channel: running the same
+/// parallel sweep with tracing and metrics fully enabled must leave the
+/// sweep payload byte-identical, while still producing a well-formed event
+/// stream.
+///
+/// The other differential tests in this binary may run concurrently and
+/// will then also emit spans into the shared process-wide sink; that is
+/// deliberate — the payload comparison must hold no matter how much
+/// instrumentation traffic surrounds the run.
+#[test]
+fn traced_sweeps_match_untraced_byte_for_byte() {
+    let cfg = golden_config();
+    let plain = canon(&rowhammer_sweeps(&cfg, &ExecConfig::with_jobs(3)).expect("plain sweep"));
+
+    let sink = Arc::new(MemorySink::new());
+    hammervolt_obs::set_sink(Some(sink.clone()));
+    hammervolt_obs::set_tracing(true);
+    hammervolt_obs::set_metrics(true);
+    let traced = canon(&rowhammer_sweeps(&cfg, &ExecConfig::with_jobs(3)).expect("traced sweep"));
+    hammervolt_obs::set_tracing(false);
+    hammervolt_obs::set_metrics(false);
+    hammervolt_obs::set_sink(None);
+
+    assert_eq!(
+        plain, traced,
+        "enabling tracing+metrics must not change sweep output"
+    );
+    let lines = sink.lines();
+    assert!(!lines.is_empty(), "a traced sweep must emit events");
+    let mut spans = 0usize;
+    for line in &lines {
+        let v: serde::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad event line {line:?}: {e}"));
+        match v.field("type") {
+            serde::Value::Str(kind) => {
+                if kind == "span" {
+                    spans += 1;
+                    assert_ne!(
+                        v.field("id"),
+                        &serde::Value::Null,
+                        "span without id: {line}"
+                    );
+                }
+            }
+            other => panic!("event without string type ({other:?}): {line}"),
+        }
+    }
+    assert!(spans > 0, "a traced sweep must emit spans");
 }

@@ -44,10 +44,23 @@ fn corrupted_cache_entries_are_recomputed_never_served() {
     assert!(path.exists(), "cold run must populate the cache");
     let sealed = std::fs::read_to_string(&path).expect("entry readable");
 
+    // Every recovery from a corrupt entry must also be *visible*: the
+    // `cache_corrupt_recovered` counter is how an operator distinguishes a
+    // cache that silently never loads from one that detects and recomputes.
+    // Other tests in this binary may run concurrently and add their own
+    // recoveries, so the assertions below are lower bounds on the deltas.
+    hammervolt_obs::set_metrics(true);
+    let recovered_0 = hammervolt_obs::metrics::counter_value("cache_corrupt_recovered");
+
     // Drill 1: truncation (a crash mid-write, a full disk).
     faults::truncate_file(&path, sealed.len() / 2).unwrap();
     let after = canon(&rowhammer_sweep(&cfg, id, &exec).expect("run after truncation"));
     assert_eq!(after, cold, "truncated entry must be recomputed");
+    let recovered_1 = hammervolt_obs::metrics::counter_value("cache_corrupt_recovered");
+    assert!(
+        recovered_1 > recovered_0,
+        "truncation recovery must be counted ({recovered_0} -> {recovered_1})"
+    );
 
     // Drill 2: single bit flips at several offsets (media corruption).
     // Offsets land in the header, the checksum region, and the payload.
@@ -65,6 +78,18 @@ fn corrupted_cache_entries_are_recomputed_never_served() {
         );
         // The recompute rewrote a clean entry; corrupt again from fresh state.
     }
+    let recovered_2 = hammervolt_obs::metrics::counter_value("cache_corrupt_recovered");
+    assert!(
+        recovered_2 >= recovered_1.saturating_add(4),
+        "each of the four bit-flip recoveries must be counted \
+         ({recovered_1} -> {recovered_2})"
+    );
+
+    // A *served* (uncorrupted) warm hit is not a recovery; it must still be
+    // byte-identical to the cold run.
+    let warm = canon(&rowhammer_sweep(&cfg, id, &exec).expect("clean warm run"));
+    assert_eq!(warm, cold);
+    hammervolt_obs::set_metrics(false);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

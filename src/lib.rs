@@ -19,7 +19,10 @@
 //! - [`ecc`] — SECDED(72,64) Hamming coding for the §6.3 mitigation analysis,
 //! - [`stats`] — the statistical machinery behind the paper's figures,
 //! - [`study`] — the paper's methodology itself: Algorithms 1–3, WCDP
-//!   selection, adjacency reverse engineering, and study orchestration.
+//!   selection, adjacency reverse engineering, and study orchestration,
+//! - [`obs`] — the observability layer: structured tracing spans, a metrics
+//!   registry, run manifests, and the progress line. Strictly a side
+//!   channel — study output is byte-identical with it on or off.
 //!
 //! # Quickstart
 //!
@@ -45,6 +48,7 @@
 pub use hammervolt_core as study;
 pub use hammervolt_dram as dram;
 pub use hammervolt_ecc as ecc;
+pub use hammervolt_obs as obs;
 pub use hammervolt_softmc as softmc;
 pub use hammervolt_spice as spice;
 pub use hammervolt_stats as stats;

@@ -19,15 +19,30 @@
 //!
 //! `HAMMERVOLT_SCALE` selects the protocol (`smoke`, `quick` (default), or
 //! `paper`); `HAMMERVOLT_ROWS` overrides the per-chunk row sample.
+//!
+//! Observability (side-channel only; record output is byte-identical with
+//! these on or off):
+//!
+//! - `--trace-out PATH` (or `HAMMERVOLT_TRACE_OUT`) streams JSONL spans and
+//!   events to a file,
+//! - `--manifest-out PATH` (or `HAMMERVOLT_MANIFEST_OUT`) writes the run
+//!   manifest — config hash, per-phase wall times, counters, histograms,
+//! - `--metrics` (or `HAMMERVOLT_METRICS=1`) collects counters and prints a
+//!   summary to stderr at exit,
+//! - `--progress` (or `HAMMERVOLT_PROGRESS=1`) keeps a rate-limited progress
+//!   line on stderr during sweeps.
 
 use hammervolt::dram::registry::{self, ModuleId};
+use hammervolt::obs::cli::ObsOptions;
+use hammervolt::obs::manifest;
 use hammervolt::study::exec::{self, ExecConfig};
 use hammervolt::study::records;
 use hammervolt::study::study::StudyConfig;
 use std::io::Write as _;
 
-const USAGE: &str =
-    "usage: hammervolt <sweep|trcd|retention|vppmin|list> [--jobs N] [--cache-dir PATH] [modules..]";
+const USAGE: &str = "usage: hammervolt <sweep|trcd|retention|vppmin|list> \
+     [--jobs N] [--cache-dir PATH] \
+     [--trace-out PATH] [--manifest-out PATH] [--metrics] [--progress] [modules..]";
 
 /// Flags and positional module labels pulled out of the raw argument list.
 struct Cli {
@@ -118,7 +133,10 @@ fn config(modules: Vec<ModuleId>) -> StudyConfig {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut obs = ObsOptions::from_env();
+    obs.take_from_args(&mut args);
+    let _obs = obs.install("hammervolt");
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r.to_vec()),
         None => {
@@ -163,6 +181,7 @@ fn main() {
                 cli.exec.effective_jobs()
             );
             let sweeps = exec::rowhammer_sweeps(&cfg, &cli.exec).expect("sweep");
+            let _emit = manifest::phase("emit");
             for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
@@ -176,6 +195,7 @@ fn main() {
                 cli.exec.effective_jobs()
             );
             let sweeps = exec::trcd_sweeps(&cfg, 4, &cli.exec).expect("sweep");
+            let _emit = manifest::phase("emit");
             for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
@@ -189,6 +209,7 @@ fn main() {
                 cli.exec.effective_jobs()
             );
             let sweeps = exec::retention_sweeps(&cfg, &cli.exec).expect("sweep");
+            let _emit = manifest::phase("emit");
             for sweep in &sweeps {
                 records::write_jsonl(&sweep.records, &mut out).expect("write");
             }
