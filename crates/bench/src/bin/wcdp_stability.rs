@@ -55,7 +55,7 @@ fn main() {
         frac * 100.0
     );
     if !hc_deviation.is_empty() {
-        hc_deviation.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        hc_deviation.sort_by(hammervolt_stats::order::f64_total);
         let p90 = hc_deviation[(hc_deviation.len() * 9 / 10).min(hc_deviation.len() - 1)];
         println!(
             "HC_first deviation for affected rows: P90 = {:.1} % — paper: < 9 %",

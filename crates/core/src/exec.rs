@@ -57,6 +57,7 @@ use crate::study::{
 use hammervolt_dram::hash;
 use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_dram::registry::ModuleId;
+use hammervolt_dram::ModuleBlueprint;
 use hammervolt_obs::{counter_add, histogram_record, manifest, progress, Span};
 use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
@@ -229,19 +230,25 @@ struct UnitOut<R> {
     per_level: Vec<Vec<R>>,
 }
 
-/// Brings up a unit's private session: fresh device from the module's
-/// specimen seed, `V_PPmin` search, then the noise stream rebased onto the
-/// unit's chunk seed so results are independent of scheduling.
+/// Brings up a unit's private session: a pristine clone of the module's
+/// shared blueprint (spec, vendor profile, and `calibrate_eta_mean` are
+/// paid once per module, not per chunk), `V_PPmin` search, then the noise
+/// stream rebased onto the unit's chunk seed so results are independent of
+/// scheduling. The chunk's row-parameter table is pre-derived so the
+/// ladder's hammer loops never derive parameters mid-sweep.
 fn bring_up_unit(
     config: &StudyConfig,
+    blueprint: &ModuleBlueprint,
     id: ModuleId,
     chunk: u64,
+    rows: &[u32],
 ) -> Result<(SoftMc, f64), StudyError> {
-    let mut mc = config.bring_up(id)?;
+    let mut mc = SoftMc::new(blueprint.instantiate());
     let vpp_min = mc.find_vppmin()?;
     mc.set_vpp(VPP_NOMINAL)?;
     mc.module_mut()
         .reseed_noise(hash::chunk_seed(config.module_seed(id), config.bank, chunk));
+    mc.module_mut().prepare_rows(config.bank, rows);
     Ok((mc, vpp_min))
 }
 
@@ -250,11 +257,12 @@ fn bring_up_unit(
 /// nominal `V_PP`, the chosen pattern is reused below).
 fn hammer_unit(
     config: &StudyConfig,
+    blueprint: &ModuleBlueprint,
     id: ModuleId,
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<RowHammerRecord>, StudyError> {
-    let (mut mc, vpp_min) = bring_up_unit(config, id, chunk)?;
+    let (mut mc, vpp_min) = bring_up_unit(config, blueprint, id, chunk, rows)?;
     let levels = vpp_ladder(vpp_min);
     let mut per_level: Vec<Vec<RowHammerRecord>> = levels.iter().map(|_| Vec::new()).collect();
     let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
@@ -296,12 +304,13 @@ fn hammer_unit(
 /// Alg. 2 unit: the thinned ladder over this chunk's rows.
 fn trcd_unit(
     config: &StudyConfig,
+    blueprint: &ModuleBlueprint,
     id: ModuleId,
     levels_cap: usize,
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<TrcdRecord>, StudyError> {
-    let (mut mc, vpp_min) = bring_up_unit(config, id, chunk)?;
+    let (mut mc, vpp_min) = bring_up_unit(config, blueprint, id, chunk, rows)?;
     let levels = thin_levels(&vpp_ladder(vpp_min), levels_cap.max(2));
     let mut per_level: Vec<Vec<TrcdRecord>> = levels.iter().map(|_| Vec::new()).collect();
     for (li, &vpp) in levels.iter().enumerate() {
@@ -327,15 +336,17 @@ fn trcd_unit(
 /// Alg. 3 unit: the retention levels over this chunk's rows at 80 °C.
 fn retention_unit(
     config: &StudyConfig,
+    blueprint: &ModuleBlueprint,
     id: ModuleId,
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<RetentionRecord>, StudyError> {
-    let mut mc = config.bring_up(id)?;
+    let mut mc = SoftMc::new(blueprint.instantiate());
     let vpp_min = mc.find_vppmin()?;
     mc.set_temperature(80.0)?;
     mc.module_mut()
         .reseed_noise(hash::chunk_seed(config.module_seed(id), config.bank, chunk));
+    mc.module_mut().prepare_rows(config.bank, rows);
     let mut levels: Vec<f64> = config
         .retention_vpp_levels
         .iter()
@@ -389,8 +400,14 @@ fn run_sharded<R, F>(
 ) -> Result<Vec<Assembled<R>>, StudyError>
 where
     R: Send,
-    F: Fn(ModuleId, u64, &[u32]) -> Result<UnitOut<R>, StudyError> + Sync,
+    F: Fn(&ModuleBlueprint, ModuleId, u64, &[u32]) -> Result<UnitOut<R>, StudyError> + Sync,
 {
+    // The shared immutable stage of bring-up: one calibrated blueprint per
+    // module, cloned cheaply inside every work unit.
+    let blueprints: Vec<ModuleBlueprint> = modules
+        .iter()
+        .map(|&id| config.blueprint(id))
+        .collect::<Result<_, _>>()?;
     let mut units: Vec<Unit> = Vec::new();
     for (module_index, &id) in modules.iter().enumerate() {
         let groups = config.sample(config.geometry_for(id)).groups();
@@ -424,7 +441,7 @@ where
         span.field_u64("chunk", u.chunk);
         span.field_u64("rows", u.rows.len() as u64);
         let timed = hammervolt_obs::metrics_enabled().then(Instant::now);
-        let out = run_unit(u.id, u.chunk, &u.rows);
+        let out = run_unit(&blueprints[u.module_index], u.id, u.chunk, &u.rows);
         if let Some(t0) = timed {
             histogram_record!("exec_unit_us", t0.elapsed().as_micros());
         }
@@ -720,8 +737,8 @@ fn hammer_sweeps_for(
     let sweep_span = begin_sweep(config, exec, "hammer", modules.len());
     let parent = sweep_span.id();
     with_cache(config, modules, exec, "hammer", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
-            hammer_unit(config, id, chunk, rows)
+        let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
+            hammer_unit(config, bp, id, chunk, rows)
         })?;
         Ok(missing
             .iter()
@@ -780,8 +797,8 @@ fn trcd_sweeps_for(
         "trcd",
         levels_cap as u64,
         |missing| {
-            let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
-                trcd_unit(config, id, levels_cap, chunk, rows)
+            let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
+                trcd_unit(config, bp, id, levels_cap, chunk, rows)
             })?;
             Ok(missing
                 .iter()
@@ -835,8 +852,8 @@ fn retention_sweeps_for(
     let sweep_span = begin_sweep(config, exec, "retention", modules.len());
     let parent = sweep_span.id();
     with_cache(config, modules, exec, "retention", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, parent, |id, chunk, rows| {
-            retention_unit(config, id, chunk, rows)
+        let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
+            retention_unit(config, bp, id, chunk, rows)
         })?;
         Ok(missing
             .iter()

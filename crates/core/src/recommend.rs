@@ -113,36 +113,57 @@ pub fn recommend(
             nominal_t_rcd_ok: worst_trcd <= NOMINAL_T_RCD_NS,
         });
     }
-    let nominal = points.first().cloned().ok_or(StudyError::InvalidConfig {
-        reason: "empty ladder".to_string(),
-    })?;
-    let hc_of = |p: &OperatingPoint| p.hc_first_min.unwrap_or(u64::MAX);
-    let vpp_rec = match policy {
-        Policy::SecurityFirst => points
-            .iter()
-            .filter(|p| p.worst_t_rcd_ns.is_finite())
-            .max_by(|a, b| {
-                (hc_of(a), -a.mean_ber)
-                    .partial_cmp(&(hc_of(b), -b.mean_ber))
-                    .expect("finite")
-            })
-            .map(|p| p.vpp)
-            .unwrap_or(nominal.vpp),
-        Policy::NoRegression => points
-            .iter()
-            .filter(|p| {
-                p.nominal_t_rcd_ok
-                    && hc_of(p) >= hc_of(&nominal)
-                    && p.mean_ber <= nominal.mean_ber * 1.001
-            })
-            .map(|p| p.vpp)
-            .fold(nominal.vpp, f64::min),
-    };
+    let vpp_rec = pick_vpp(policy, &points)?;
     Ok(Recommendation {
         policy,
         vpp_rec,
         points,
     })
+}
+
+/// Applies a selection policy to an already-characterized ladder.
+///
+/// NaN `mean_ber` values (a level where no sampled word was readable) are
+/// ordered with [`f64::total_cmp`] rather than panicking; negating both
+/// sides maps NaN to `-NaN`, the totally-ordered minimum, so a NaN-BER
+/// level can never win a robustness tie.
+///
+/// # Errors
+///
+/// [`StudyError::InvalidConfig`] on an empty ladder, or — for
+/// [`Policy::SecurityFirst`] — when no level has a finite worst `t_RCD`
+/// (every level would need an unbounded activation latency, so silently
+/// recommending nominal would mask a broken characterization).
+fn pick_vpp(policy: Policy, points: &[OperatingPoint]) -> Result<f64, StudyError> {
+    let nominal = points.first().ok_or_else(|| StudyError::InvalidConfig {
+        reason: "empty ladder".to_string(),
+    })?;
+    let hc_of = |p: &OperatingPoint| p.hc_first_min.unwrap_or(u64::MAX);
+    match policy {
+        Policy::SecurityFirst => points
+            .iter()
+            .filter(|p| p.worst_t_rcd_ns.is_finite())
+            .max_by(|a, b| {
+                hc_of(a)
+                    .cmp(&hc_of(b))
+                    .then_with(|| (-a.mean_ber).total_cmp(&(-b.mean_ber)))
+            })
+            .map(|p| p.vpp)
+            .ok_or_else(|| StudyError::InvalidConfig {
+                reason: "security-first recommendation impossible: no V_PP level has a \
+                         finite worst t_RCD"
+                    .to_string(),
+            }),
+        Policy::NoRegression => Ok(points
+            .iter()
+            .filter(|p| {
+                p.nominal_t_rcd_ok
+                    && hc_of(p) >= hc_of(nominal)
+                    && p.mean_ber <= nominal.mean_ber * 1.001
+            })
+            .map(|p| p.vpp)
+            .fold(nominal.vpp, f64::min)),
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +209,49 @@ mod tests {
             "NoRegression picked {:.1} V where nominal t_RCD fails",
             rec.vpp_rec
         );
+    }
+
+    fn point(vpp: f64, hc: Option<u64>, ber: f64, trcd: f64) -> OperatingPoint {
+        OperatingPoint {
+            vpp,
+            hc_first_min: hc,
+            mean_ber: ber,
+            worst_t_rcd_ns: trcd,
+            nominal_t_rcd_ok: trcd <= NOMINAL_T_RCD_NS,
+        }
+    }
+
+    #[test]
+    fn security_first_tolerates_nan_ber_and_never_picks_it() {
+        // Two levels tie on HC_first; one has NaN mean BER (no readable
+        // words). The pre-fix comparator panicked here; the fix must both
+        // not panic and rank the NaN level below its finite-BER twin.
+        let points = vec![
+            point(2.5, Some(100_000), 1e-6, 14.0),
+            point(2.4, Some(200_000), f64::NAN, 14.0),
+            point(2.3, Some(200_000), 2e-6, 14.0),
+        ];
+        let vpp = pick_vpp(Policy::SecurityFirst, &points).unwrap();
+        assert_eq!(vpp, 2.3, "the NaN-BER level must lose the HC tie");
+        // All-NaN BER still recommends deterministically (no panic).
+        let all_nan = vec![
+            point(2.5, Some(100_000), f64::NAN, 14.0),
+            point(2.4, Some(200_000), f64::NAN, 14.0),
+        ];
+        let vpp = pick_vpp(Policy::SecurityFirst, &all_nan).unwrap();
+        assert_eq!(vpp, 2.4, "highest HC_first wins among NaN-BER levels");
+    }
+
+    #[test]
+    fn security_first_errors_when_no_level_has_finite_trcd() {
+        let points = vec![
+            point(2.5, Some(100_000), 1e-6, f64::INFINITY),
+            point(2.4, Some(200_000), 1e-6, f64::INFINITY),
+        ];
+        assert!(matches!(
+            pick_vpp(Policy::SecurityFirst, &points),
+            Err(StudyError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::records::{RetentionRecord, RowHammerRecord, TrcdRecord};
 use hammervolt_dram::physics::VPP_NOMINAL;
 use hammervolt_dram::registry::{self, ModuleId};
 use hammervolt_dram::vendor::Manufacturer;
-use hammervolt_dram::{DramModule, Geometry};
+use hammervolt_dram::{DramModule, Geometry, ModuleBlueprint};
 use hammervolt_softmc::SoftMc;
 use hammervolt_stats::ci::{population_interval, ConfidenceInterval};
 use hammervolt_stats::normalize;
@@ -130,6 +130,19 @@ impl StudyConfig {
         let module = DramModule::with_geometry(spec, self.module_seed(id), self.geometry_for(id))
             .map_err(|e| StudyError::Infrastructure(e.into()))?;
         Ok(SoftMc::new(module))
+    }
+
+    /// Calibrates one module's immutable blueprint — the shared stage of
+    /// work-unit bring-up. The execution engine builds this once per module
+    /// and instantiates a cheap pristine clone per `(module, chunk)` unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors.
+    pub fn blueprint(&self, id: ModuleId) -> Result<ModuleBlueprint, StudyError> {
+        let spec = registry::spec(id);
+        ModuleBlueprint::with_geometry(spec, self.module_seed(id), self.geometry_for(id))
+            .map_err(|e| StudyError::Infrastructure(e.into()))
     }
 
     /// The row sample for a geometry.
@@ -367,7 +380,7 @@ impl ModuleRetentionSweep {
             .into_iter()
             .map(|(k, (sum, n))| (k as f64 / 1e6, sum / n as f64))
             .collect();
-        curve.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        curve.sort_by(hammervolt_stats::order::by_f64_key(|p: &(f64, f64)| p.0));
         curve
     }
 

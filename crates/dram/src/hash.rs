@@ -260,7 +260,7 @@ mod tests {
     fn lognormal_median_is_exp_mu() {
         let n = 20_000u64;
         let mut values: Vec<f64> = (0..n).map(|i| lognormal(combine(7, i), 2.0, 0.5)).collect();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         let median = values[n as usize / 2];
         assert!(
             (median - 2.0f64.exp()).abs() / 2.0f64.exp() < 0.05,

@@ -66,6 +66,6 @@ pub mod vendor;
 
 pub use error::DramError;
 pub use geometry::Geometry;
-pub use module::DramModule;
+pub use module::{DramModule, ModuleBlueprint};
 pub use registry::{instantiate, ModuleId, ModuleSpec};
 pub use vendor::Manufacturer;

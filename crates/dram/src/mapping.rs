@@ -34,6 +34,7 @@ impl Scheme {
 
 impl Scheme {
     /// Translates a logical row through the bare scheme (no repair overlay).
+    #[inline]
     pub fn logical_to_physical(&self, logical: u32) -> u32 {
         match self {
             Scheme::Direct => logical,
@@ -53,6 +54,7 @@ impl Scheme {
     }
 
     /// Inverse of [`Scheme::logical_to_physical`].
+    #[inline]
     pub fn physical_to_logical(&self, physical: u32) -> u32 {
         match self {
             Scheme::Direct => physical,
@@ -136,6 +138,7 @@ impl AddressMapping {
     /// # Panics
     ///
     /// Panics if `logical >= rows`.
+    #[inline]
     pub fn logical_to_physical(&self, logical: u32) -> u32 {
         assert!(logical < self.rows, "logical row {logical} out of range");
         if let Some(&p) = self.remap.get(&logical) {
@@ -149,6 +152,7 @@ impl AddressMapping {
     /// # Panics
     ///
     /// Panics if `physical >= rows`.
+    #[inline]
     pub fn physical_to_logical(&self, physical: u32) -> u32 {
         assert!(physical < self.rows, "physical row {physical} out of range");
         if let Some(&l) = self.remap_inv.get(&physical) {

@@ -35,7 +35,6 @@ use crate::timing;
 use crate::trr::{TrrEngine, TrrPolicy};
 use crate::vendor::{self, Manufacturer, VendorProfile};
 use hammervolt_obs::counter_add;
-use std::collections::HashMap;
 
 /// Hash-domain salts so the independent per-cell properties draw from
 /// unrelated streams.
@@ -81,6 +80,21 @@ struct RowState {
     charge_penalty: f64,
 }
 
+/// Per-cell property masks, one word per column, derived lazily the first
+/// time a row materializes with pending work.
+///
+/// Cell orientation and horizontal-coupling preference are pure per-cell
+/// hash draws; folding them into bitmasks lets the materialization loop
+/// skip discharged cells wholesale and test the remaining cells with plain
+/// bit probes instead of two hash evaluations each.
+#[derive(Debug, Clone)]
+struct CellMasks {
+    /// Bit `b` of word `w` = the cell's charged polarity.
+    polarity: Vec<u64>,
+    /// Bit `b` of word `w` = the cell inverts its alignment class.
+    pref: Vec<u64>,
+}
+
 /// Cached per-row model parameters, derived from the physical row address.
 #[derive(Debug, Clone)]
 struct RowParams {
@@ -98,13 +112,73 @@ struct RowParams {
     cluster64_words: Vec<u32>,
     /// Word indices carrying a 128 ms-window weak cell (Fig. 11b).
     cluster128_words: Vec<u32>,
+    /// Lazily-derived per-cell masks (see [`CellMasks`]).
+    masks: Option<CellMasks>,
 }
 
-/// One bank: open-row state plus tracked rows.
+/// Sentinel for "no arena slot allocated" in the dense per-bank indexes.
+const NO_SLOT: u32 = u32::MAX;
+
+/// One bank: open-row state plus dense, physically-indexed arenas.
+///
+/// Row state and row parameters live in insertion-ordered arenas
+/// (`states`, `params`); `state_index`/`params_index` map a physical row
+/// address to its arena slot (`NO_SLOT` when absent), and `tracked` is a
+/// bitmap mirroring `state_index` occupancy so bulk passes (refresh) can
+/// scan tracked rows in ascending physical order without touching the
+/// index vector's cold entries. All per-access paths are O(1) loads with
+/// no hashing. The index vectors are sized lazily on first touch so
+/// cloning a pristine module (one blueprint instantiation per work chunk)
+/// costs nothing for banks the chunk never uses.
 #[derive(Debug, Clone, Default)]
 struct Bank {
     open_row: Option<u32>,
-    rows: HashMap<u32, RowState>,
+    /// Physical address of the open row, valid while `open_row` is `Some`.
+    open_phys: u32,
+    /// Physical row → slot in `states`, or `NO_SLOT`.
+    state_index: Vec<u32>,
+    /// One bit per physical row: set iff the row has a `states` slot.
+    tracked: Vec<u64>,
+    /// Row-state arena, insertion order.
+    states: Vec<RowState>,
+    /// Physical row → slot in `params`, or `NO_SLOT`.
+    params_index: Vec<u32>,
+    /// Row-parameter arena, insertion order.
+    params: Vec<RowParams>,
+}
+
+impl Bank {
+    /// Sizes the dense indexes on first touch.
+    fn ensure_capacity(&mut self, rows: u32) {
+        if self.state_index.is_empty() {
+            self.state_index = vec![NO_SLOT; rows as usize];
+            self.params_index = vec![NO_SLOT; rows as usize];
+            self.tracked = vec![0u64; (rows as usize).div_ceil(64)];
+        }
+    }
+
+    #[inline]
+    fn is_tracked(&self, phys: u32) -> bool {
+        self.tracked
+            .get((phys / 64) as usize)
+            .is_some_and(|w| (w >> (phys % 64)) & 1 == 1)
+    }
+
+    #[inline]
+    fn state_slot(&self, phys: u32) -> Option<usize> {
+        match self.state_index.get(phys as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn params_slot(&self, phys: u32) -> Option<usize> {
+        match self.params_index.get(phys as usize) {
+            Some(&slot) if slot != NO_SLOT => Some(slot as usize),
+            _ => None,
+        }
+    }
 }
 
 /// A live DRAM module calibrated to a Table 3 record.
@@ -120,7 +194,6 @@ pub struct DramModule {
     mapping: AddressMapping,
     banks: Vec<Bank>,
     trr: TrrEngine,
-    row_params: HashMap<(u32, u32), RowParams>,
     /// Calibrated mean of the exponential per-row `HC_first` spread.
     eta_mean: f64,
     /// Base seed of the cycle-to-cycle measurement-noise stream. Defaults to
@@ -135,6 +208,10 @@ pub struct DramModule {
     ecc_corrections: u64,
     /// −Φ⁻¹(1/cells_per_row): positions the weakest cell of a row.
     z_n: f64,
+    /// `physics::t_rcd_required_ns(vpp, spec.trcd)` memoized at the current
+    /// `V_PP` — row-independent, so it only changes when the rail moves, not
+    /// on every column read.
+    trcd_req_at_vpp_ns: f64,
 }
 
 impl DramModule {
@@ -193,13 +270,13 @@ impl DramModule {
             mapping,
             banks: vec![Bank::default(); geometry.banks as usize],
             trr: TrrEngine::new(trr_policy, hash::combine(seed, 0x7272)),
-            row_params: HashMap::new(),
             eta_mean,
             noise_seed: seed ^ SALT_NOISE,
             noise_seq: 0,
             ondie_ecc: OnDieEcc::None,
             ecc_corrections: 0,
             z_n,
+            trcd_req_at_vpp_ns: physics::t_rcd_required_ns(physics::VPP_NOMINAL, &spec.trcd),
             spec,
         })
     }
@@ -274,6 +351,7 @@ impl DramModule {
             });
         }
         self.vpp = vpp;
+        self.trcd_req_at_vpp_ns = physics::t_rcd_required_ns(vpp, &self.spec.trcd);
         Ok(())
     }
 
@@ -311,10 +389,13 @@ impl DramModule {
                 reason: format!("bank {bank} already has row {open} open"),
             });
         }
-        self.disturb_neighbors(bank, row, 1.0);
+        let phys = self.mapping.logical_to_physical(row);
+        self.disturb_neighbors(bank, phys, 1.0);
         self.trr.record_activations(row, 1);
-        self.materialize_and_restore(bank, row);
-        self.banks[bank as usize].open_row = Some(row);
+        self.materialize_and_restore(bank, phys);
+        let b = &mut self.banks[bank as usize];
+        b.open_row = Some(row);
+        b.open_phys = phys;
         Ok(())
     }
 
@@ -330,21 +411,23 @@ impl DramModule {
     pub fn read(&mut self, bank: u32, column: u32, t_rcd_used_ns: f64) -> Result<u64, DramError> {
         self.geometry.check_bank(bank)?;
         self.geometry.check_column(column)?;
-        let row = self.banks[bank as usize]
-            .open_row
-            .ok_or_else(|| DramError::IllegalCommand {
+        let b = &self.banks[bank as usize];
+        if b.open_row.is_none() {
+            return Err(DramError::IllegalCommand {
                 reason: format!("read from bank {bank} with no open row"),
-            })?;
-        let (stored, written) = self.banks[bank as usize]
-            .rows
-            .get(&row)
-            .map(|r| {
+            });
+        }
+        let phys = b.open_phys;
+        let (stored, written) = match b.state_slot(phys) {
+            Some(slot) => {
+                let r = &b.states[slot];
                 (
                     r.data[column as usize],
                     r.written.as_ref().map(|w| w[column as usize]),
                 )
-            })
-            .unwrap_or_else(|| (self.uninitialized_word(bank, row, column), None));
+            }
+            None => (self.uninitialized_word(bank, phys, column), None),
+        };
         // On-die ECC decodes the array word first; an activation-latency
         // violation then corrupts the transfer to the interface.
         let delivered = match written {
@@ -355,7 +438,7 @@ impl DramModule {
             }
             None => stored,
         };
-        Ok(self.corrupt_for_trcd(bank, row, column, delivered, t_rcd_used_ns))
+        Ok(self.corrupt_for_trcd(bank, phys, column, delivered, t_rcd_used_ns))
     }
 
     /// Writes a 64-bit word into the open row.
@@ -366,24 +449,21 @@ impl DramModule {
     pub fn write(&mut self, bank: u32, column: u32, value: u64) -> Result<(), DramError> {
         self.geometry.check_bank(bank)?;
         self.geometry.check_column(column)?;
-        let row = self.banks[bank as usize]
-            .open_row
-            .ok_or_else(|| DramError::IllegalCommand {
+        let b = &self.banks[bank as usize];
+        if b.open_row.is_none() {
+            return Err(DramError::IllegalCommand {
                 reason: format!("write to bank {bank} with no open row"),
-            })?;
-        self.ensure_row(bank, row);
+            });
+        }
+        let phys = b.open_phys;
+        let slot = self.ensure_row_phys(bank, phys);
         let clock = self.clock_ns;
         let ecc = self.ondie_ecc;
-        let columns = self.geometry.columns_per_row as usize;
-        let state = self.banks[bank as usize]
-            .rows
-            .get_mut(&row)
-            .expect("ensured");
+        let state = &mut self.banks[bank as usize].states[slot];
         state.data[column as usize] = value;
         if ecc != OnDieEcc::None {
             state.written.get_or_insert_with(|| state.data.clone())[column as usize] = value;
         }
-        let _ = columns;
         state.restored_at_ns = clock;
         Ok(())
     }
@@ -397,18 +477,18 @@ impl DramModule {
     /// Fails if the bank has no open row.
     pub fn precharge(&mut self, bank: u32, elapsed_since_act_ns: f64) -> Result<(), DramError> {
         self.geometry.check_bank(bank)?;
-        let row =
-            self.banks[bank as usize]
-                .open_row
-                .take()
-                .ok_or_else(|| DramError::IllegalCommand {
-                    reason: format!("precharge of bank {bank} with no open row"),
-                })?;
+        let b = &mut self.banks[bank as usize];
+        if b.open_row.take().is_none() {
+            return Err(DramError::IllegalCommand {
+                reason: format!("precharge of bank {bank} with no open row"),
+            });
+        }
+        let phys = b.open_phys;
         let required = physics::t_ras_required_ns(self.vpp);
         if elapsed_since_act_ns < required {
             let penalty = (elapsed_since_act_ns / required).clamp(0.1, 1.0);
-            if let Some(state) = self.banks[bank as usize].rows.get_mut(&row) {
-                state.charge_penalty = penalty;
+            if let Some(slot) = b.state_slot(phys) {
+                b.states[slot].charge_penalty = penalty;
             }
         }
         Ok(())
@@ -437,10 +517,11 @@ impl DramModule {
                 reason: format!("hammering bank {bank} while row {open} is open"),
             });
         }
-        self.disturb_neighbors(bank, row, count as f64);
+        let phys = self.mapping.logical_to_physical(row);
+        self.disturb_neighbors(bank, phys, count as f64);
         self.trr.record_activations(row, count);
         // The aggressor row itself is refreshed by its own activations.
-        self.materialize_and_restore(bank, row);
+        self.materialize_and_restore(bank, phys);
         self.clock_ns += count as f64 * period_ns.max(0.0);
         Ok(())
     }
@@ -458,19 +539,27 @@ impl DramModule {
             if aggressor < self.geometry.rows_per_bank {
                 let (below, above) = self.mapping.physical_neighbors(aggressor);
                 for victim in [below, above].into_iter().flatten() {
+                    let victim_phys = self.mapping.logical_to_physical(victim);
                     for bank in 0..banks {
-                        if self.banks[bank as usize].rows.contains_key(&victim) {
-                            self.materialize_and_restore(bank, victim);
+                        if self.banks[bank as usize].is_tracked(victim_phys) {
+                            self.materialize_and_restore(bank, victim_phys);
                         }
                     }
                 }
             }
         }
-        // Regular refresh of all tracked rows.
+        // Regular refresh of all tracked rows, in ascending physical order.
+        // Materialization never adds tracked rows, so a copied bitmap word
+        // stays accurate while its bits are drained.
         for bank in 0..banks {
-            let rows: Vec<u32> = self.banks[bank as usize].rows.keys().copied().collect();
-            for row in rows {
-                self.materialize_and_restore(bank, row);
+            let words = self.banks[bank as usize].tracked.len();
+            for wi in 0..words {
+                let mut word = self.banks[bank as usize].tracked[wi];
+                while word != 0 {
+                    let bit = word.trailing_zeros();
+                    word &= word - 1;
+                    self.materialize_and_restore(bank, wi as u32 * 64 + bit);
+                }
             }
         }
     }
@@ -533,13 +622,15 @@ impl DramModule {
     /// validation tests and experiment ground truth.
     pub fn oracle_hc_first_nominal(&mut self, bank: u32, row: u32) -> f64 {
         let phys = self.mapping.logical_to_physical(row);
-        self.params_for(bank, phys).ln_hc_first.exp()
+        let slot = self.ensure_params(bank, phys);
+        self.banks[bank as usize].params[slot].ln_hc_first.exp()
     }
 
     /// Ground-truth normalized `HC_first` multiplier of a row at `vpp`.
     pub fn oracle_hc_multiplier(&mut self, bank: u32, row: u32, vpp: f64) -> f64 {
         let phys = self.mapping.logical_to_physical(row);
-        let coeffs = self.params_for(bank, phys).coeffs;
+        let slot = self.ensure_params(bank, phys);
+        let coeffs = self.banks[bank as usize].params[slot].coeffs;
         physics::hc_multiplier(vpp, &coeffs)
     }
 
@@ -547,17 +638,40 @@ impl DramModule {
     /// per-cell jitter.
     pub fn oracle_t_rcd_required(&mut self, bank: u32, row: u32, vpp: f64) -> f64 {
         let phys = self.mapping.logical_to_physical(row);
-        let base = self.params_for(bank, phys).trcd_base_ns;
+        let slot = self.ensure_params(bank, phys);
+        let base = self.banks[bank as usize].params[slot].trcd_base_ns;
         base + physics::t_rcd_required_ns(vpp, &self.spec.trcd) - self.spec.trcd.base_ns
+    }
+
+    /// Pre-derives the row-parameter table for a chunk of logical rows and
+    /// their distance-≤2 physical neighborhoods.
+    ///
+    /// The execution engine calls this once per work unit so the ladder's
+    /// hammer loops run against a fully populated table instead of deriving
+    /// parameters lazily mid-sweep. Derivation is a pure function of the
+    /// specimen seed, so pre-deriving changes no results — only when the
+    /// work happens. Out-of-range rows are ignored.
+    pub fn prepare_rows(&mut self, bank: u32, rows: &[u32]) {
+        if bank >= self.geometry.banks {
+            return;
+        }
+        let rows_per_bank = self.geometry.rows_per_bank;
+        for &row in rows {
+            if row >= rows_per_bank {
+                continue;
+            }
+            let phys = self.mapping.logical_to_physical(row);
+            let lo = phys.saturating_sub(2);
+            let hi = (phys + 2).min(rows_per_bank - 1);
+            for p in lo..=hi {
+                self.ensure_params(bank, p);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
-
-    fn row_params_key(&self, bank: u32, phys: u32) -> (u32, u32) {
-        (bank, phys)
-    }
 
     /// Cycle-to-cycle measurement noise: a multiplicative factor near 1,
     /// drawn from an advancing deterministic stream. Real devices show
@@ -585,13 +699,23 @@ impl DramModule {
         self.noise_seq = 0;
     }
 
-    fn params_for(&mut self, bank: u32, phys: u32) -> &RowParams {
-        let key = self.row_params_key(bank, phys);
-        if !self.row_params.contains_key(&key) {
-            let params = self.derive_row_params(bank, phys);
-            self.row_params.insert(key, params);
+    /// Returns the arena slot of the row's parameters, deriving them on
+    /// first touch. A hit is a single bounds-checked load.
+    fn ensure_params(&mut self, bank: u32, phys: u32) -> usize {
+        let rows = self.geometry.rows_per_bank;
+        {
+            let b = &mut self.banks[bank as usize];
+            b.ensure_capacity(rows);
+            if let Some(slot) = b.params_slot(phys) {
+                return slot;
+            }
         }
-        self.row_params.get(&key).expect("just inserted")
+        let params = self.derive_row_params(bank, phys);
+        let b = &mut self.banks[bank as usize];
+        let slot = b.params.len();
+        b.params.push(params);
+        b.params_index[phys as usize] = slot as u32;
+        slot
     }
 
     fn derive_row_params(&self, bank: u32, phys: u32) -> RowParams {
@@ -680,61 +804,115 @@ impl DramModule {
             trcd_base_ns,
             cluster64_words,
             cluster128_words,
+            masks: None,
         }
     }
 
+    /// Derives the row's per-cell masks if they are not cached yet.
+    ///
+    /// Pure per-cell hash draws folded into bitmasks — no observable
+    /// behaviour depends on *when* this runs, so it is deferred until a
+    /// materialization actually has flip work to do.
+    fn ensure_masks(&mut self, bank: u32, pslot: usize, phys: u32) {
+        if self.banks[bank as usize].params[pslot].masks.is_some() {
+            return;
+        }
+        let columns = self.geometry.columns_per_row;
+        let rseed = hash::row_seed(self.seed, bank, phys);
+        let mut polarity = Vec::with_capacity(columns as usize);
+        let mut pref = Vec::with_capacity(columns as usize);
+        for word in 0..columns {
+            let mut pol = 0u64;
+            let mut pf = 0u64;
+            for bit in 0..64u32 {
+                let cseed = hash::cell_seed(rseed, word * 64 + bit);
+                let mut charged_polarity = ((bit ^ phys) & 1) as u64;
+                if hash::uniform01(hash::combine(cseed, SALT_ORI)) < 0.05 {
+                    charged_polarity ^= 1;
+                }
+                pol |= charged_polarity << bit;
+                if hash::uniform01(hash::combine(cseed, SALT_PREF)) < 0.10 {
+                    pf |= 1u64 << bit;
+                }
+            }
+            polarity.push(pol);
+            pref.push(pf);
+        }
+        self.banks[bank as usize].params[pslot].masks = Some(CellMasks { polarity, pref });
+    }
+
     /// Accumulates disturbance on the physical neighbors of an activated row.
-    fn disturb_neighbors(&mut self, bank: u32, row: u32, count: f64) {
+    ///
+    /// A hammer burst of N activations arrives here as one call with
+    /// `count = N` — the whole burst is a single batched flush into the
+    /// victims' accumulators. Victims are addressed physically, so no
+    /// logical↔physical translation happens on this path; untracked
+    /// neighbors cost one bitmap probe each.
+    fn disturb_neighbors(&mut self, bank: u32, phys: u32, count: f64) {
         counter_add!("dram_disturb_events", 1);
         let count = count * self.next_noise(0.025);
-        let phys = self.mapping.logical_to_physical(row);
         let rows = self.geometry.rows_per_bank;
+        let b = &mut self.banks[bank as usize];
+        if b.states.is_empty() {
+            return;
+        }
         // Each victim tracks which side the aggressor activity came from so
         // the two-sided synergy term can be evaluated at materialization.
         // From a victim at phys v, an aggressor at v−1 or v−2 is "below".
         let contributions = [
-            (phys.wrapping_sub(1), 1.0, false), // victim below the aggressor → aggressor is its above-neighbor
-            (phys + 1, 1.0, true),
-            (phys.wrapping_sub(2), 2.0 * DIST2_WEIGHT, false),
-            (phys + 2, 2.0 * DIST2_WEIGHT, true),
+            (phys.wrapping_sub(1), count, false), // victim below the aggressor → aggressor is its above-neighbor
+            (phys + 1, count, true),
+            (phys.wrapping_sub(2), 2.0 * DIST2_WEIGHT * count, false),
+            (phys + 2, 2.0 * DIST2_WEIGHT * count, true),
         ];
-        for (victim_phys, weight, aggressor_is_below) in contributions {
+        for (victim_phys, amount, aggressor_is_below) in contributions {
             if victim_phys >= rows {
                 continue;
             }
-            let victim = self.mapping.physical_to_logical(victim_phys);
-            if let Some(state) = self.banks[bank as usize].rows.get_mut(&victim) {
+            if let Some(slot) = b.state_slot(victim_phys) {
+                let state = &mut b.states[slot];
                 if aggressor_is_below {
-                    state.disturb_below += weight * count;
+                    state.disturb_below += amount;
                 } else {
-                    state.disturb_above += weight * count;
+                    state.disturb_above += amount;
                 }
             }
         }
     }
 
     /// Converts a row's accumulated disturbance and elapsed retention time
-    /// into materialized bit flips, then restores the row.
-    fn materialize_and_restore(&mut self, bank: u32, row: u32) {
-        self.ensure_row(bank, row);
-        let phys = self.mapping.logical_to_physical(row);
+    /// into materialized bit flips, then restores the row in place.
+    ///
+    /// The row's state and parameters stay in their arenas throughout —
+    /// disjoint field borrows replace the old remove/clone/reinsert dance.
+    fn materialize_and_restore(&mut self, bank: u32, phys: u32) {
+        let pslot = self.ensure_params(bank, phys);
+        let slot = self.ensure_row_phys(bank, phys);
         let clock = self.clock_ns;
         let vpp = self.vpp;
         let temp = self.temp_c;
         let retention = self.profile.retention;
         let columns = self.geometry.columns_per_row;
-        let params = self.params_for(bank, phys).clone();
+        let vpp_min = self.spec.vpp_min;
 
-        // Take the row state out so flip computation can borrow `self`
-        // immutably.
-        let mut state = self.banks[bank as usize]
-            .rows
-            .remove(&row)
-            .expect("ensured");
-        let charge_penalty = state.charge_penalty;
-        let (lo, hi) = (state.disturb_below, state.disturb_above);
-        let disturb = (0.5 * (lo + hi) + TWO_SIDED_KAPPA * lo.min(hi)) / (1.0 + TWO_SIDED_KAPPA);
-        let elapsed_s = ((clock - state.restored_at_ns) * 1e-9).max(0.0);
+        let (mu_ln, sigma, coeffs, has_cluster) = {
+            let p = &self.banks[bank as usize].params[pslot];
+            (
+                p.mu_ln,
+                p.sigma,
+                p.coeffs,
+                !p.cluster64_words.is_empty() || !p.cluster128_words.is_empty(),
+            )
+        };
+        let (charge_penalty, disturb, elapsed_s) = {
+            let s = &self.banks[bank as usize].states[slot];
+            let (lo, hi) = (s.disturb_below, s.disturb_above);
+            (
+                s.charge_penalty,
+                (0.5 * (lo + hi) + TWO_SIDED_KAPPA * lo.min(hi)) / (1.0 + TWO_SIDED_KAPPA),
+                ((clock - s.restored_at_ns) * 1e-9).max(0.0),
+            )
+        };
 
         // --- RowHammer flip probabilities per pattern class -------------
         // A cell flips when its threshold (nominal lognormal x voltage
@@ -743,11 +921,11 @@ impl DramModule {
         // a per-class probability cutoff.
         let mut p_hammer = [0.0f64; 2]; // [aligned horizontal, anti-aligned]
         if disturb > 0.0 {
-            let multiplier = physics::hc_multiplier(vpp, &params.coeffs) * charge_penalty.powf(0.5);
+            let multiplier = physics::hc_multiplier(vpp, &coeffs) * charge_penalty.powf(0.5);
             let ln_d = disturb.ln();
             for (class, factor) in [(0usize, 1.0f64), (1usize, 1.25f64)] {
-                let ln_thresh = params.mu_ln + multiplier.ln() + factor.ln();
-                p_hammer[class] = hash::normal_cdf((ln_d - ln_thresh) / params.sigma);
+                let ln_thresh = mu_ln + multiplier.ln() + factor.ln();
+                p_hammer[class] = hash::normal_cdf((ln_d - ln_thresh) / sigma);
             }
         }
 
@@ -766,9 +944,7 @@ impl DramModule {
             // Weak clusters live in the tens-of-ms band at 80 degC; at lower
             // temperatures and nominal V_PP they scale out of reach.
             let min_cluster_s = 0.03 * retention.temperature_scale(temp) * retention.vpp_scale(vpp);
-            cluster_relevant = (!params.cluster64_words.is_empty()
-                || !params.cluster128_words.is_empty())
-                && elapsed_s >= min_cluster_s;
+            cluster_relevant = has_cluster && elapsed_s >= min_cluster_s;
         }
 
         let rseed = hash::row_seed(self.seed, bank, phys);
@@ -780,23 +956,26 @@ impl DramModule {
         let mut n_ret = 0u64;
         let mut n_cluster = 0u64;
         if hammer_possible || p_ret > 0.0 {
+            self.ensure_masks(bank, pslot, phys);
+        }
+        // All noise draws are done; borrow the two arenas disjointly so the
+        // flip loop mutates the state while reading the parameters in place.
+        let Bank { params, states, .. } = &mut self.banks[bank as usize];
+        let params = &params[pslot];
+        let state = &mut states[slot];
+        if hammer_possible || p_ret > 0.0 {
+            let masks = params.masks.as_ref().expect("ensured");
             for word in 0..columns {
                 let current = state.data[word as usize];
                 let mut flips = 0u64;
-                for bit in 0..64u32 {
-                    let cell = word * 64 + bit;
-                    let cseed = hash::cell_seed(rseed, cell);
+                // Only charged cells lose charge: a cell is charged when it
+                // stores its polarity, i.e. its bit of `current XOR polarity`
+                // is clear. Discharged cells are skipped without any hashing.
+                let mut charged = !(current ^ masks.polarity[word as usize]);
+                while charged != 0 {
+                    let bit = charged.trailing_zeros();
+                    charged &= charged - 1;
                     let stored = (current >> bit) & 1;
-                    // Orientation: alternating true/anti cells, with a small
-                    // hash-selected exception population.
-                    let mut charged_polarity = ((bit ^ phys) & 1) as u64;
-                    if hash::uniform01(hash::combine(cseed, SALT_ORI)) < 0.05 {
-                        charged_polarity ^= 1;
-                    }
-                    let is_charged = stored == charged_polarity;
-                    if !is_charged {
-                        continue; // only charged cells lose charge
-                    }
 
                     // RowHammer flips.
                     if hammer_possible {
@@ -814,26 +993,34 @@ impl DramModule {
                             stored ^ 1
                         };
                         let mut aligned = left != stored && right != stored;
-                        if hash::uniform01(hash::combine(cseed, SALT_PREF)) < 0.10 {
+                        if (masks.pref[word as usize] >> bit) & 1 == 1 {
                             aligned = !aligned;
                         }
                         let p = if aligned { p_hammer[0] } else { p_hammer[1] };
-                        if p > 0.0 && hash::uniform01(hash::combine(cseed, SALT_HC)) < p {
-                            flips |= 1 << bit;
-                            n_hammer += 1;
-                            continue;
+                        if p > 0.0 {
+                            let cseed = hash::cell_seed(rseed, word * 64 + bit);
+                            if hash::uniform01(hash::combine(cseed, SALT_HC)) < p {
+                                flips |= 1 << bit;
+                                n_hammer += 1;
+                                continue;
+                            }
                         }
                     }
 
                     // Retention flips.
-                    if p_ret > 0.0 && hash::uniform01(hash::combine(cseed, SALT_RET)) < p_ret {
-                        flips |= 1 << bit;
-                        n_ret += 1;
+                    if p_ret > 0.0 {
+                        let cseed = hash::cell_seed(rseed, word * 64 + bit);
+                        if hash::uniform01(hash::combine(cseed, SALT_RET)) < p_ret {
+                            flips |= 1 << bit;
+                            n_ret += 1;
+                        }
                     }
                 }
                 if cluster_relevant {
-                    let cluster = self.cluster_flips(
-                        &params,
+                    let cluster = cluster_flips(
+                        params,
+                        &retention,
+                        vpp_min,
                         rseed,
                         phys,
                         word,
@@ -849,16 +1036,17 @@ impl DramModule {
                 state.data[word as usize] ^= flips;
             }
         } else if cluster_relevant {
-            let words: Vec<u32> = params
-                .cluster64_words
-                .iter()
-                .chain(params.cluster128_words.iter())
-                .copied()
-                .collect();
-            for word in words {
+            for wi in 0..params.cluster64_words.len() + params.cluster128_words.len() {
+                let word = if wi < params.cluster64_words.len() {
+                    params.cluster64_words[wi]
+                } else {
+                    params.cluster128_words[wi - params.cluster64_words.len()]
+                };
                 let current = state.data[word as usize];
-                let flips = self.cluster_flips(
-                    &params,
+                let flips = cluster_flips(
+                    params,
+                    &retention,
+                    vpp_min,
                     rseed,
                     phys,
                     word,
@@ -872,66 +1060,16 @@ impl DramModule {
                 state.data[word as usize] ^= flips;
             }
         }
+        // Restore in place.
+        state.restored_at_ns = clock;
+        state.disturb_below = 0.0;
+        state.disturb_above = 0.0;
+        state.charge_penalty = 1.0;
         if n_hammer + n_ret + n_cluster > 0 {
             counter_add!("dram_flips_hammer", n_hammer);
             counter_add!("dram_flips_retention", n_ret);
             counter_add!("dram_flips_cluster", n_cluster);
         }
-
-        // Restore and reinsert.
-        state.restored_at_ns = clock;
-        state.disturb_below = 0.0;
-        state.disturb_above = 0.0;
-        state.charge_penalty = 1.0;
-        self.banks[bank as usize].rows.insert(row, state);
-    }
-
-    /// Flips contributed by this word's weak-cluster cell, if any.
-    #[allow(clippy::too_many_arguments)]
-    fn cluster_flips(
-        &self,
-        params: &RowParams,
-        rseed: u64,
-        phys: u32,
-        word: u32,
-        current: u64,
-        elapsed_s: f64,
-        temp: f64,
-        vpp: f64,
-        charge_penalty: f64,
-    ) -> u64 {
-        let retention = &self.profile.retention;
-        let scale =
-            retention.temperature_scale(temp) * retention.vpp_scale(vpp) * charge_penalty.powi(2);
-        let scale_min = retention.vpp_scale(self.spec.vpp_min);
-        let mut flips = 0u64;
-        for (band_s, words) in [
-            (0.064, &params.cluster64_words),
-            (0.128, &params.cluster128_words),
-        ] {
-            if !words.contains(&word) {
-                continue;
-            }
-            let wseed = hash::combine(rseed, SALT_CLUSTER ^ word as u64);
-            let bit = (hash::splitmix64(wseed) % 64) as u32;
-            // Base retention at 80 °C/nominal V_PP chosen so the cell fails
-            // inside (band/2, band] at V_PPmin but survives `band` at
-            // nominal V_PP.
-            let base_s = band_s / scale_min.max(1e-9)
-                * hash::uniform(hash::combine(wseed, 0xF00D), 0.76, 0.98);
-            let effective = base_s * scale;
-            if elapsed_s >= effective {
-                // The weak cell shares the array's true-/anti-cell layout, so
-                // the per-row worst-case checkerboard phase charges it — a
-                // flip occurs when it stores its charged polarity.
-                let stored = (current >> bit) & 1;
-                let polarity = ((bit ^ phys) & 1) as u64;
-                if stored == polarity {
-                    flips |= 1 << bit;
-                }
-            }
-        }
-        flips
     }
 
     /// Transient read corruption when the used `t_RCD` is below the row's
@@ -939,19 +1077,16 @@ impl DramModule {
     fn corrupt_for_trcd(
         &mut self,
         bank: u32,
-        row: u32,
+        phys: u32,
         column: u32,
         stored: u64,
         t_rcd_used_ns: f64,
     ) -> u64 {
-        let phys = self.mapping.logical_to_physical(row);
         let jitter = self.profile.trcd_jitter_ns;
-        let (trcd_base, module_base) = {
-            let params = self.params_for(bank, phys);
-            (params.trcd_base_ns, self.spec.trcd.base_ns)
-        };
-        let required =
-            trcd_base + physics::t_rcd_required_ns(self.vpp, &self.spec.trcd) - module_base;
+        let slot = self.ensure_params(bank, phys);
+        let trcd_base = self.banks[bank as usize].params[slot].trcd_base_ns;
+        let module_base = self.spec.trcd.base_ns;
+        let required = trcd_base + self.trcd_req_at_vpp_ns - module_base;
         // Per-cell requirements are *bounded*: row requirement ± jitter. A
         // read at or beyond `required + jitter` is reliable by construction,
         // which is what lets §6.1's "works at 24 ns / 15 ns" statements be
@@ -977,41 +1112,143 @@ impl DramModule {
     }
 
     /// Deterministic power-on content of an untracked row's word.
-    fn uninitialized_word(&self, bank: u32, row: u32, column: u32) -> u64 {
-        let phys = self.mapping.logical_to_physical(row);
+    fn uninitialized_word(&self, bank: u32, phys: u32, column: u32) -> u64 {
         hash::splitmix64(hash::combine(
             hash::row_seed(self.seed, bank, phys),
             SALT_INIT ^ column as u64,
         ))
     }
 
-    fn ensure_row(&mut self, bank: u32, row: u32) {
+    /// Returns the arena slot of the row's state, materializing the
+    /// deterministic power-on content on first touch.
+    fn ensure_row_phys(&mut self, bank: u32, phys: u32) -> usize {
         let columns = self.geometry.columns_per_row;
         let clock = self.clock_ns;
         let seed = self.seed;
-        let phys = self.mapping.logical_to_physical(row);
-        self.banks[bank as usize]
-            .rows
-            .entry(row)
-            .or_insert_with(|| {
-                let data = (0..columns)
-                    .map(|c| {
-                        hash::splitmix64(hash::combine(
-                            hash::row_seed(seed, bank, phys),
-                            SALT_INIT ^ c as u64,
-                        ))
-                    })
-                    .collect();
-                RowState {
-                    data,
-                    written: None,
-                    restored_at_ns: clock,
-                    disturb_below: 0.0,
-                    disturb_above: 0.0,
-                    charge_penalty: 1.0,
-                }
-            });
+        let rows = self.geometry.rows_per_bank;
+        let b = &mut self.banks[bank as usize];
+        b.ensure_capacity(rows);
+        if let Some(slot) = b.state_slot(phys) {
+            return slot;
+        }
+        let data = (0..columns)
+            .map(|c| {
+                hash::splitmix64(hash::combine(
+                    hash::row_seed(seed, bank, phys),
+                    SALT_INIT ^ c as u64,
+                ))
+            })
+            .collect();
+        let slot = b.states.len();
+        b.states.push(RowState {
+            data,
+            written: None,
+            restored_at_ns: clock,
+            disturb_below: 0.0,
+            disturb_above: 0.0,
+            charge_penalty: 1.0,
+        });
+        b.state_index[phys as usize] = slot as u32;
+        b.tracked[(phys / 64) as usize] |= 1u64 << (phys % 64);
+        slot
     }
+}
+
+/// A pre-calibrated module template shared across work chunks.
+///
+/// Construction of a [`DramModule`] pays a fixed calibration cost
+/// (`calibrate_eta_mean` runs a 60-step bisection over a 256-point
+/// quadrature) plus vendor-profile and repair-map derivation. All of it is
+/// a pure function of `(spec, seed, geometry)`, so the execution engine
+/// builds one blueprint per module and clones the pristine device per
+/// `(module, chunk)` work unit. A pristine module has empty per-bank
+/// arenas, making the clone a handful of small allocations.
+#[derive(Debug, Clone)]
+pub struct ModuleBlueprint {
+    pristine: DramModule,
+}
+
+impl ModuleBlueprint {
+    /// Calibrates a blueprint from a spec and specimen seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramModule::new`] errors.
+    pub fn new(spec: ModuleSpec, seed: u64) -> Result<Self, DramError> {
+        DramModule::new(spec, seed).map(|pristine| ModuleBlueprint { pristine })
+    }
+
+    /// Calibrates a blueprint with an overridden geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DramModule::with_geometry`] errors.
+    pub fn with_geometry(
+        spec: ModuleSpec,
+        seed: u64,
+        geometry: Geometry,
+    ) -> Result<Self, DramError> {
+        DramModule::with_geometry(spec, seed, geometry).map(|pristine| ModuleBlueprint { pristine })
+    }
+
+    /// The blueprint's calibration record.
+    pub fn spec(&self) -> &ModuleSpec {
+        &self.pristine.spec
+    }
+
+    /// Produces a fresh, pristine module — behaviorally identical to
+    /// constructing one from the same `(spec, seed, geometry)`.
+    pub fn instantiate(&self) -> DramModule {
+        self.pristine.clone()
+    }
+}
+
+/// Flips contributed by a word's weak-cluster cell, if any.
+#[allow(clippy::too_many_arguments)]
+fn cluster_flips(
+    params: &RowParams,
+    retention: &physics::RetentionProfile,
+    vpp_min: f64,
+    rseed: u64,
+    phys: u32,
+    word: u32,
+    current: u64,
+    elapsed_s: f64,
+    temp: f64,
+    vpp: f64,
+    charge_penalty: f64,
+) -> u64 {
+    let scale =
+        retention.temperature_scale(temp) * retention.vpp_scale(vpp) * charge_penalty.powi(2);
+    let scale_min = retention.vpp_scale(vpp_min);
+    let mut flips = 0u64;
+    for (band_s, words) in [
+        (0.064, &params.cluster64_words),
+        (0.128, &params.cluster128_words),
+    ] {
+        if !words.contains(&word) {
+            continue;
+        }
+        let wseed = hash::combine(rseed, SALT_CLUSTER ^ word as u64);
+        let bit = (hash::splitmix64(wseed) % 64) as u32;
+        // Base retention at 80 °C/nominal V_PP chosen so the cell fails
+        // inside (band/2, band] at V_PPmin but survives `band` at
+        // nominal V_PP.
+        let base_s =
+            band_s / scale_min.max(1e-9) * hash::uniform(hash::combine(wseed, 0xF00D), 0.76, 0.98);
+        let effective = base_s * scale;
+        if elapsed_s >= effective {
+            // The weak cell shares the array's true-/anti-cell layout, so
+            // the per-row worst-case checkerboard phase charges it — a
+            // flip occurs when it stores its charged polarity.
+            let stored = (current >> bit) & 1;
+            let polarity = ((bit ^ phys) & 1) as u64;
+            if stored == polarity {
+                flips |= 1 << bit;
+            }
+        }
+    }
+    flips
 }
 
 /// Calibrates the mean of the exponential per-row `HC_first` spread so the
@@ -1427,6 +1664,83 @@ mod tests {
         m.hammer(0, above, 300_000, 48.5).unwrap();
         let other = m.read_row(0, victim, 13.5).unwrap();
         assert_ne!(other, run(0), "distinct chunk streams must differ");
+    }
+
+    #[test]
+    fn set_vpp_boundary_semantics_are_pinned() {
+        let mut m = small_module(ModuleId::A0, 1); // V_PPmin = 1.4 V
+                                                   // Absolute maximum rating is inclusive; a hair above is rejected.
+        assert!(m.set_vpp(physics::VPP_ABSOLUTE_MAX).is_ok());
+        assert!(matches!(
+            m.set_vpp(physics::VPP_ABSOLUTE_MAX + 1e-9),
+            Err(DramError::VoltageOutOfRange { .. })
+        ));
+        // Absolute minimum is inside the supply range (no VoltageOutOfRange)
+        // but below every module's V_PPmin, so the module stops responding.
+        assert!(matches!(
+            m.set_vpp(physics::VPP_ABSOLUTE_MIN),
+            Err(DramError::CommunicationLost { .. })
+        ));
+        assert!(matches!(
+            m.set_vpp(physics::VPP_ABSOLUTE_MIN - 1e-9),
+            Err(DramError::VoltageOutOfRange { .. })
+        ));
+        // The module V_PPmin edge: exact value works, and so does a value
+        // within the supply's 1 mV tolerance band below it...
+        let vmin = m.spec().vpp_min;
+        assert!(m.set_vpp(vmin).is_ok());
+        assert!(m.set_vpp(vmin - 1e-6).is_ok());
+        // ...but anything clearly below V_PPmin loses the module.
+        assert!(matches!(
+            m.set_vpp(vmin - 2e-6),
+            Err(DramError::CommunicationLost { .. })
+        ));
+    }
+
+    #[test]
+    fn blueprint_instantiation_matches_fresh_construction() {
+        let bp =
+            ModuleBlueprint::with_geometry(registry::spec(ModuleId::B0), 3, Geometry::small_test())
+                .unwrap();
+        let run = |mut m: DramModule| -> Vec<u64> {
+            let data = pattern_row(&m, 0xAAAA_AAAA_AAAA_AAAA);
+            let inv = pattern_row(&m, !0xAAAA_AAAA_AAAA_AAAAu64);
+            let victim = 100;
+            let (below, above) = m.mapping().physical_neighbors(victim);
+            let (below, above) = (below.unwrap(), above.unwrap());
+            m.write_row(0, victim, &data).unwrap();
+            m.write_row(0, below, &inv).unwrap();
+            m.write_row(0, above, &inv).unwrap();
+            m.hammer(0, below, 300_000, 48.5).unwrap();
+            m.hammer(0, above, 300_000, 48.5).unwrap();
+            m.read_row(0, victim, 13.5).unwrap()
+        };
+        let fresh = run(small_module(ModuleId::B0, 3));
+        assert_eq!(run(bp.instantiate()), fresh);
+        // Instantiation is repeatable: a second clone is equally pristine.
+        assert_eq!(run(bp.instantiate()), fresh);
+    }
+
+    #[test]
+    fn prepare_rows_changes_no_results() {
+        let run = |prepare: bool| -> Vec<u64> {
+            let mut m = small_module(ModuleId::B0, 3);
+            let victim = 100;
+            if prepare {
+                m.prepare_rows(0, &[victim]);
+            }
+            let data = pattern_row(&m, 0xAAAA_AAAA_AAAA_AAAA);
+            let inv = pattern_row(&m, !0xAAAA_AAAA_AAAA_AAAAu64);
+            let (below, above) = m.mapping().physical_neighbors(victim);
+            let (below, above) = (below.unwrap(), above.unwrap());
+            m.write_row(0, victim, &data).unwrap();
+            m.write_row(0, below, &inv).unwrap();
+            m.write_row(0, above, &inv).unwrap();
+            m.hammer(0, below, 300_000, 48.5).unwrap();
+            m.hammer(0, above, 300_000, 48.5).unwrap();
+            m.read_row(0, victim, 13.5).unwrap()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub fn qcrit_relative(vpp: f64, coeffs: &DisturbCoeffs) -> f64 {
 ///
 /// `> 1` means the row needs *more* hammers at this voltage (the dominant
 /// trend under reduced `V_PP`, Obsv. 4); `< 1` means fewer (Obsv. 5).
+#[inline]
 pub fn hc_multiplier(vpp: f64, coeffs: &DisturbCoeffs) -> f64 {
     qcrit_relative(vpp, coeffs) / dq_relative(vpp, coeffs)
 }
@@ -208,6 +209,7 @@ pub const RETENTION_REF_CELSIUS: f64 = 80.0;
 impl RetentionProfile {
     /// Multiplier on retention time at `temp_c` relative to the 80 °C
     /// reference (Arrhenius: hotter ⇒ shorter retention).
+    #[inline]
     pub fn temperature_scale(&self, temp_c: f64) -> f64 {
         let t = temp_c + 273.15;
         let t_ref = RETENTION_REF_CELSIUS + 273.15;
@@ -217,6 +219,7 @@ impl RetentionProfile {
     /// Multiplier on retention time at `vpp` relative to nominal: a partially
     /// restored cell starts closer to the sense floor and fails sooner
     /// (Obsv. 12).
+    #[inline]
     pub fn vpp_scale(&self, vpp: f64) -> f64 {
         restore_fraction(vpp).powf(self.vpp_exponent)
     }

@@ -13,6 +13,7 @@
 //! - [`ci`] — normal-approximation and bootstrap confidence intervals for the
 //!   90 % CI bands of Figs. 3, 5, and 10a,
 //! - [`normalize`] — normalization of measurement series to a baseline value,
+//! - [`order`] — NaN-safe total-order comparators for float sorts,
 //! - [`series`] — labeled x/y series with optional confidence bands,
 //! - [`table`] — ASCII table rendering for the table-regeneration harnesses,
 //! - [`plot`] — ASCII line/density plots for the figure-regeneration harnesses.
@@ -39,6 +40,7 @@ pub mod error;
 pub mod histogram;
 pub mod kde;
 pub mod normalize;
+pub mod order;
 pub mod plot;
 pub mod quantile;
 pub mod series;

@@ -1,0 +1,74 @@
+//! NaN-safe ordering helpers for floating-point sorts.
+//!
+//! Every sort over user-data-derived floats in the workspace routes
+//! through these helpers instead of `partial_cmp(..).expect(..)`: a NaN
+//! (e.g. a mean over zero readable words) must never panic a sweep. The
+//! helpers use [`f64::total_cmp`] — IEEE 754 `totalOrder`, which places
+//! `-NaN < -∞ < finite < +∞ < +NaN` — so NaN values sort deterministically
+//! to the ends instead of aborting.
+
+use std::cmp::Ordering;
+
+/// Total ordering on `f64` for use with `sort_by` and friends.
+///
+/// ```
+/// let mut v = vec![2.0, f64::NAN, 1.0];
+/// v.sort_by(hammervolt_stats::order::f64_total);
+/// assert_eq!(v[0], 1.0);
+/// assert_eq!(v[1], 2.0);
+/// assert!(v[2].is_nan());
+/// ```
+#[inline]
+pub fn f64_total(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// Total ordering on any items by an `f64` key.
+///
+/// Sorting points by their x coordinate, say:
+/// `pts.sort_by(order::by_f64_key(|p| p.x))`.
+#[inline]
+pub fn by_f64_key<T, K: Fn(&T) -> f64>(key: K) -> impl Fn(&T, &T) -> Ordering {
+    move |a, b| key(a).total_cmp(&key(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_sorts_after_all_finite_values() {
+        let mut v = [f64::NAN, 3.0, f64::NEG_INFINITY, -1.0, f64::INFINITY, 0.0];
+        v.sort_by(f64_total);
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert_eq!(&v[1..4], &[-1.0, 0.0, 3.0]);
+        assert_eq!(v[4], f64::INFINITY);
+        assert!(v[5].is_nan());
+    }
+
+    #[test]
+    fn negative_nan_sorts_before_everything() {
+        let mut v = [0.0, -f64::NAN, f64::NEG_INFINITY];
+        v.sort_by(f64_total);
+        assert!(v[0].is_nan());
+        assert_eq!(v[1], f64::NEG_INFINITY);
+        assert_eq!(v[2], 0.0);
+    }
+
+    #[test]
+    fn zero_signs_are_ordered_deterministically() {
+        let mut v = [0.0, -0.0];
+        v.sort_by(f64_total);
+        assert!(v[0].is_sign_negative());
+        assert!(v[1].is_sign_positive());
+    }
+
+    #[test]
+    fn key_helper_orders_tuples_and_tolerates_nan() {
+        let mut v = [(1u32, 2.0), (2, f64::NAN), (3, -1.0)];
+        v.sort_by(by_f64_key(|t: &(u32, f64)| t.1));
+        assert_eq!(v[0].0, 3);
+        assert_eq!(v[1].0, 1);
+        assert_eq!(v[2].0, 2);
+    }
+}

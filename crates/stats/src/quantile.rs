@@ -26,7 +26,7 @@ pub fn quantile(data: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::InvalidProbability { value: p });
     }
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+    sorted.sort_by(crate::order::f64_total);
     Ok(quantile_sorted_unchecked(&sorted, p))
 }
 
@@ -87,7 +87,7 @@ pub fn percentile(data: &[f64], pct: f64) -> Result<f64, StatsError> {
 pub fn quantiles(data: &[f64], ps: &[f64]) -> Result<Vec<f64>, StatsError> {
     ensure_nonempty_finite(data)?;
     let mut sorted = data.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values checked finite"));
+    sorted.sort_by(crate::order::f64_total);
     ps.iter().map(|&p| quantile_sorted(&sorted, p)).collect()
 }
 

@@ -136,7 +136,7 @@ impl Series {
             return None;
         }
         let mut pts: Vec<&Point> = self.points.iter().collect();
-        pts.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite x"));
+        pts.sort_by(crate::order::by_f64_key(|p: &&Point| p.x));
         if x < pts[0].x || x > pts[pts.len() - 1].x {
             return None;
         }

@@ -1,0 +1,88 @@
+//! Blueprint bring-up equivalence: the shared-calibration fast path the
+//! execution engine uses must be indistinguishable from constructing every
+//! work unit's module from scratch.
+//!
+//! `run_sharded` pays `calibrate_eta_mean` (and the rest of module
+//! construction) once per module via [`ModuleBlueprint`], then clones the
+//! pristine device per `(module, chunk)` unit. These tests pin the
+//! contract that makes that sound: an instantiated clone is byte-for-byte
+//! the same specimen as a freshly constructed module, across the device
+//! paths the three algorithms exercise.
+
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::hash;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_dram::{DramModule, ModuleBlueprint};
+
+/// A chunk-shaped workload: noise reseed, ladder move, double-sided
+/// hammering, a retention wait, and sub-`t_RCD` reads.
+fn exercise(mut m: DramModule) -> Vec<u64> {
+    m.reseed_noise(hash::chunk_seed(11, 0, 4));
+    m.set_vpp(2.1).unwrap(); // above every Table 3 module's V_PPmin
+    m.set_temperature_c(80.0);
+    let columns = m.geometry().columns_per_row as usize;
+    let data = vec![0xAAAA_AAAA_AAAA_AAAAu64; columns];
+    let inv = vec![!0xAAAA_AAAA_AAAA_AAAAu64; columns];
+    let victim = 120u32;
+    let (below, above) = m.mapping().physical_neighbors(victim);
+    let (below, above) = (below.unwrap(), above.unwrap());
+    m.write_row(0, victim, &data).unwrap();
+    m.write_row(0, below, &inv).unwrap();
+    m.write_row(0, above, &inv).unwrap();
+    m.hammer(0, below, 200_000, 48.5).unwrap();
+    m.hammer(0, above, 200_000, 48.5).unwrap();
+    m.advance_ns(2.0e9);
+    let mut out = m.read_row(0, victim, 13.5).unwrap();
+    out.extend(m.read_row(0, victim, 6.0).unwrap());
+    out.push(m.oracle_hc_first_nominal(0, victim) as u64);
+    out
+}
+
+#[test]
+fn instantiate_equals_fresh_construction_for_every_vendor() {
+    for id in [ModuleId::A0, ModuleId::B0, ModuleId::C2] {
+        let seed = 11;
+        let fresh = DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test())
+            .map(exercise)
+            .unwrap();
+        let bp = ModuleBlueprint::with_geometry(registry::spec(id), seed, Geometry::small_test())
+            .unwrap();
+        assert_eq!(
+            exercise(bp.instantiate()),
+            fresh,
+            "blueprint clone diverged from fresh construction on {}",
+            id.label()
+        );
+    }
+}
+
+#[test]
+fn repeated_instantiations_are_independent_specimens_of_one_module() {
+    let bp =
+        ModuleBlueprint::with_geometry(registry::spec(ModuleId::B3), 7, Geometry::small_test())
+            .unwrap();
+    // Two clones run the same workload identically: no state leaks from one
+    // instantiation into the blueprint or its siblings.
+    let a = exercise(bp.instantiate());
+    let b = exercise(bp.instantiate());
+    assert_eq!(a, b);
+    // The clone is a live, mutable device: hammering one clone must leave a
+    // later clone pristine.
+    let mut dirty = bp.instantiate();
+    dirty.hammer(0, 40, 300_000, 48.5).unwrap();
+    assert_eq!(exercise(bp.instantiate()), a);
+}
+
+#[test]
+fn prepare_rows_is_results_invariant() {
+    let bp =
+        ModuleBlueprint::with_geometry(registry::spec(ModuleId::B0), 5, Geometry::small_test())
+            .unwrap();
+    let mut prepared = bp.instantiate();
+    prepared.prepare_rows(0, &[120, 121, 122]);
+    // Out-of-range input is ignored rather than panicking.
+    let mut lazy = bp.instantiate();
+    lazy.prepare_rows(9, &[120]);
+    lazy.prepare_rows(0, &[u32::MAX]);
+    assert_eq!(exercise(prepared), exercise(lazy));
+}
