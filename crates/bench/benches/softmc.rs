@@ -1,0 +1,121 @@
+//! Criterion benches for the compiled SoftMC program-plan fast path.
+//!
+//! `softmc_measure` times one full Alg. 1 measurement step — WCDP-pinned
+//! `measure_row_with` over a prepared session with a reused [`RowScratch`] —
+//! plus the raw init→hammer→read step in both execution paths, so the
+//! compiled-vs-interpreted gap is visible in isolation. `plan_intern` times
+//! the session's interned, parameter-patched plans against rebuilding (and
+//! therefore recompiling) the equivalent [`Program`] on every call — the
+//! per-step allocation cost the plan cache removes.
+//!
+//! `BENCH_softmc.json` at the repository root records the medians;
+//! regenerate with `cargo bench -p hammervolt-bench --bench softmc`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hammervolt_core::alg1::{self, Alg1Config, RowScratch};
+use hammervolt_core::patterns::DataPattern;
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_softmc::{Program, SoftMc};
+use std::hint::black_box;
+
+fn session() -> SoftMc {
+    SoftMc::new(
+        DramModule::with_geometry(registry::spec(ModuleId::B0), 3, Geometry::small_test()).unwrap(),
+    )
+}
+
+/// One full Alg. 1 measurement step: the binary search for `HC_first` plus
+/// the BER sampling loop, with the WCDP pinned (the sweep reuses it across
+/// ladder levels) and the scratch reused across iterations — the steady
+/// state of the hammer sweep's inner loop.
+fn bench_softmc_measure(c: &mut Criterion) {
+    let mut mc = session();
+    let cfg = Alg1Config {
+        wcdp_override: Some(DataPattern::CheckerboardAa),
+        ..Alg1Config::fast()
+    };
+    let mut scratch = RowScratch::new();
+    c.bench_function("softmc_measure/alg1_row", |b| {
+        b.iter(|| {
+            black_box(alg1::measure_row_with(
+                &mut mc,
+                0,
+                black_box(100),
+                &cfg,
+                &mut scratch,
+            ))
+            .unwrap()
+        })
+    });
+
+    // The raw step under the measurement loop, in both execution paths: the
+    // interpreted variant pays per-instruction dispatch for every one of the
+    // 2 × 1026 row-burst commands plus the hammer loop.
+    let columns = Geometry::small_test().columns_per_row;
+    let (below, above) = {
+        let m = session();
+        let (b, a) = m.module().mapping().physical_neighbors(100);
+        (b.unwrap(), a.unwrap())
+    };
+    let mut mc = session();
+    c.bench_function("softmc_measure/step_compiled", |b| {
+        b.iter(|| {
+            mc.init_row(0, 100, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+            mc.hammer_double_sided(0, below, above, 5_000).unwrap();
+            black_box(mc.read_row_scratch(0, 100).unwrap().len())
+        })
+    });
+    let mut mc = session();
+    c.bench_function("softmc_measure/step_interpreted", |b| {
+        b.iter(|| {
+            mc.run_interpreted(&Program::init_row(0, 100, columns, 0xAAAA_AAAA_AAAA_AAAA))
+                .unwrap();
+            mc.run_interpreted(&Program::hammer_double_sided(0, below, above, 5_000))
+                .unwrap();
+            black_box(
+                mc.run_interpreted(&Program::read_row(0, 100, columns))
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+/// Interned plans vs per-call program rebuild: the same init→read pair,
+/// once through the session's patched plan cache (zero allocation) and once
+/// by constructing the `Program` and compiling it on every call (what
+/// `SoftMc::run` does for arbitrary programs).
+fn bench_plan_intern(c: &mut Criterion) {
+    let columns = Geometry::small_test().columns_per_row;
+
+    let mut mc = session();
+    c.bench_function("plan_intern/interned_patch", |b| {
+        b.iter(|| {
+            mc.init_row(0, black_box(7), 0x5555_5555_5555_5555).unwrap();
+            black_box(mc.read_row_scratch(0, 7).unwrap().len())
+        })
+    });
+
+    let mut mc = session();
+    c.bench_function("plan_intern/rebuild_compile", |b| {
+        b.iter(|| {
+            mc.run(&Program::init_row(
+                0,
+                black_box(7),
+                columns,
+                0x5555_5555_5555_5555,
+            ))
+            .unwrap();
+            black_box(mc.run(&Program::read_row(0, 7, columns)).unwrap().len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_softmc_measure, bench_plan_intern
+}
+criterion_main!(benches);

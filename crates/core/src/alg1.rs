@@ -113,8 +113,10 @@ pub fn measure_ber(
     mc.init_row(bank, above, wcdp.inverse().word())?;
     mc.hammer_double_sided(bank, below, above, hc)?;
     // Conservative read timing: only RowHammer, not t_RCD, may fail here.
-    let readout = mc.read_row_conservative(bank, victim)?;
-    Ok(patterns::bit_error_rate(&readout, wcdp))
+    // The scratch read lands in the session's reusable readback buffer, so
+    // the steady-state measurement loop performs no heap allocation.
+    let readout = mc.read_row_conservative_scratch(bank, victim)?;
+    Ok(patterns::bit_error_rate(readout, wcdp))
 }
 
 /// Selects the WCDP for a row: the pattern with the largest BER at the fixed
@@ -190,6 +192,21 @@ pub fn search_hc_first(
     }
 }
 
+/// Reusable working memory for [`measure_row_with`]: per-iteration records
+/// that a sweep over many rows would otherwise reallocate per row.
+#[derive(Debug, Default)]
+pub struct RowScratch {
+    ber_samples: Vec<f64>,
+}
+
+impl RowScratch {
+    /// Creates empty scratch; buffers grow on first use and are reused
+    /// afterwards.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Full Alg. 1 for one victim row: WCDP selection, BER at the fixed hammer
 /// count, and the `HC_first` search, each repeated `iterations` times with
 /// the worst case recorded.
@@ -203,6 +220,22 @@ pub fn measure_row(
     victim: u32,
     config: &Alg1Config,
 ) -> Result<RowMeasurement, StudyError> {
+    measure_row_with(mc, bank, victim, config, &mut RowScratch::new())
+}
+
+/// [`measure_row`] with caller-provided scratch: sweeps over many rows keep
+/// one [`RowScratch`] so the per-iteration bookkeeping allocates only once.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors; fails fast if `iterations == 0`.
+pub fn measure_row_with(
+    mc: &mut SoftMc,
+    bank: u32,
+    victim: u32,
+    config: &Alg1Config,
+    scratch: &mut RowScratch,
+) -> Result<RowMeasurement, StudyError> {
     if config.iterations == 0 {
         return Err(StudyError::InvalidConfig {
             reason: "iterations must be at least 1".to_string(),
@@ -213,21 +246,24 @@ pub fn measure_row(
     counter_add!("alg1_rows", 1);
     counter_add!("alg1_iterations", config.iterations);
     let wcdp = select_wcdp(mc, bank, victim, config)?;
-    let mut ber_samples = Vec::with_capacity(config.iterations as usize);
+    scratch.ber_samples.clear();
+    scratch.ber_samples.reserve(config.iterations as usize);
     let mut hc_first: Option<u64> = None;
     for _ in 0..config.iterations {
-        ber_samples.push(measure_ber(mc, bank, victim, wcdp, config.fixed_hc)?);
+        scratch
+            .ber_samples
+            .push(measure_ber(mc, bank, victim, wcdp, config.fixed_hc)?);
         if let Some(found) = search_hc_first(mc, bank, victim, wcdp, config)? {
             hc_first = Some(hc_first.map_or(found, |prev| prev.min(found)));
         }
     }
-    let ber = ber_samples.iter().cloned().fold(0.0, f64::max);
+    let ber = scratch.ber_samples.iter().cloned().fold(0.0, f64::max);
     Ok(RowMeasurement {
         row: victim,
         wcdp,
         hc_first,
         ber,
-        ber_samples,
+        ber_samples: scratch.ber_samples.clone(),
     })
 }
 

@@ -80,11 +80,11 @@ fn row_is_faulty_at(
     t_rcd_ns: f64,
 ) -> Result<bool, StudyError> {
     mc.init_row(bank, row, wcdp.word())?;
-    let saved = mc.timing();
-    mc.set_timing(saved.with_t_rcd(t_rcd_ns));
-    let readout = mc.read_row(bank, row);
-    mc.set_timing(saved);
-    Ok(patterns::count_flips(&readout?, wcdp) > 0)
+    // One-shot t_RCD override through the allocation-free scratch read: the
+    // engine sees exactly the timing the old save/override/restore dance
+    // produced, without touching the session timing or the heap.
+    let readout = mc.read_row_with_t_rcd_scratch(bank, row, t_rcd_ns)?;
+    Ok(patterns::count_flips(readout, wcdp) > 0)
 }
 
 /// Selects the WCDP for the `t_RCD` experiment: the pattern with the largest

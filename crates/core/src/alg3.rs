@@ -110,8 +110,9 @@ pub fn measure_window(
     mc.init_row(bank, row, wcdp.word())?;
     mc.wait_ns(window_s * 1e9)?;
     // Conservative read timing: only retention, not t_RCD, may fail here.
-    let readout = mc.read_row_conservative(bank, row)?;
-    Ok(patterns::bit_error_rate(&readout, wcdp))
+    // Scratch read: the readback lands in the session's reusable buffer.
+    let readout = mc.read_row_conservative_scratch(bank, row)?;
+    Ok(patterns::bit_error_rate(readout, wcdp))
 }
 
 /// Selects the retention WCDP: the pattern that flips at the smallest

@@ -43,7 +43,7 @@
 //! mismatch, so a truncated, bit-flipped, or key-swapped entry (the faults
 //! `hammervolt-testkit` injects) is detected and recomputed, never served.
 
-use crate::alg1::{self, Alg1Config};
+use crate::alg1::{self, Alg1Config, RowScratch};
 use crate::alg2;
 use crate::alg3;
 use crate::error::StudyError;
@@ -63,8 +63,7 @@ use hammervolt_softmc::SoftMc;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// How the engine runs: worker count and optional sweep cache.
@@ -173,8 +172,10 @@ impl ExecConfig {
 // ---------------------------------------------------------------------------
 
 /// Applies `f` to every item on up to `jobs` threads, returning results in
-/// item order. Scheduling affects only wall-clock time: each result slot is
-/// written by whichever worker claimed that index.
+/// item order. Scheduling affects only wall-clock time: each worker claims
+/// indices from a shared counter, keeps its `(index, result)` pairs in a
+/// private buffer, and the pairs are merged into a pre-sized slot vector
+/// after the scope joins — no per-item lock, each slot written exactly once.
 fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -186,26 +187,35 @@ where
         return items.iter().map(&f).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let result = f(&items[i]);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
+    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return mine;
+                        }
+                        mine.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, result) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(result);
+    }
     slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every slot is filled before the scope ends")
-        })
+        .map(|slot| slot.expect("every index is claimed exactly once"))
         .collect()
 }
 
@@ -266,6 +276,9 @@ fn hammer_unit(
     let levels = vpp_ladder(vpp_min);
     let mut per_level: Vec<Vec<RowHammerRecord>> = levels.iter().map(|_| Vec::new()).collect();
     let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
+    // One scratch per unit: the ladder's measurement loops reuse its buffers
+    // instead of allocating per (level, row) step.
+    let mut scratch = RowScratch::new();
     for (li, &vpp) in levels.iter().enumerate() {
         mc.set_vpp(vpp)?;
         for &row in rows {
@@ -277,7 +290,7 @@ fn hammer_unit(
             } else {
                 config.alg1
             };
-            let m = match alg1::measure_row(&mut mc, config.bank, row, &cfg) {
+            let m = match alg1::measure_row_with(&mut mc, config.bank, row, &cfg, &mut scratch) {
                 Ok(m) => m,
                 Err(StudyError::NoAggressor { .. }) => continue,
                 Err(e) => return Err(e),
@@ -613,7 +626,14 @@ fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> O
 /// Persists a sweep as one sealed envelope line, atomically
 /// (write-then-rename), so a concurrent reader never sees a partial entry.
 /// Best-effort: cache I/O failures never fail the sweep.
+///
+/// The temp name carries the process id *and* a process-wide store counter:
+/// two threads storing to the same path concurrently (e.g. two workers
+/// finishing the same module's sweep in separate pools) each write their own
+/// temp file, so neither can rename the other's half-written bytes into
+/// place.
 fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
+    static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
     let Some(dir) = path.parent() else { return };
     if std::fs::create_dir_all(dir).is_err() {
         return;
@@ -622,7 +642,8 @@ fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
         return;
     };
     let line = seal_entry(key, &json);
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{seq}", std::process::id()));
     if std::fs::write(&tmp, line + "\n").is_ok() && std::fs::rename(&tmp, path).is_ok() {
         counter_add!("cache_stores", 1);
     }
@@ -1022,6 +1043,43 @@ mod tests {
         assert!(!sweep.records.is_empty());
         // The corrupt entry was replaced by a valid one.
         assert!(cache_load::<ModuleHammerSweep>(&path, key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_stores_to_one_path_never_corrupt_the_entry() {
+        // Regression: the temp name used to carry only the process id, so two
+        // threads storing the same path shared one temp file — one thread
+        // could rename the other's half-written bytes into place. With the
+        // store counter in the suffix every writer owns its temp file; the
+        // final entry is always one writer's complete, verifiable line.
+        let dir = unique_temp_dir("concurrent-store");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("entry.jsonl");
+        let key = 0xDEAD_BEEFu64;
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let path = &path;
+                scope.spawn(move || {
+                    for i in 0..16u64 {
+                        let payload: Vec<u64> = vec![t, i, t * 1000 + i];
+                        cache_store(path, key, &payload);
+                    }
+                });
+            }
+        });
+        let loaded: Vec<u64> =
+            cache_load(&path, key).expect("entry must verify after concurrent stores");
+        assert_eq!(loaded.len(), 3);
+        assert_eq!(loaded[2], loaded[0] * 1000 + loaded[1]);
+        // Every writer renamed its own temp file; none leak.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .map(|e| e.file_name())
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -95,6 +95,94 @@ struct CellMasks {
     pref: Vec<u64>,
 }
 
+/// Per-cell uniform draws for one salt, indexed for cutoff queries.
+///
+/// A cell's flip draw `uniform01(combine(cell_seed(rseed, idx), SALT))` is a
+/// pure function of `(row, cell, salt)` — constant across materializations —
+/// and the flip decision is `u < p` for a per-materialization cutoff `p`.
+/// Grouping the `(u, cell)` pairs by the uniform's binary exponent turns
+/// "which cells can flip at cutoff p" into a prefix of this table: every
+/// entry in a bucket below `p`'s exponent is `< p`, the bucket holding `p`'s
+/// exponent needs the exact per-entry compare, and everything above is
+/// `>= p`. The materialization loop then visits O(candidates) cells instead
+/// of hashing every charged cell in the row.
+#[derive(Debug, Clone)]
+struct SaltIndex {
+    /// `(uniform, cell index)` pairs grouped by the uniform's biased
+    /// exponent, ascending bucket order (entries within a bucket unsorted —
+    /// consumers re-check `u < p` exactly).
+    entries: Vec<(f64, u32)>,
+    /// `entries[bucket_start[e] .. bucket_start[e + 1]]` holds the entries
+    /// whose uniform has biased exponent `e`; length 1025.
+    bucket_start: Vec<u32>,
+}
+
+impl SaltIndex {
+    /// Biased-exponent bucket of a uniform in `[0, 1)`.
+    #[inline]
+    fn bucket(u: f64) -> usize {
+        (u.to_bits() >> 52) as usize
+    }
+
+    /// Counting-sorts per-cell uniforms into exponent buckets — O(cells),
+    /// no comparison sort.
+    fn build(uniforms: &[f64]) -> Self {
+        let mut bucket_start = vec![0u32; 1025];
+        for &u in uniforms {
+            bucket_start[Self::bucket(u) + 1] += 1;
+        }
+        for e in 0..1024 {
+            bucket_start[e + 1] += bucket_start[e];
+        }
+        let mut cursor: Vec<u32> = bucket_start[..1024].to_vec();
+        let mut entries = vec![(0.0f64, 0u32); uniforms.len()];
+        for (cell, &u) in uniforms.iter().enumerate() {
+            let c = &mut cursor[Self::bucket(u)];
+            entries[*c as usize] = (u, cell as u32);
+            *c += 1;
+        }
+        SaltIndex {
+            entries,
+            bucket_start,
+        }
+    }
+
+    /// A superset of the entries with `u < p`: complete buckets below `p`'s
+    /// exponent plus `p`'s own (partial) bucket. Callers re-check `u < p`
+    /// per entry, which also keeps the comparison bit-identical to the
+    /// original per-cell hash-and-compare.
+    #[inline]
+    fn candidates(&self, p: f64) -> &[(f64, u32)] {
+        if p <= 0.0 {
+            return &[];
+        }
+        let b = ((p.to_bits() >> 52) as usize).min(1023);
+        &self.entries[..self.bucket_start[b + 1] as usize]
+    }
+}
+
+/// Lazily-built flip-draw indexes for a row, one per salt.
+#[derive(Debug, Clone)]
+struct FlipIndex {
+    /// RowHammer draws (`SALT_HC`).
+    hc: SaltIndex,
+    /// Retention draws (`SALT_RET`).
+    ret: SaltIndex,
+}
+
+/// Reusable dense scratch for one materialization's flip accumulation.
+///
+/// Flip decisions read the row's *pre-flip* data (neighbor bits, charge
+/// state), so flips found by the candidate scan are staged here and XORed
+/// into the row in one deferred pass. `flips` is a one-word-per-column
+/// bitmap; `touched` lists the words with staged bits so the apply/reset
+/// pass never walks the whole row.
+#[derive(Debug, Clone, Default)]
+struct FlipScratch {
+    flips: Vec<u64>,
+    touched: Vec<u32>,
+}
+
 /// Cached per-row model parameters, derived from the physical row address.
 #[derive(Debug, Clone)]
 struct RowParams {
@@ -114,6 +202,9 @@ struct RowParams {
     cluster128_words: Vec<u32>,
     /// Lazily-derived per-cell masks (see [`CellMasks`]).
     masks: Option<CellMasks>,
+    /// Lazily-derived flip-draw indexes (see [`SaltIndex`]), built together
+    /// with `masks`.
+    flip_index: Option<FlipIndex>,
 }
 
 /// Sentinel for "no arena slot allocated" in the dense per-bank indexes.
@@ -145,6 +236,8 @@ struct Bank {
     params_index: Vec<u32>,
     /// Row-parameter arena, insertion order.
     params: Vec<RowParams>,
+    /// Materialization staging scratch, reused across calls.
+    flip_scratch: FlipScratch,
 }
 
 impl Bank {
@@ -612,6 +705,212 @@ impl DramModule {
     }
 
     // ------------------------------------------------------------------
+    // Bulk open-row access — the compiled SoftMC fast path.
+    //
+    // These operate on the bank's *open* row like `read`/`write`, but move
+    // a whole burst of columns per call so the per-access bookkeeping
+    // (geometry checks, open-row check, arena slot and parameter lookups)
+    // is paid once per row instead of once per column. Each is specified —
+    // and tested, by the compiled-vs-interpreted equivalence suite — to
+    // leave the device in exactly the state the per-column calls would.
+    // ------------------------------------------------------------------
+
+    /// Advances device time to an absolute instant (no-op if time is
+    /// already past it). The slot-grid engine uses this to land the clock
+    /// exactly on a precomputed command slot, which repeated relative
+    /// [`DramModule::advance_ns`] calls could miss by an ulp.
+    pub fn advance_to_ns(&mut self, t_ns: f64) {
+        if t_ns > self.clock_ns {
+            self.clock_ns = t_ns;
+        }
+    }
+
+    /// Writes `value` into columns `0..columns` of the open row — the bulk
+    /// equivalent of one [`DramModule::write`] per column. As with the
+    /// per-column calls, the row's restore stamp is the *current* clock, so
+    /// the caller advances time to the final write's command slot first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad bank, more columns than the geometry has, or no open
+    /// row.
+    pub fn fill_open_row(&mut self, bank: u32, columns: u32, value: u64) -> Result<(), DramError> {
+        self.write_open_row_impl(bank, columns, None, value)
+    }
+
+    /// Writes one word per column into columns `0..data.len()` of the open
+    /// row — the bulk equivalent of one [`DramModule::write`] per column.
+    /// Clock contract as for [`DramModule::fill_open_row`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad bank, more words than the geometry has columns, or no
+    /// open row.
+    pub fn write_open_row(&mut self, bank: u32, data: &[u64]) -> Result<(), DramError> {
+        self.write_open_row_impl(bank, data.len() as u32, Some(data), 0)
+    }
+
+    fn write_open_row_impl(
+        &mut self,
+        bank: u32,
+        columns: u32,
+        data: Option<&[u64]>,
+        value: u64,
+    ) -> Result<(), DramError> {
+        self.geometry.check_bank(bank)?;
+        if columns > self.geometry.columns_per_row {
+            return Err(DramError::AddressOutOfRange {
+                what: format!(
+                    "burst of {} columns, geometry has {}",
+                    columns, self.geometry.columns_per_row
+                ),
+            });
+        }
+        let b = &self.banks[bank as usize];
+        if b.open_row.is_none() {
+            return Err(DramError::IllegalCommand {
+                reason: format!("write to bank {bank} with no open row"),
+            });
+        }
+        let phys = b.open_phys;
+        let slot = self.ensure_row_phys(bank, phys);
+        let clock = self.clock_ns;
+        let ecc = self.ondie_ecc;
+        let n = columns as usize;
+        let state = &mut self.banks[bank as usize].states[slot];
+        match data {
+            Some(words) => state.data[..n].copy_from_slice(words),
+            None => state.data[..n].fill(value),
+        }
+        if ecc != OnDieEcc::None {
+            // Sequential per-column writes clone the array on the first
+            // write (after that column already holds the new word) and then
+            // overwrite each written column — identical to filling the data
+            // first and cloning afterwards.
+            let written = state.written.get_or_insert_with(|| state.data.clone());
+            match data {
+                Some(words) => written[..n].copy_from_slice(words),
+                None => written[..n].fill(value),
+            }
+        }
+        state.restored_at_ns = clock;
+        Ok(())
+    }
+
+    /// Reads columns `0..columns` of the open row on successive command
+    /// slots, appending the words to `out` — the bulk equivalent of one
+    /// [`DramModule::read`] per column under the engine's slot-grid issue.
+    ///
+    /// The device clock must stand at the ACT issue slot of the open row
+    /// (where the slot-grid engine leaves it immediately after
+    /// [`DramModule::activate`]). Each column's effective ACT→RD delay is
+    /// then replayed through the controller's per-column issue recurrence —
+    /// the first column sees `max(one command slot, t_rcd_ns)`, each later
+    /// column one more slot — with bit-identical float arithmetic, and the
+    /// clock is left at the final read's slot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad bank, more columns than the geometry has, or no open
+    /// row.
+    pub fn read_open_row_into(
+        &mut self,
+        bank: u32,
+        t_rcd_ns: f64,
+        columns: u32,
+        out: &mut Vec<u64>,
+    ) -> Result<(), DramError> {
+        self.geometry.check_bank(bank)?;
+        if columns > self.geometry.columns_per_row {
+            return Err(DramError::AddressOutOfRange {
+                what: format!(
+                    "burst of {} columns, geometry has {}",
+                    columns, self.geometry.columns_per_row
+                ),
+            });
+        }
+        if self.banks[bank as usize].open_row.is_none() {
+            return Err(DramError::IllegalCommand {
+                reason: format!("read from bank {bank} with no open row"),
+            });
+        }
+        let phys = self.banks[bank as usize].open_phys;
+        // Hoisted per-row work: parameters (derived on first touch, exactly
+        // as the first per-column read would), the tRCD requirement, and the
+        // row's hash seed.
+        let pslot = self.ensure_params(bank, phys);
+        let jitter = self.profile.trcd_jitter_ns;
+        let required = self.banks[bank as usize].params[pslot].trcd_base_ns
+            + self.trcd_req_at_vpp_ns
+            - self.spec.trcd.base_ns;
+        let rseed = hash::row_seed(self.seed, bank, phys);
+        let ecc = self.ondie_ecc;
+        let act_at = self.clock_ns;
+        let rcd_target = act_at + t_rcd_ns;
+        let mut clock = act_at;
+        let mut last = act_at;
+        let mut ecc_corrected: u64 = 0;
+        let mut trcd_flip_bits: u64 = 0;
+        let mut trcd_corrupt_reads: u64 = 0;
+        out.reserve(columns as usize);
+        {
+            let b = &self.banks[bank as usize];
+            let state = b.state_slot(phys).map(|slot| &b.states[slot]);
+            for column in 0..columns {
+                let (stored, written) = match state {
+                    Some(r) => (
+                        r.data[column as usize],
+                        r.written.as_ref().map(|w| w[column as usize]),
+                    ),
+                    None => (self.uninitialized_word(bank, phys, column), None),
+                };
+                let delivered = match written {
+                    Some(w) => {
+                        let result = ecc.read(stored, w);
+                        ecc_corrected += result.corrected_bits as u64;
+                        result.data
+                    }
+                    None => stored,
+                };
+                // The controller's issue recurrence, float-op for float-op.
+                let target = (last + timing::COMMAND_SLOT_NS).max(rcd_target);
+                if target > clock {
+                    clock += target - clock;
+                }
+                last = clock;
+                let t_rcd_used_ns = clock - act_at;
+                // Inlined `corrupt_for_trcd` with the per-row factors hoisted.
+                let shortfall = required - t_rcd_used_ns;
+                let word = if shortfall <= -jitter {
+                    delivered
+                } else {
+                    let p = ((shortfall + jitter) / (2.0 * jitter)).clamp(0.0, 1.0);
+                    let mut corrupted = delivered;
+                    for bit in 0..64u32 {
+                        let cseed = hash::cell_seed(rseed, column * 64 + bit);
+                        if hash::uniform01(hash::combine(cseed, SALT_TRCD)) < p {
+                            corrupted ^= 1 << bit;
+                        }
+                    }
+                    if corrupted != delivered {
+                        trcd_flip_bits += u64::from((corrupted ^ delivered).count_ones());
+                        trcd_corrupt_reads += 1;
+                    }
+                    corrupted
+                };
+                out.push(word);
+            }
+        }
+        self.clock_ns = clock;
+        self.ecc_corrections += ecc_corrected;
+        if trcd_corrupt_reads > 0 {
+            counter_add!("dram_flips_trcd", trcd_flip_bits);
+            counter_add!("dram_trcd_corrupt_reads", trcd_corrupt_reads);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
     // Test oracle — model introspection for validation, not methodology.
     // ------------------------------------------------------------------
 
@@ -805,6 +1104,7 @@ impl DramModule {
             cluster64_words,
             cluster128_words,
             masks: None,
+            flip_index: None,
         }
     }
 
@@ -819,8 +1119,11 @@ impl DramModule {
         }
         let columns = self.geometry.columns_per_row;
         let rseed = hash::row_seed(self.seed, bank, phys);
+        let cells = columns as usize * 64;
         let mut polarity = Vec::with_capacity(columns as usize);
         let mut pref = Vec::with_capacity(columns as usize);
+        let mut u_hc = Vec::with_capacity(cells);
+        let mut u_ret = Vec::with_capacity(cells);
         for word in 0..columns {
             let mut pol = 0u64;
             let mut pf = 0u64;
@@ -834,11 +1137,18 @@ impl DramModule {
                 if hash::uniform01(hash::combine(cseed, SALT_PREF)) < 0.10 {
                     pf |= 1u64 << bit;
                 }
+                u_hc.push(hash::uniform01(hash::combine(cseed, SALT_HC)));
+                u_ret.push(hash::uniform01(hash::combine(cseed, SALT_RET)));
             }
             polarity.push(pol);
             pref.push(pf);
         }
-        self.banks[bank as usize].params[pslot].masks = Some(CellMasks { polarity, pref });
+        let p = &mut self.banks[bank as usize].params[pslot];
+        p.masks = Some(CellMasks { polarity, pref });
+        p.flip_index = Some(FlipIndex {
+            hc: SaltIndex::build(&u_hc),
+            ret: SaltIndex::build(&u_ret),
+        });
     }
 
     /// Accumulates disturbance on the physical neighbors of an activated row.
@@ -958,65 +1268,125 @@ impl DramModule {
         if hammer_possible || p_ret > 0.0 {
             self.ensure_masks(bank, pslot, phys);
         }
-        // All noise draws are done; borrow the two arenas disjointly so the
-        // flip loop mutates the state while reading the parameters in place.
-        let Bank { params, states, .. } = &mut self.banks[bank as usize];
+        // All noise draws are done; borrow the arenas and the staging
+        // scratch disjointly so the candidate scans mutate the state while
+        // reading the parameters in place.
+        let Bank {
+            params,
+            states,
+            flip_scratch,
+            ..
+        } = &mut self.banks[bank as usize];
         let params = &params[pslot];
         let state = &mut states[slot];
         if hammer_possible || p_ret > 0.0 {
             let masks = params.masks.as_ref().expect("ensured");
-            for word in 0..columns {
-                let current = state.data[word as usize];
-                let mut flips = 0u64;
-                // Only charged cells lose charge: a cell is charged when it
-                // stores its polarity, i.e. its bit of `current XOR polarity`
-                // is clear. Discharged cells are skipped without any hashing.
-                let mut charged = !(current ^ masks.polarity[word as usize]);
-                while charged != 0 {
-                    let bit = charged.trailing_zeros();
-                    charged &= charged - 1;
-                    let stored = (current >> bit) & 1;
+            let index = params.flip_index.as_ref().expect("ensured");
+            flip_scratch.flips.resize(columns as usize, 0);
+            let FlipScratch { flips, touched } = flip_scratch;
+            debug_assert!(touched.is_empty());
 
-                    // RowHammer flips.
-                    if hammer_possible {
-                        // Horizontal-coupling class: neighbors storing the
-                        // opposite value couple hardest; a per-cell preference
-                        // bit occasionally inverts that.
-                        let left = if bit > 0 {
-                            (current >> (bit - 1)) & 1
-                        } else {
-                            stored ^ 1
-                        };
-                        let right = if bit < 63 {
-                            (current >> (bit + 1)) & 1
-                        } else {
-                            stored ^ 1
-                        };
-                        let mut aligned = left != stored && right != stored;
-                        if (masks.pref[word as usize] >> bit) & 1 == 1 {
-                            aligned = !aligned;
-                        }
-                        let p = if aligned { p_hammer[0] } else { p_hammer[1] };
-                        if p > 0.0 {
-                            let cseed = hash::cell_seed(rseed, word * 64 + bit);
-                            if hash::uniform01(hash::combine(cseed, SALT_HC)) < p {
-                                flips |= 1 << bit;
-                                n_hammer += 1;
-                                continue;
-                            }
-                        }
+            // RowHammer flips: only cells whose fixed draw can clear the
+            // aligned-class cutoff (the larger of the two) are candidates.
+            // Each candidate is then charge-filtered and classed from the
+            // pre-flip word exactly as the per-cell loop did: only charged
+            // cells lose charge (a cell is charged when it stores its
+            // polarity), and the horizontal-coupling class — neighbors
+            // storing the opposite value couple hardest, occasionally
+            // inverted by a per-cell preference bit — picks the cutoff.
+            if hammer_possible {
+                let p_max = p_hammer[0].max(p_hammer[1]);
+                for &(u, cell) in index.hc.candidates(p_max) {
+                    let word = (cell >> 6) as usize;
+                    let bit = cell & 63;
+                    let current = state.data[word];
+                    if (current ^ masks.polarity[word]) >> bit & 1 != 0 {
+                        continue; // discharged
                     }
-
-                    // Retention flips.
-                    if p_ret > 0.0 {
-                        let cseed = hash::cell_seed(rseed, word * 64 + bit);
-                        if hash::uniform01(hash::combine(cseed, SALT_RET)) < p_ret {
-                            flips |= 1 << bit;
-                            n_ret += 1;
+                    let stored = (current >> bit) & 1;
+                    let left = if bit > 0 {
+                        (current >> (bit - 1)) & 1
+                    } else {
+                        stored ^ 1
+                    };
+                    let right = if bit < 63 {
+                        (current >> (bit + 1)) & 1
+                    } else {
+                        stored ^ 1
+                    };
+                    let mut aligned = left != stored && right != stored;
+                    if (masks.pref[word] >> bit) & 1 == 1 {
+                        aligned = !aligned;
+                    }
+                    let p = if aligned { p_hammer[0] } else { p_hammer[1] };
+                    if u < p {
+                        if flips[word] == 0 {
+                            touched.push(word as u32);
                         }
+                        flips[word] |= 1 << bit;
+                        n_hammer += 1;
                     }
                 }
-                if cluster_relevant {
+            }
+
+            // Retention flips: charged cells that did not already flip by
+            // hammer. Each cell appears at most once per salt table, so a
+            // staged bit seen here can only be a hammer flip — matching the
+            // per-cell loop's `continue` after a hammer flip.
+            if p_ret > 0.0 {
+                for &(u, cell) in index.ret.candidates(p_ret) {
+                    if u >= p_ret {
+                        continue;
+                    }
+                    let word = (cell >> 6) as usize;
+                    let bit = cell & 63;
+                    let current = state.data[word];
+                    if (current ^ masks.polarity[word]) >> bit & 1 != 0 {
+                        continue;
+                    }
+                    if (flips[word] >> bit) & 1 == 0 {
+                        if flips[word] == 0 {
+                            touched.push(word as u32);
+                        }
+                        flips[word] |= 1 << bit;
+                        n_ret += 1;
+                    }
+                }
+            }
+
+            // Weak-cluster flips. The per-word pass called `cluster_flips`
+            // on every word, but it returns 0 outside the row's cluster
+            // lists; walking the (sorted, deduped) union is identical. Reads
+            // the pre-flip word — the staged flips are not applied yet.
+            if cluster_relevant {
+                let (a, b) = (&params.cluster64_words, &params.cluster128_words);
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < a.len() || j < b.len() {
+                    let word = match (a.get(i), b.get(j)) {
+                        (Some(&x), Some(&y)) if x == y => {
+                            i += 1;
+                            j += 1;
+                            x
+                        }
+                        (Some(&x), Some(&y)) if x < y => {
+                            i += 1;
+                            x
+                        }
+                        (Some(_), Some(&y)) => {
+                            j += 1;
+                            y
+                        }
+                        (Some(&x), None) => {
+                            i += 1;
+                            x
+                        }
+                        (None, Some(&y)) => {
+                            j += 1;
+                            y
+                        }
+                        (None, None) => unreachable!(),
+                    };
+                    let w = word as usize;
                     let cluster = cluster_flips(
                         params,
                         &retention,
@@ -1024,17 +1394,31 @@ impl DramModule {
                         rseed,
                         phys,
                         word,
-                        current,
+                        state.data[w],
                         elapsed_s,
                         temp,
                         vpp,
                         charge_penalty,
                     );
-                    n_cluster += u64::from((cluster & !flips).count_ones());
-                    flips |= cluster;
+                    if cluster != 0 {
+                        n_cluster += u64::from((cluster & !flips[w]).count_ones());
+                        if flips[w] == 0 {
+                            touched.push(word);
+                        }
+                        flips[w] |= cluster;
+                    }
                 }
-                state.data[word as usize] ^= flips;
             }
+
+            // Deferred apply: every decision above read pre-flip words, so
+            // one XOR per touched word lands all of them at once. Staged
+            // bits are cleared on the way out, leaving the scratch zeroed
+            // for the next materialization.
+            for &w in touched.iter() {
+                state.data[w as usize] ^= flips[w as usize];
+                flips[w as usize] = 0;
+            }
+            touched.clear();
         } else if cluster_relevant {
             for wi in 0..params.cluster64_words.len() + params.cluster128_words.len() {
                 let word = if wi < params.cluster64_words.len() {

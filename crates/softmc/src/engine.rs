@@ -3,14 +3,18 @@
 //! The engine enforces the configured [`TimingParams`] the way a memory
 //! controller does — inserting the ACT→RD (`t_RCD`), ACT→PRE (`t_RAS`), and
 //! PRE→ACT (`t_RP`) delays — and issues commands on SoftMC's 1.5 ns slot
-//! grid. Pure hammer loops (`LOOP n { ACT; PRE; ... }`) are *coalesced* into
-//! the device's bulk-hammer operation: the result matches the unrolled
-//! execution up to the device's cycle-to-cycle measurement noise
-//! (disturbance is additive and the clock advances by the same total), but
-//! runs in O(1) instead of O(n).
+//! grid. Programs are lowered to a [`CompiledPlan`] before execution (see
+//! [`crate::plan`]): whole-row bursts run through the device's bulk row
+//! operations and pure hammer loops (`LOOP n { ACT; PRE; ... }`) through the
+//! bulk-hammer operation, in O(1) dispatches instead of O(columns) or O(n).
+//! [`Engine::run_interpreted`] keeps the per-instruction path alive as the
+//! equivalence oracle: both paths issue every logical command at the same
+//! slot, draw the same noise, tally the same [`CommandMix`], and fail at the
+//! same instruction, so their observable behaviour is bit-identical.
 
 use crate::error::SoftMcError;
 use crate::inst::Instruction;
+use crate::plan::{hammer_pairs, CompiledPlan, PlanOp};
 use crate::program::{Op, Program};
 use hammervolt_dram::timing::{TimingParams, COMMAND_SLOT_NS};
 use hammervolt_dram::DramModule;
@@ -18,17 +22,23 @@ use hammervolt_obs::counter_add;
 
 /// A program run's DDR4 command mix, tallied locally (plain integer adds on
 /// the hot path) and flushed to the process-wide metrics registry once per
-/// run. Coalesced hammer loops count their *logical* commands — `count ×
-/// pairs` ACT/PRE each — so the mix reports what the device experienced,
-/// not how the engine optimized it.
-#[derive(Debug, Clone, Copy, Default)]
-struct CmdMix {
-    act: u64,
-    pre: u64,
-    rd: u64,
-    wr: u64,
-    refresh: u64,
-    wait: u64,
+/// run. Coalesced hammer loops and row bursts count their *logical*
+/// commands — `count × pairs` ACT/PRE, one RD/WR per column — so the mix
+/// reports what the device experienced, not how the engine optimized it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommandMix {
+    /// ACT commands issued.
+    pub act: u64,
+    /// PRE commands issued.
+    pub pre: u64,
+    /// RD commands issued.
+    pub rd: u64,
+    /// WR commands issued.
+    pub wr: u64,
+    /// REF commands issued.
+    pub refresh: u64,
+    /// WAIT pseudo-commands executed.
+    pub wait: u64,
 }
 
 /// Per-bank controller-side state.
@@ -40,19 +50,89 @@ struct BankTrack {
     pre_at_ns: f64,
 }
 
+/// Reusable engine working memory.
+///
+/// Constructing an [`Engine`] needs per-bank bookkeeping; a host that runs
+/// many short programs (one per Alg. 1–3 measurement step) keeps one
+/// `EngineScratch` and builds engines with [`Engine::with_scratch`], so the
+/// steady-state loop allocates nothing.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    banks: Vec<BankTrack>,
+}
+
+impl EngineScratch {
+    /// Creates empty scratch; sized lazily by the first engine built on it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Bank bookkeeping storage: owned by the engine, or borrowed from an
+/// [`EngineScratch`] to make engine construction allocation-free.
+#[derive(Debug)]
+enum BankSlots<'a> {
+    Owned(Vec<BankTrack>),
+    Borrowed(&'a mut Vec<BankTrack>),
+}
+
+impl BankSlots<'_> {
+    #[inline]
+    fn get(&self, bank: u32) -> BankTrack {
+        let v: &[BankTrack] = match self {
+            BankSlots::Owned(v) => v,
+            BankSlots::Borrowed(v) => v,
+        };
+        v.get(bank as usize).copied().unwrap_or_default()
+    }
+
+    #[inline]
+    fn get_mut(&mut self, bank: u32) -> Option<&mut BankTrack> {
+        let v: &mut Vec<BankTrack> = match self {
+            BankSlots::Owned(v) => v,
+            BankSlots::Borrowed(v) => v,
+        };
+        v.get_mut(bank as usize)
+    }
+}
+
+/// Per-column write data for a row burst.
+enum WriteSource<'a> {
+    /// The same word into columns `0..columns`.
+    Uniform { columns: u32, word: u64 },
+    /// One word per column, column-major from 0.
+    Slice(&'a [u64]),
+}
+
+impl WriteSource<'_> {
+    #[inline]
+    fn columns(&self) -> u32 {
+        match self {
+            WriteSource::Uniform { columns, .. } => *columns,
+            WriteSource::Slice(data) => data.len() as u32,
+        }
+    }
+
+    #[inline]
+    fn word(&self, column: u32) -> u64 {
+        match self {
+            WriteSource::Uniform { word, .. } => *word,
+            WriteSource::Slice(data) => data[column as usize],
+        }
+    }
+}
+
 /// Executes programs against a device with timing enforcement.
 #[derive(Debug)]
 pub struct Engine<'d> {
     module: &'d mut DramModule,
     timing: TimingParams,
-    banks: Vec<BankTrack>,
+    banks: BankSlots<'d>,
     /// Issue time of the previous command (bus occupancy: one command per
     /// 1.5 ns slot).
     last_cmd_ns: f64,
-    /// Read data collected in program order.
-    reads: Vec<u64>,
     /// Command tally for the current program run.
-    mix: CmdMix,
+    mix: CommandMix,
 }
 
 impl<'d> Engine<'d> {
@@ -63,26 +143,86 @@ impl<'d> Engine<'d> {
         Engine {
             module,
             timing,
-            banks,
+            banks: BankSlots::Owned(banks),
             last_cmd_ns,
-            reads: Vec::new(),
-            mix: CmdMix::default(),
+            mix: CommandMix::default(),
+        }
+    }
+
+    /// Creates an engine whose bank bookkeeping lives in reusable scratch:
+    /// after the scratch's first use, engine construction performs no heap
+    /// allocation.
+    pub fn with_scratch(
+        module: &'d mut DramModule,
+        timing: TimingParams,
+        scratch: &'d mut EngineScratch,
+    ) -> Self {
+        let n = module.geometry().banks as usize;
+        scratch.banks.clear();
+        scratch.banks.resize(n, BankTrack::default());
+        let last_cmd_ns = module.now_ns() - COMMAND_SLOT_NS;
+        Engine {
+            module,
+            timing,
+            banks: BankSlots::Borrowed(&mut scratch.banks),
+            last_cmd_ns,
+            mix: CommandMix::default(),
         }
     }
 
     /// Runs a program to completion, returning all data read.
+    ///
+    /// The program is lowered to a [`CompiledPlan`] and executed through the
+    /// fast path; the result is bit-identical to [`Engine::run_interpreted`].
     ///
     /// # Errors
     ///
     /// Propagates device errors; the device clock reflects all commands
     /// issued up to the failure point.
     pub fn run(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
-        self.reads.clear();
-        self.mix = CmdMix::default();
-        let result = self.run_ops(&program.ops);
+        let plan = CompiledPlan::compile(program);
+        let mut out = Vec::new();
+        self.run_plan(&plan, &mut out)?;
+        Ok(out)
+    }
+
+    /// Runs a pre-compiled plan, appending read data to `out` (cleared
+    /// first). This is the allocation-free hot path: with an interned plan
+    /// and a reused `out` buffer, a whole measurement step touches the heap
+    /// only to grow buffers on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the device clock reflects all commands
+    /// issued up to the failure point.
+    pub fn run_plan(&mut self, plan: &CompiledPlan, out: &mut Vec<u64>) -> Result<(), SoftMcError> {
+        out.clear();
+        self.mix = CommandMix::default();
+        let result = self.run_plan_ops(&plan.ops, out);
+        self.flush_mix(&result);
+        result
+    }
+
+    /// Runs a program through the per-instruction interpreter — the
+    /// reference semantics the compiled path must match bit-for-bit. Kept as
+    /// the oracle for the compiled-vs-interpreted equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; the device clock reflects all commands
+    /// issued up to the failure point.
+    pub fn run_interpreted(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
+        let mut out = Vec::new();
+        self.mix = CommandMix::default();
+        let result = self.run_ops(&program.ops, &mut out);
         self.flush_mix(&result);
         result?;
-        Ok(std::mem::take(&mut self.reads))
+        Ok(out)
+    }
+
+    /// The command tally of the most recent run (complete or failed).
+    pub fn command_mix(&self) -> CommandMix {
+        self.mix
     }
 
     /// Flushes the run's command tally to the metrics registry. Pure side
@@ -106,17 +246,38 @@ impl<'d> Engine<'d> {
         }
     }
 
-    fn run_ops(&mut self, ops: &[Op]) -> Result<(), SoftMcError> {
+    // ------------------------------------------------------------------
+    // Compiled path
+    // ------------------------------------------------------------------
+
+    fn run_plan_ops(&mut self, ops: &[PlanOp], out: &mut Vec<u64>) -> Result<(), SoftMcError> {
         for op in ops {
             match op {
-                Op::Inst(inst) => self.issue(*inst)?,
-                Op::Loop { count, body } => {
-                    if let Some(pairs) = Self::as_hammer_loop(body) {
-                        self.run_hammer_loop(*count, &pairs)?;
-                    } else {
-                        for _ in 0..*count {
-                            self.run_ops(body)?;
-                        }
+                PlanOp::InitRow {
+                    bank,
+                    row,
+                    columns,
+                    word,
+                } => self.exec_write_burst(
+                    *bank,
+                    *row,
+                    WriteSource::Uniform {
+                        columns: *columns,
+                        word: *word,
+                    },
+                    out,
+                )?,
+                PlanOp::WriteRun { bank, row, data } => {
+                    self.exec_write_burst(*bank, *row, WriteSource::Slice(data), out)?
+                }
+                PlanOp::ReadRow { bank, row, columns } => {
+                    self.exec_read_row(*bank, *row, *columns, out)?
+                }
+                PlanOp::Hammer { count, pairs } => self.run_hammer_loop(*count, pairs)?,
+                PlanOp::Inst(inst) => self.issue(*inst, out)?,
+                PlanOp::Loop { count, body } => {
+                    for _ in 0..*count {
+                        self.run_plan_ops(body, out)?;
                     }
                 }
             }
@@ -124,23 +285,145 @@ impl<'d> Engine<'d> {
         Ok(())
     }
 
-    /// Recognizes a body consisting purely of (ACT row, PRE) pairs on one
-    /// bank — the hammer shape that can be coalesced.
-    fn as_hammer_loop(body: &[Op]) -> Option<Vec<(u32, u32)>> {
-        if body.is_empty() || !body.len().is_multiple_of(2) {
-            return None;
+    /// Issues the ACT opening a row burst: tallied and slotted exactly like
+    /// the interpreted ACT. Returns the ACT issue time.
+    fn burst_act(&mut self, bank: u32, row: u32) -> Result<f64, SoftMcError> {
+        self.mix.act += 1;
+        let track = self.banks.get(bank);
+        let t_act = self.issue_slot(track.pre_at_ns + self.timing.t_rp_ns);
+        self.module.activate(bank, row)?;
+        if let Some(track) = self.banks.get_mut(bank) {
+            track.act_at_ns = Some(t_act);
         }
-        let mut pairs = Vec::with_capacity(body.len() / 2);
-        for chunk in body.chunks(2) {
-            match (&chunk[0], &chunk[1]) {
-                (
-                    Op::Inst(Instruction::Act { bank: ab, row }),
-                    Op::Inst(Instruction::Pre { bank: pb }),
-                ) if ab == pb => pairs.push((*ab, *row)),
-                _ => return None,
+        Ok(t_act)
+    }
+
+    /// Issues the PRE closing a row burst at `t_RAS` after `t_act`.
+    fn burst_pre(&mut self, bank: u32, t_act: f64) -> Result<(), SoftMcError> {
+        self.mix.pre += 1;
+        let t = self.issue_slot(t_act + self.timing.t_ras_ns);
+        self.module.precharge(bank, t - t_act)?;
+        if let Some(track) = self.banks.get_mut(bank) {
+            track.act_at_ns = None;
+            track.pre_at_ns = t;
+        }
+        Ok(())
+    }
+
+    /// Replays the controller's per-column issue recurrence without touching
+    /// the device: the clock after `columns` successive column commands
+    /// constrained by `rcd_target`, starting with both the clock and the
+    /// last-command slot at `start`. Performs the same float operations in
+    /// the same order as `columns` calls of [`Engine::issue_slot`], so the
+    /// result is bit-identical to issuing the commands one at a time.
+    fn burst_end_slot(start: f64, rcd_target: f64, columns: u32) -> f64 {
+        let mut clock = start;
+        let mut last = start;
+        for _ in 0..columns {
+            let target = (last + COMMAND_SLOT_NS).max(rcd_target);
+            if target > clock {
+                clock += target - clock;
+            }
+            last = clock;
+        }
+        clock
+    }
+
+    /// Executes `ACT; WR×columns; PRE` as one macro-op. Shapes the bulk
+    /// device path cannot express (zero columns, more columns than the
+    /// geometry has) fall back to synthesized per-instruction issue, which
+    /// reproduces interpreted semantics — including the failure point —
+    /// exactly.
+    fn exec_write_burst(
+        &mut self,
+        bank: u32,
+        row: u32,
+        source: WriteSource<'_>,
+        out: &mut Vec<u64>,
+    ) -> Result<(), SoftMcError> {
+        let columns = source.columns();
+        if columns == 0 || columns > self.module.geometry().columns_per_row {
+            self.issue(Instruction::Act { bank, row }, out)?;
+            for column in 0..columns {
+                self.issue(
+                    Instruction::Wr {
+                        bank,
+                        column,
+                        data: source.word(column),
+                    },
+                    out,
+                )?;
+            }
+            return self.issue(Instruction::Pre { bank }, out);
+        }
+        let t_act = self.burst_act(bank, row)?;
+        self.mix.wr += columns as u64;
+        // All writes land in one bulk fill; only the final write's clock is
+        // observable (it stamps the row's restore time), so the clock jumps
+        // straight to the last WR slot.
+        let t_last = Self::burst_end_slot(t_act, t_act + self.timing.t_rcd_ns, columns);
+        self.module.advance_to_ns(t_last);
+        self.last_cmd_ns = t_last;
+        match source {
+            WriteSource::Uniform { word, .. } => self
+                .module
+                .fill_open_row(bank, columns, word)
+                .map_err(SoftMcError::from)?,
+            WriteSource::Slice(data) => self
+                .module
+                .write_open_row(bank, data)
+                .map_err(SoftMcError::from)?,
+        }
+        self.burst_pre(bank, t_act)
+    }
+
+    /// Executes `ACT; RD×columns; PRE` as one macro-op, appending the read
+    /// words to `out`. The device's bulk read replays the same per-column
+    /// slot recurrence the interpreter would, so every column sees the
+    /// identical effective `t_RCD`.
+    fn exec_read_row(
+        &mut self,
+        bank: u32,
+        row: u32,
+        columns: u32,
+        out: &mut Vec<u64>,
+    ) -> Result<(), SoftMcError> {
+        if columns == 0 || columns > self.module.geometry().columns_per_row {
+            self.issue(Instruction::Act { bank, row }, out)?;
+            for column in 0..columns {
+                self.issue(Instruction::Rd { bank, column }, out)?;
+            }
+            return self.issue(Instruction::Pre { bank }, out);
+        }
+        let t_act = self.burst_act(bank, row)?;
+        self.mix.rd += columns as u64;
+        self.module
+            .read_open_row_into(bank, self.timing.t_rcd_ns, columns, out)
+            .map_err(SoftMcError::from)?;
+        self.last_cmd_ns = self.module.now_ns();
+        self.burst_pre(bank, t_act)
+    }
+
+    // ------------------------------------------------------------------
+    // Interpreted path (the equivalence oracle)
+    // ------------------------------------------------------------------
+
+    fn run_ops(&mut self, ops: &[Op], out: &mut Vec<u64>) -> Result<(), SoftMcError> {
+        for op in ops {
+            match op {
+                Op::Inst(inst) => self.issue(*inst, out)?,
+                Op::Loop { count, body } => {
+                    if let Some(pairs) = hammer_pairs(body) {
+                        self.run_hammer_loop(*count, &pairs)?;
+                    } else {
+                        for _ in 0..*count {
+                            self.run_ops(body, out)?;
+                        }
+                    }
+                }
             }
         }
-        Some(pairs)
+        Ok(())
     }
 
     fn run_hammer_loop(&mut self, count: u64, pairs: &[(u32, u32)]) -> Result<(), SoftMcError> {
@@ -152,9 +435,10 @@ impl<'d> Engine<'d> {
             // Close timing bookkeeping for the bank: hammering leaves it
             // precharged.
             self.module.hammer(bank, row, count, period)?;
-            let track = &mut self.banks[bank as usize];
-            track.act_at_ns = None;
-            track.pre_at_ns = self.module.now_ns();
+            if let Some(track) = self.banks.get_mut(bank) {
+                track.act_at_ns = None;
+                track.pre_at_ns = self.module.now_ns();
+            }
         }
         self.last_cmd_ns = self.module.now_ns();
         Ok(())
@@ -175,7 +459,7 @@ impl<'d> Engine<'d> {
     }
 
     /// Issues one instruction with timing enforcement.
-    fn issue(&mut self, inst: Instruction) -> Result<(), SoftMcError> {
+    fn issue(&mut self, inst: Instruction, out: &mut Vec<u64>) -> Result<(), SoftMcError> {
         match inst {
             Instruction::Act { .. } => self.mix.act += 1,
             Instruction::Pre { .. } => self.mix.pre += 1,
@@ -186,39 +470,39 @@ impl<'d> Engine<'d> {
         }
         match inst {
             Instruction::Act { bank, row } => {
-                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let track = self.banks.get(bank);
                 // tRP: wait after the last precharge.
                 let t = self.issue_slot(track.pre_at_ns + self.timing.t_rp_ns);
                 self.module.activate(bank, row)?;
-                if let Some(track) = self.banks.get_mut(bank as usize) {
+                if let Some(track) = self.banks.get_mut(bank) {
                     track.act_at_ns = Some(t);
                 }
             }
             Instruction::Pre { bank } => {
-                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let track = self.banks.get(bank);
                 let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
                     reason: format!("PRE on bank {bank} with no open row"),
                 })?;
                 // tRAS: the row must stay open long enough.
                 let t = self.issue_slot(act_at + self.timing.t_ras_ns);
                 self.module.precharge(bank, t - act_at)?;
-                if let Some(track) = self.banks.get_mut(bank as usize) {
+                if let Some(track) = self.banks.get_mut(bank) {
                     track.act_at_ns = None;
                     track.pre_at_ns = t;
                 }
             }
             Instruction::Rd { bank, column } => {
-                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let track = self.banks.get(bank);
                 let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
                     reason: format!("RD on bank {bank} with no open row"),
                 })?;
                 // tRCD: this is the delay Alg. 2 sweeps.
                 let t = self.issue_slot(act_at + self.timing.t_rcd_ns);
                 let word = self.module.read(bank, column, t - act_at)?;
-                self.reads.push(word);
+                out.push(word);
             }
             Instruction::Wr { bank, column, data } => {
-                let track = self.banks.get(bank as usize).copied().unwrap_or_default();
+                let track = self.banks.get(bank);
                 let act_at = track.act_at_ns.ok_or_else(|| SoftMcError::BadProgram {
                     reason: format!("WR on bank {bank} with no open row"),
                 })?;
@@ -406,5 +690,99 @@ mod tests {
         p.push(Instruction::Ref);
         e.run(&p).unwrap();
         assert!(m.now_ns() >= 350.0);
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_for_init_hammer_read() {
+        // The bit-exact sweep lives in the testkit equivalence suite; this
+        // pins the core invariant next to the engine itself.
+        let cols = Geometry::small_test().columns_per_row;
+        let timing = TimingParams::default();
+        let session = |interpret: bool| -> (Vec<u64>, f64, CommandMix) {
+            let mut m = module();
+            let mut e = Engine::new(&mut m, timing);
+            let programs = [
+                Program::init_row(0, 100, cols, 0xAAAA_AAAA_AAAA_AAAA),
+                Program::init_row(0, 99, cols, 0x5555_5555_5555_5555),
+                Program::init_row(0, 101, cols, 0x5555_5555_5555_5555),
+                Program::hammer_double_sided(0, 99, 101, 60_000),
+                Program::read_row(0, 100, cols),
+            ];
+            let mut last = Vec::new();
+            let mut mix = CommandMix::default();
+            for p in &programs {
+                last = if interpret {
+                    e.run_interpreted(p).unwrap()
+                } else {
+                    e.run(p).unwrap()
+                };
+                let m = e.command_mix();
+                mix.act += m.act;
+                mix.pre += m.pre;
+                mix.rd += m.rd;
+                mix.wr += m.wr;
+            }
+            drop(e);
+            (last, m.now_ns(), mix)
+        };
+        let (ri, ci, mi) = session(true);
+        let (rc, cc, mc) = session(false);
+        assert_eq!(ri, rc, "read words must be bit-identical");
+        assert_eq!(
+            ci.to_bits(),
+            cc.to_bits(),
+            "final clock must be bit-identical"
+        );
+        assert_eq!(mi, mc, "command mixes must agree");
+    }
+
+    #[test]
+    fn command_mix_counts_logical_commands() {
+        let mut m = module();
+        let cols = m.geometry().columns_per_row as u64;
+        let mut e = Engine::new(&mut m, TimingParams::default());
+        e.run(&Program::init_row(0, 5, cols as u32, 0)).unwrap();
+        assert_eq!(
+            e.command_mix(),
+            CommandMix {
+                act: 1,
+                pre: 1,
+                wr: cols,
+                ..CommandMix::default()
+            }
+        );
+        e.run(&Program::hammer_double_sided(0, 4, 6, 1_000))
+            .unwrap();
+        assert_eq!(
+            e.command_mix(),
+            CommandMix {
+                act: 2_000,
+                pre: 2_000,
+                ..CommandMix::default()
+            }
+        );
+    }
+
+    #[test]
+    fn scratch_engine_matches_owned_engine() {
+        let cols = Geometry::small_test().columns_per_row;
+        let run = |scratch: bool| -> (Vec<u64>, f64) {
+            let mut m = module();
+            let mut s = EngineScratch::new();
+            let mut e = if scratch {
+                Engine::with_scratch(&mut m, TimingParams::default(), &mut s)
+            } else {
+                Engine::new(&mut m, TimingParams::default())
+            };
+            e.run(&Program::init_row(0, 7, cols, 0xFF00_FF00_FF00_FF00))
+                .unwrap();
+            let data = e.run(&Program::read_row(0, 7, cols)).unwrap();
+            drop(e);
+            (data, m.now_ns())
+        };
+        let (a, ca) = run(false);
+        let (b, cb) = run(true);
+        assert_eq!(a, b);
+        assert_eq!(ca.to_bits(), cb.to_bits());
     }
 }

@@ -9,8 +9,9 @@
 //! "gradually reduce `V_PP` with 0.1 V steps until the lowest `V_PP` at which
 //! the DRAM module can successfully communicate with the FPGA".
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineScratch};
 use crate::error::SoftMcError;
+use crate::plan::CompiledPlan;
 use crate::power::{CurrentMeter, Interposer, PowerSupply};
 use crate::program::Program;
 use crate::thermal::{SettleReport, TemperatureController};
@@ -27,6 +28,32 @@ use hammervolt_dram::timing::TimingParams;
 pub const CONSERVATIVE_T_RCD_NS: f64 = 30.0;
 use hammervolt_dram::{DramError, DramModule};
 
+/// Interned compiled plans, one per program shape the study methodology
+/// issues. The convenience methods patch only the row/count/data parameters
+/// between executions, so the Alg. 1 binary search and the Alg. 2/3 sweeps
+/// never rebuild an op vector — a whole measurement step reuses these plans
+/// plus the session's scratch buffers and touches the heap not at all.
+#[derive(Debug)]
+struct PlanCache {
+    init_row: CompiledPlan,
+    read_row: CompiledPlan,
+    hammer_pair: CompiledPlan,
+    hammer_single: CompiledPlan,
+    wait: CompiledPlan,
+}
+
+impl PlanCache {
+    fn new() -> Self {
+        PlanCache {
+            init_row: CompiledPlan::init_row(0, 0, 1, 0),
+            read_row: CompiledPlan::read_row(0, 0, 1),
+            hammer_pair: CompiledPlan::hammer(0, vec![(0, 0), (0, 0)]),
+            hammer_single: CompiledPlan::hammer(0, vec![(0, 0)]),
+            wait: CompiledPlan::wait(0.0),
+        }
+    }
+}
+
 /// A live test session over one module.
 #[derive(Debug)]
 pub struct SoftMc {
@@ -36,6 +63,12 @@ pub struct SoftMc {
     interposer: Interposer,
     thermal: TemperatureController,
     meter: CurrentMeter,
+    plans: PlanCache,
+    scratch: EngineScratch,
+    /// Readback buffer shared by every session operation: scratch reads
+    /// return a slice of it, and non-read operations use it as the engine's
+    /// (empty) read sink.
+    readback: Vec<u64>,
 }
 
 impl SoftMc {
@@ -50,6 +83,9 @@ impl SoftMc {
             interposer: Interposer::new(),
             thermal: TemperatureController::default(),
             meter: CurrentMeter::default(),
+            plans: PlanCache::new(),
+            scratch: EngineScratch::new(),
+            readback: Vec::new(),
         };
         mc.interposer.remove_shunt();
         mc.supply
@@ -187,11 +223,52 @@ impl SoftMc {
 
     /// Runs a program with the session's timing parameters.
     ///
+    /// The program is compiled to a [`CompiledPlan`] and executed through
+    /// the fast path (bit-identical to interpretation); callers issuing the
+    /// standard study shapes should prefer the convenience methods, which
+    /// reuse interned plans instead of compiling per call.
+    ///
     /// # Errors
     ///
     /// Propagates program and device errors.
     pub fn run(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
-        Engine::new(&mut self.module, self.timing).run(program)
+        let SoftMc {
+            module,
+            timing,
+            scratch,
+            ..
+        } = self;
+        Engine::with_scratch(module, *timing, scratch).run(program)
+    }
+
+    /// Runs a program through the per-instruction interpreter — the
+    /// reference semantics of [`SoftMc::run`], kept for the
+    /// compiled-vs-interpreted equivalence suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates program and device errors.
+    pub fn run_interpreted(&mut self, program: &Program) -> Result<Vec<u64>, SoftMcError> {
+        let SoftMc {
+            module,
+            timing,
+            scratch,
+            ..
+        } = self;
+        Engine::with_scratch(module, *timing, scratch).run_interpreted(program)
+    }
+
+    /// Runs an interned plan with the given timing, reads landing in the
+    /// session readback buffer. The allocation-free core of every
+    /// convenience method.
+    fn run_cached(
+        plan: &CompiledPlan,
+        module: &mut DramModule,
+        timing: TimingParams,
+        scratch: &mut EngineScratch,
+        readback: &mut Vec<u64>,
+    ) -> Result<(), SoftMcError> {
+        Engine::with_scratch(module, timing, scratch).run_plan(plan, readback)
     }
 
     /// Convenience: initialize a row with a repeated word (Alg. 1's
@@ -202,8 +279,37 @@ impl SoftMc {
     /// Propagates device errors.
     pub fn init_row(&mut self, bank: u32, row: u32, word: u64) -> Result<(), SoftMcError> {
         let columns = self.module.geometry().columns_per_row;
-        self.run(&Program::init_row(bank, row, columns, word))?;
-        Ok(())
+        self.plans.init_row.patch_init_row(bank, row, columns, word);
+        let SoftMc {
+            module,
+            timing,
+            plans,
+            scratch,
+            readback,
+            ..
+        } = self;
+        Self::run_cached(&plans.init_row, module, *timing, scratch, readback)
+    }
+
+    /// Reads a whole row into the session's readback buffer with the given
+    /// timing parameters; the slice stays valid until the next session
+    /// operation.
+    fn read_row_into_readback(
+        &mut self,
+        bank: u32,
+        row: u32,
+        timing: TimingParams,
+    ) -> Result<(), SoftMcError> {
+        let columns = self.module.geometry().columns_per_row;
+        self.plans.read_row.patch_read_row(bank, row, columns);
+        let SoftMc {
+            module,
+            plans,
+            scratch,
+            readback,
+            ..
+        } = self;
+        Self::run_cached(&plans.read_row, module, timing, scratch, readback)
     }
 
     /// Convenience: read a whole row with the session's timing parameters.
@@ -212,8 +318,38 @@ impl SoftMc {
     ///
     /// Propagates device errors.
     pub fn read_row(&mut self, bank: u32, row: u32) -> Result<Vec<u64>, SoftMcError> {
-        let columns = self.module.geometry().columns_per_row;
-        self.run(&Program::read_row(bank, row, columns))
+        self.read_row_into_readback(bank, row, self.timing)?;
+        Ok(self.readback.clone())
+    }
+
+    /// Allocation-free [`SoftMc::read_row`]: the returned slice borrows the
+    /// session's readback buffer and stays valid until the next session
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read_row_scratch(&mut self, bank: u32, row: u32) -> Result<&[u64], SoftMcError> {
+        self.read_row_into_readback(bank, row, self.timing)?;
+        Ok(&self.readback)
+    }
+
+    /// Allocation-free whole-row read with a one-shot `t_RCD` override —
+    /// Alg. 2's probe read, without the save/override/restore dance on the
+    /// session timing. Slice validity as for [`SoftMc::read_row_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read_row_with_t_rcd_scratch(
+        &mut self,
+        bank: u32,
+        row: u32,
+        t_rcd_ns: f64,
+    ) -> Result<&[u64], SoftMcError> {
+        let timing = self.timing.with_t_rcd(t_rcd_ns);
+        self.read_row_into_readback(bank, row, timing)?;
+        Ok(&self.readback)
     }
 
     /// Reads a whole row with the conservative ACT→RD latency
@@ -225,11 +361,26 @@ impl SoftMc {
     ///
     /// Propagates device errors.
     pub fn read_row_conservative(&mut self, bank: u32, row: u32) -> Result<Vec<u64>, SoftMcError> {
-        let saved = self.timing;
-        self.timing = saved.with_t_rcd(CONSERVATIVE_T_RCD_NS.max(saved.t_rcd_ns));
-        let result = self.read_row(bank, row);
-        self.timing = saved;
-        result
+        self.read_row_conservative_scratch(bank, row)?;
+        Ok(self.readback.clone())
+    }
+
+    /// Allocation-free [`SoftMc::read_row_conservative`]. Slice validity as
+    /// for [`SoftMc::read_row_scratch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn read_row_conservative_scratch(
+        &mut self,
+        bank: u32,
+        row: u32,
+    ) -> Result<&[u64], SoftMcError> {
+        let timing = self
+            .timing
+            .with_t_rcd(CONSERVATIVE_T_RCD_NS.max(self.timing.t_rcd_ns));
+        self.read_row_into_readback(bank, row, timing)?;
+        Ok(&self.readback)
     }
 
     /// Convenience: the double-sided hammer of Alg. 1.
@@ -244,13 +395,18 @@ impl SoftMc {
         aggressor_b: u32,
         hc: u64,
     ) -> Result<(), SoftMcError> {
-        self.run(&Program::hammer_double_sided(
-            bank,
-            aggressor_a,
-            aggressor_b,
-            hc,
-        ))?;
-        Ok(())
+        self.plans
+            .hammer_pair
+            .patch_hammer(hc, &[(bank, aggressor_a), (bank, aggressor_b)]);
+        let SoftMc {
+            module,
+            timing,
+            plans,
+            scratch,
+            readback,
+            ..
+        } = self;
+        Self::run_cached(&plans.hammer_pair, module, *timing, scratch, readback)
     }
 
     /// Convenience: single-sided hammering (adjacency probing).
@@ -264,8 +420,18 @@ impl SoftMc {
         aggressor: u32,
         hc: u64,
     ) -> Result<(), SoftMcError> {
-        self.run(&Program::hammer_single_sided(bank, aggressor, hc))?;
-        Ok(())
+        self.plans
+            .hammer_single
+            .patch_hammer(hc, &[(bank, aggressor)]);
+        let SoftMc {
+            module,
+            timing,
+            plans,
+            scratch,
+            readback,
+            ..
+        } = self;
+        Self::run_cached(&plans.hammer_single, module, *timing, scratch, readback)
     }
 
     /// Convenience: idle wait (Alg. 3's retention window).
@@ -274,8 +440,16 @@ impl SoftMc {
     ///
     /// Propagates device errors.
     pub fn wait_ns(&mut self, ns: f64) -> Result<(), SoftMcError> {
-        self.run(&Program::wait(ns))?;
-        Ok(())
+        self.plans.wait.patch_wait(ns);
+        let SoftMc {
+            module,
+            timing,
+            plans,
+            scratch,
+            readback,
+            ..
+        } = self;
+        Self::run_cached(&plans.wait, module, *timing, scratch, readback)
     }
 }
 

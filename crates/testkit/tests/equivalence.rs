@@ -1,0 +1,383 @@
+//! Compiled-vs-interpreted equivalence: the plan compiler's fast path must
+//! be *observably identical* to per-instruction interpretation.
+//!
+//! Every test runs the same program sequence through two freshly
+//! instantiated copies of the same module (same spec, seed, geometry — the
+//! per-cell physics are a pure function of the seed) — one through
+//! [`Engine::run`] (compile + macro-op execution, the default path) and one
+//! through [`Engine::run_interpreted`] (the reference per-instruction
+//! semantics) — and asserts that every observable agrees:
+//!
+//! - the read-back words (exactly, bit for bit),
+//! - the final device clock (compared via `f64::to_bits`, so even an ulp of
+//!   drift in the slot recurrence fails),
+//! - the per-program [`CommandMix`] tally (coalesced macro-ops must count
+//!   logical commands),
+//! - the device's activation and ECC-correction counters,
+//! - error identity *and* the clock at the failure point for programs that
+//!   abort mid-run.
+//!
+//! The shapes cover every lowering case in `softmc::plan`: whole-row
+//! init/read bursts, uniform and non-uniform write runs, coalesced hammer
+//! loops, loops the coalescer must reject (odd trailing op), nested loops
+//! with Ref, out-of-sequence column programs that fall back to
+//! per-instruction issue, and mid-program failures.
+
+use hammervolt_dram::geometry::Geometry;
+use hammervolt_dram::module::DramModule;
+use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_dram::timing::TimingParams;
+use hammervolt_softmc::program::Op;
+use hammervolt_softmc::{CommandMix, Engine, Instruction, Program, SoftMc};
+
+/// Everything observable about one program execution.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    /// Read-back words on success, error rendering on failure.
+    result: Result<Vec<u64>, String>,
+    /// The engine's command tally for this program.
+    mix: CommandMix,
+    /// Device clock after the program (bits, so identity is exact).
+    clock_bits: u64,
+    /// Device activation counter after the program.
+    activations: u64,
+    /// Device ECC-correction counter after the program.
+    ecc_corrections: u64,
+}
+
+/// One step of a session: a program plus the timing to run it with (Alg. 2
+/// swaps `t_RCD` per probe read, so timing is per-program, like in
+/// `SoftMc`).
+struct Step {
+    program: Program,
+    timing: TimingParams,
+}
+
+impl Step {
+    fn nominal(program: Program) -> Self {
+        Step {
+            program,
+            timing: TimingParams::default(),
+        }
+    }
+
+    fn with_t_rcd(program: Program, t_rcd_ns: f64) -> Self {
+        Step {
+            program,
+            timing: TimingParams::default().with_t_rcd(t_rcd_ns),
+        }
+    }
+}
+
+fn fresh_module(id: ModuleId, seed: u64, vpp: Option<f64>, temp_c: Option<f64>) -> DramModule {
+    let mut m = DramModule::with_geometry(registry::spec(id), seed, Geometry::small_test())
+        .expect("module instantiates");
+    if let Some(v) = vpp {
+        m.set_vpp(v).expect("test V_PP within module range");
+    }
+    if let Some(t) = temp_c {
+        m.set_temperature_c(t);
+    }
+    m
+}
+
+/// Runs the whole session on one module, a fresh [`Engine`] per program
+/// (exactly how [`SoftMc`] drives it), capturing every observable.
+fn run_session(module: &mut DramModule, steps: &[Step], compiled: bool) -> Vec<Outcome> {
+    steps
+        .iter()
+        .map(|step| {
+            let (result, mix) = {
+                let mut e = Engine::new(module, step.timing);
+                let r = if compiled {
+                    e.run(&step.program)
+                } else {
+                    e.run_interpreted(&step.program)
+                };
+                (r.map_err(|err| err.to_string()), e.command_mix())
+            };
+            Outcome {
+                result,
+                mix,
+                clock_bits: module.now_ns().to_bits(),
+                activations: module.total_activations(),
+                ecc_corrections: module.ecc_corrections(),
+            }
+        })
+        .collect()
+}
+
+/// The oracle: identical module, identical steps, both execution paths —
+/// every observable must agree, program by program.
+fn assert_equivalent(
+    tag: &str,
+    id: ModuleId,
+    seed: u64,
+    vpp: Option<f64>,
+    temp_c: Option<f64>,
+    steps: &[Step],
+) {
+    let mut interpreted_module = fresh_module(id, seed, vpp, temp_c);
+    let mut compiled_module = fresh_module(id, seed, vpp, temp_c);
+    let interpreted = run_session(&mut interpreted_module, steps, false);
+    let compiled = run_session(&mut compiled_module, steps, true);
+    for (i, (int, comp)) in interpreted.iter().zip(&compiled).enumerate() {
+        assert_eq!(
+            int, comp,
+            "{tag}: program {i} diverged between interpreted and compiled"
+        );
+    }
+}
+
+const COLS: u32 = 1024; // Geometry::small_test().columns_per_row
+
+#[test]
+fn init_hammer_read_flips_are_identical() {
+    // The full Alg. 1 inner step at reduced V_PP: the hammer flips bits and
+    // the compiled read burst must report the exact same corrupted words.
+    // Aggressors are the victim's *physical* neighbors (the address mapping
+    // scrambles logical adjacency); the mapping is a pure function of the
+    // module spec, identical across instantiations.
+    let victim = 100;
+    let (below, above) = {
+        let m = fresh_module(ModuleId::B0, 3, None, None);
+        let (b, a) = m.mapping().physical_neighbors(victim);
+        (b.unwrap(), a.unwrap())
+    };
+    let steps = vec![
+        Step::nominal(Program::init_row(0, victim, COLS, 0xAAAA_AAAA_AAAA_AAAA)),
+        Step::nominal(Program::init_row(0, below, COLS, 0x5555_5555_5555_5555)),
+        Step::nominal(Program::init_row(0, above, COLS, 0x5555_5555_5555_5555)),
+        Step::nominal(Program::hammer_double_sided(0, below, above, 60_000)),
+        Step::nominal(Program::read_row(0, victim, COLS)),
+    ];
+    assert_equivalent("hammer", ModuleId::B0, 3, None, None, &steps);
+    // Sanity: the scenario actually flips (otherwise the test proves less
+    // than it claims).
+    let mut m = fresh_module(ModuleId::B0, 3, None, None);
+    let out = run_session(&mut m, &steps, true);
+    let words = out[4].result.as_ref().expect("read succeeds");
+    let flips: u32 = words
+        .iter()
+        .map(|w| (w ^ 0xAAAA_AAAA_AAAA_AAAAu64).count_ones())
+        .sum();
+    assert!(flips > 0, "B0 with 60k hammers must flip");
+}
+
+#[test]
+fn undersized_t_rcd_corruption_is_identical() {
+    // Alg. 2's probe read: a 3 ns t_RCD violates the requirement and the
+    // device corrupts reads probabilistically (hash-seeded, so both paths
+    // must make the identical per-bit draws).
+    let steps = vec![
+        Step::nominal(Program::init_row(0, 9, COLS, 0x0F0F_0F0F_0F0F_0F0F)),
+        Step::with_t_rcd(Program::read_row(0, 9, COLS), 3.0),
+        // And a clean conservative read right after, over the same state.
+        Step::with_t_rcd(Program::read_row(0, 9, COLS), 30.0),
+    ];
+    assert_equivalent("trcd", ModuleId::B0, 3, None, None, &steps);
+    let mut m = fresh_module(ModuleId::B0, 3, None, None);
+    let out = run_session(&mut m, &steps, true);
+    let corrupted = out[1].result.as_ref().expect("read succeeds");
+    let flips: u32 = corrupted
+        .iter()
+        .map(|w| (w ^ 0x0F0F_0F0F_0F0F_0F0Fu64).count_ones())
+        .sum();
+    assert!(flips > 0, "3 ns t_RCD must corrupt reads");
+}
+
+#[test]
+fn retention_window_is_identical() {
+    // Alg. 3's shape at 80 °C: init, idle 16.384 s with refresh disabled,
+    // read back. Retention decay depends on the elapsed clock, so the
+    // compiled wait/read must land on the identical instant.
+    let steps = vec![
+        Step::nominal(Program::init_row(0, 20, COLS, 0xAAAA_AAAA_AAAA_AAAA)),
+        Step::nominal(Program::wait(16.384e9)),
+        Step::with_t_rcd(Program::read_row(0, 20, COLS), 30.0),
+    ];
+    assert_equivalent("retention", ModuleId::C2, 3, None, Some(80.0), &steps);
+}
+
+#[test]
+fn single_sided_hammer_is_identical() {
+    let steps = vec![
+        Step::nominal(Program::init_row(0, 50, COLS, 0xFFFF_FFFF_FFFF_FFFF)),
+        Step::nominal(Program::hammer_single_sided(0, 51, 100_000)),
+        Step::nominal(Program::read_row(0, 50, COLS)),
+    ];
+    assert_equivalent("single-sided", ModuleId::B3, 7, Some(1.6), None, &steps);
+}
+
+#[test]
+fn odd_loop_body_executes_per_iteration_on_both_paths() {
+    // A trailing Wait makes the loop body ineligible for hammer coalescing;
+    // both paths must then execute it iteration by iteration, drawing one
+    // noise sample per ACT — byte-identical because *both* reject it via
+    // the shared `hammer_pairs` recognizer.
+    let mut hammer = Program::new();
+    hammer.push_loop(
+        2_000,
+        vec![
+            Op::Inst(Instruction::Act { bank: 0, row: 30 }),
+            Op::Inst(Instruction::Pre { bank: 0 }),
+            Op::Inst(Instruction::Act { bank: 0, row: 32 }),
+            Op::Inst(Instruction::Pre { bank: 0 }),
+            Op::Inst(Instruction::Wait { ns: 0.0 }),
+        ],
+    );
+    let steps = vec![
+        Step::nominal(Program::init_row(0, 31, COLS, 0xAAAA_AAAA_AAAA_AAAA)),
+        Step::nominal(hammer),
+        Step::nominal(Program::read_row(0, 31, COLS)),
+    ];
+    assert_equivalent("odd-loop", ModuleId::B3, 5, Some(1.6), None, &steps);
+}
+
+#[test]
+fn nested_loops_with_ref_are_identical() {
+    // Loops of loops with a Ref inside: nothing here coalesces, and the
+    // refresh resets retention bookkeeping — both paths must agree on the
+    // clock after every 350 ns tRFC hop.
+    let mut p = Program::new();
+    p.push_loop(
+        3,
+        vec![
+            Op::Loop {
+                count: 4,
+                body: vec![Op::Inst(Instruction::Ref)],
+            },
+            Op::Inst(Instruction::Wait { ns: 100.0 }),
+        ],
+    );
+    let steps = vec![
+        Step::nominal(Program::init_row(0, 11, COLS, 0x1234_5678_9ABC_DEF0)),
+        Step::nominal(p),
+        Step::nominal(Program::read_row(0, 11, COLS)),
+    ];
+    assert_equivalent("nested-ref", ModuleId::A0, 2, None, None, &steps);
+}
+
+#[test]
+fn non_uniform_write_run_is_identical() {
+    // Per-column distinct data lowers to a WriteRun (bulk slice copy) rather
+    // than an InitRow fill; the read-back must see every word where the
+    // sequential writes put it.
+    let mut wr = Program::new();
+    wr.push(Instruction::Act { bank: 0, row: 40 });
+    for column in 0..COLS {
+        wr.push(Instruction::Wr {
+            bank: 0,
+            column,
+            data: 0x0101_0101_0101_0101u64.wrapping_mul(u64::from(column) + 1),
+        });
+    }
+    wr.push(Instruction::Pre { bank: 0 });
+    let steps = vec![
+        Step::nominal(wr),
+        Step::nominal(Program::read_row(0, 40, COLS)),
+    ];
+    assert_equivalent("write-run", ModuleId::C0, 4, None, None, &steps);
+}
+
+#[test]
+fn out_of_sequence_columns_fall_back_identically() {
+    // Columns out of order defeat the burst recognizer; the compiled path
+    // must fall back to per-instruction issue and still match exactly.
+    let mut wr = Program::new();
+    wr.push(Instruction::Act { bank: 0, row: 8 });
+    for &column in &[2u32, 0, 1, 5] {
+        wr.push(Instruction::Wr {
+            bank: 0,
+            column,
+            data: 0xD00D_0000 + u64::from(column),
+        });
+    }
+    wr.push(Instruction::Pre { bank: 0 });
+    let mut rd = Program::new();
+    rd.push(Instruction::Act { bank: 0, row: 8 });
+    for &column in &[5u32, 2, 1, 0] {
+        rd.push(Instruction::Rd { bank: 0, column });
+    }
+    rd.push(Instruction::Pre { bank: 0 });
+    let steps = vec![Step::nominal(wr), Step::nominal(rd)];
+    assert_equivalent("out-of-sequence", ModuleId::A0, 6, None, None, &steps);
+}
+
+#[test]
+fn error_programs_fail_identically() {
+    // Mid-program failures: same error, same rendering, and the *same
+    // clock at the failure point* — the compiled path may not have raced
+    // ahead before noticing.
+    let mut rd_before_act = Program::new();
+    rd_before_act.push(Instruction::Rd { bank: 0, column: 0 });
+    let mut pre_without_open = Program::new();
+    pre_without_open.push(Instruction::Pre { bank: 0 });
+    let mut bad_bank = Program::new();
+    bad_bank.push(Instruction::Act { bank: 99, row: 0 });
+    // An init burst that dies on an out-of-range row: timing advances up to
+    // the ACT, then the device rejects it.
+    let bad_row_init = Program::init_row(0, 1_000_000, COLS, 0xAA);
+    let steps = vec![
+        Step::nominal(rd_before_act),
+        Step::nominal(pre_without_open),
+        Step::nominal(bad_bank),
+        Step::nominal(bad_row_init),
+        // The session must stay usable after failures, identically so.
+        Step::nominal(Program::init_row(0, 3, COLS, 0xBB)),
+        Step::nominal(Program::read_row(0, 3, COLS)),
+    ];
+    assert_equivalent("errors", ModuleId::A0, 1, None, None, &steps);
+}
+
+#[test]
+fn interned_session_plans_match_interpreted_programs() {
+    // The SoftMc convenience methods run interned, parameter-patched plans
+    // through reused scratch buffers; a second session issuing the same
+    // operations as freshly built programs through the interpreter must see
+    // identical words and an identical clock.
+    let fresh = |seed| {
+        SoftMc::new(
+            DramModule::with_geometry(registry::spec(ModuleId::B3), seed, Geometry::small_test())
+                .unwrap(),
+        )
+    };
+    let mut fast = fresh(3);
+    let mut oracle = fresh(3);
+    for mc in [&mut fast, &mut oracle] {
+        mc.set_vpp(1.6).unwrap();
+    }
+    let (victim, below, above) = (100, 99, 101);
+    let word = 0xAAAA_AAAA_AAAA_AAAAu64;
+
+    fast.init_row(0, victim, word).unwrap();
+    fast.init_row(0, below, !word).unwrap();
+    fast.init_row(0, above, !word).unwrap();
+    fast.hammer_double_sided(0, below, above, 60_000).unwrap();
+    fast.wait_ns(1e6).unwrap();
+    let fast_words = fast.read_row_scratch(0, victim).unwrap().to_vec();
+
+    oracle
+        .run_interpreted(&Program::init_row(0, victim, COLS, word))
+        .unwrap();
+    oracle
+        .run_interpreted(&Program::init_row(0, below, COLS, !word))
+        .unwrap();
+    oracle
+        .run_interpreted(&Program::init_row(0, above, COLS, !word))
+        .unwrap();
+    oracle
+        .run_interpreted(&Program::hammer_double_sided(0, below, above, 60_000))
+        .unwrap();
+    oracle.run_interpreted(&Program::wait(1e6)).unwrap();
+    let oracle_words = oracle
+        .run_interpreted(&Program::read_row(0, victim, COLS))
+        .unwrap();
+
+    assert_eq!(fast_words, oracle_words, "interned plans diverged");
+    assert_eq!(
+        fast.module().now_ns().to_bits(),
+        oracle.module().now_ns().to_bits(),
+        "session clocks diverged"
+    );
+}
