@@ -1,8 +1,11 @@
-//! Criterion benches for the SPICE-class simulator: raw transient stepping
-//! and the full DRAM-cell activation experiment.
+//! Criterion benches for the SPICE-class simulator: raw transient stepping,
+//! the full DRAM-cell activation experiment, and the Monte-Carlo batch
+//! (serial reference vs. batched shared-structure runner).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hammervolt_spice::dram_cell::{ActivationSim, DramCellParams};
+use hammervolt_spice::batch::BatchedActivation;
+use hammervolt_spice::dram_cell::{monte_carlo_activation_serial, ActivationSim, DramCellParams};
+use hammervolt_spice::montecarlo::MonteCarlo;
 use hammervolt_spice::netlist::Circuit;
 use hammervolt_spice::transient::{Transient, TransientConfig};
 use hammervolt_spice::waveform::Waveform;
@@ -52,9 +55,50 @@ fn bench_activation_low_vpp(c: &mut Criterion) {
     });
 }
 
+fn mc_params() -> DramCellParams {
+    DramCellParams {
+        dt: 20e-12,
+        t_stop: 40e-9,
+        ..DramCellParams::default()
+    }
+}
+
+fn bench_mc_serial(c: &mut Criterion) {
+    let params = mc_params();
+    let mc = MonteCarlo::quick(8);
+    c.bench_function("mc_activation_serial_8_trials", |b| {
+        b.iter(|| black_box(monte_carlo_activation_serial(&params, 2.5, &mc).unwrap()))
+    });
+}
+
+fn bench_mc_batched(c: &mut Criterion) {
+    let params = mc_params();
+    let mc = MonteCarlo::quick(8);
+    let batch = BatchedActivation::new(&params, 2.5).unwrap();
+    c.bench_function("mc_activation_batched_8_trials_1_job", |b| {
+        b.iter(|| black_box(batch.run(&mc, 1).unwrap()))
+    });
+    c.bench_function("mc_activation_batched_8_trials_all_jobs", |b| {
+        b.iter(|| black_box(batch.run(&mc, 0).unwrap()))
+    });
+}
+
+fn bench_mc_single_trial(c: &mut Criterion) {
+    // The structural win isolated from scheduling: one reused workspace,
+    // patch + solve + measure per iteration, zero per-trial allocation.
+    let params = mc_params();
+    let mc = MonteCarlo::quick(1);
+    let batch = BatchedActivation::new(&params, 2.5).unwrap();
+    let mut ws = batch.workspace();
+    c.bench_function("mc_trial_batched_workspace_reuse", |b| {
+        b.iter(|| black_box(batch.run_trial(&mut ws, &mc, 0).unwrap()))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_rc_transient, bench_activation, bench_activation_low_vpp
+    targets = bench_rc_transient, bench_activation, bench_activation_low_vpp,
+        bench_mc_serial, bench_mc_batched, bench_mc_single_trial
 }
 criterion_main!(benches);

@@ -39,7 +39,10 @@ fn main() {
             },
         );
         let kde = KernelDensity::fit(&t_ns).expect("kde");
-        let grid = kde.grid(10.0, 22.0, 80).expect("grid");
+        // Grid bounds follow the samples (padded by 3 bandwidths) so tails
+        // beyond the paper's nominal 10–22 ns axis are plotted, not clipped.
+        let (lo, hi) = hammervolt_bench::kde_window("fig08b", &t_ns, kde.bandwidth(), (10.0, 22.0));
+        let grid = kde.grid(lo, hi, 80).expect("grid");
         let mut s = Series::new(format!("{vpp:.1} V"));
         for (x, d) in grid {
             s.push(x, d);

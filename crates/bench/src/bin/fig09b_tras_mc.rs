@@ -39,7 +39,10 @@ fn main() {
             }
         );
         let kde = KernelDensity::fit(&t_ns).expect("kde");
-        let grid = kde.grid(18.0, 40.0, 80).expect("grid");
+        // Grid bounds follow the samples (padded by 3 bandwidths) so tails
+        // beyond the paper's nominal 18–40 ns axis are plotted, not clipped.
+        let (lo, hi) = hammervolt_bench::kde_window("fig09b", &t_ns, kde.bandwidth(), (18.0, 40.0));
+        let grid = kde.grid(lo, hi, 80).expect("grid");
         let mut s = Series::new(format!("{vpp:.1} V"));
         for (x, d) in grid {
             s.push(x, d);

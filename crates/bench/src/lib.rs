@@ -118,6 +118,43 @@ pub fn compare_line(label: &str, paper_value: f64, measured: f64) -> String {
     format!("{label:<42} paper {paper_value:>8.3}   measured {measured:>8.3}")
 }
 
+/// Derives a KDE plot window that covers the data: the sample range padded
+/// by three bandwidths (where a Gaussian kernel's mass is negligible),
+/// unioned with the figure's nominal (paper-axis) window.
+///
+/// The harnesses used to evaluate the density on the hard-coded nominal
+/// window alone, which silently clipped distribution tails once a parameter
+/// regime pushed samples past the paper's axis; samples outside the nominal
+/// window now widen the grid and raise a warning so the shift is visible.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `bandwidth` is not positive — callers
+/// fit the KDE first, which enforces both.
+pub fn kde_window(
+    source: &str,
+    samples: &[f64],
+    bandwidth: f64,
+    nominal: (f64, f64),
+) -> (f64, f64) {
+    assert!(!samples.is_empty(), "kde_window needs samples");
+    assert!(bandwidth > 0.0, "kde_window needs a positive bandwidth");
+    let lo_s = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi_s = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let (nominal_lo, nominal_hi) = nominal;
+    if lo_s < nominal_lo || hi_s > nominal_hi {
+        hammervolt_obs::warn(
+            source,
+            &format!(
+                "samples span [{lo_s:.3}, {hi_s:.3}] outside the nominal plot window \
+                 [{nominal_lo:.3}, {nominal_hi:.3}]; widening the density grid"
+            ),
+        );
+    }
+    let pad = 3.0 * bandwidth;
+    (nominal_lo.min(lo_s - pad), nominal_hi.max(hi_s + pad))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +172,22 @@ mod tests {
         let l = compare_line("mean BER change", -0.152, -0.161);
         assert!(l.contains("-0.152"));
         assert!(l.contains("-0.161"));
+    }
+
+    #[test]
+    fn kde_window_keeps_nominal_when_samples_fit() {
+        let w = kde_window("test", &[12.0, 15.0, 18.0], 0.5, (10.0, 22.0));
+        assert_eq!(w, (10.0, 22.0));
+    }
+
+    #[test]
+    fn kde_window_widens_for_out_of_range_samples() {
+        // A tail past the nominal axis must stay on the grid, padded by 3h.
+        let (lo, hi) = kde_window("test", &[12.0, 25.0], 0.5, (10.0, 22.0));
+        assert_eq!(lo, 10.0);
+        assert!((hi - 26.5).abs() < 1e-12, "hi = {hi}");
+        let (lo, hi) = kde_window("test", &[5.0, 12.0], 0.5, (10.0, 22.0));
+        assert!((lo - 3.5).abs() < 1e-12, "lo = {lo}");
+        assert_eq!(hi, 22.0);
     }
 }

@@ -157,13 +157,7 @@ impl ExecConfig {
 
     /// The concrete worker count this configuration resolves to.
     pub fn effective_jobs(&self) -> usize {
-        if self.jobs > 0 {
-            self.jobs
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
+        hammervolt_par::resolve_jobs(self.jobs)
     }
 }
 
@@ -171,53 +165,10 @@ impl ExecConfig {
 // Worker pool
 // ---------------------------------------------------------------------------
 
-/// Applies `f` to every item on up to `jobs` threads, returning results in
-/// item order. Scheduling affects only wall-clock time: each worker claims
-/// indices from a shared counter, keeps its `(index, result)` pairs in a
-/// private buffer, and the pairs are merged into a pre-sized slot vector
-/// after the scope joins — no per-item lock, each slot written exactly once.
-fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            return mine;
-                        }
-                        mine.push((i, f(&items[i])));
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
-    slots.resize_with(items.len(), || None);
-    for (i, result) in batches.into_iter().flatten() {
-        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-        slots[i] = Some(result);
-    }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index is claimed exactly once"))
-        .collect()
-}
+// The ordered fork-join map lives in `hammervolt-par` so the execution
+// engine and the SPICE Monte-Carlo batcher share one scheduler (one claim
+// discipline, one ordering guarantee, one panic-propagation policy).
+use hammervolt_par::parallel_map;
 
 // ---------------------------------------------------------------------------
 // Work units

@@ -63,6 +63,7 @@ pub mod spd;
 pub mod timing;
 pub mod trr;
 pub mod vendor;
+pub mod wide;
 
 pub use error::DramError;
 pub use geometry::Geometry;

@@ -1413,10 +1413,15 @@ impl DramModule {
             // Deferred apply: every decision above read pre-flip words, so
             // one XOR per touched word lands all of them at once. Staged
             // bits are cleared on the way out, leaving the scratch zeroed
-            // for the next materialization.
-            for &w in touched.iter() {
-                state.data[w as usize] ^= flips[w as usize];
-                flips[w as usize] = 0;
+            // for the next materialization. Dense rows take the wide-word
+            // whole-row pass (XOR with a zero mask is the identity, so the
+            // result is the same either way); sparse rows walk the touched
+            // list.
+            let row_words = flips.len().min(state.data.len());
+            if crate::wide::dense_apply_pays(touched.len(), row_words) {
+                crate::wide::xor_apply_clear(&mut state.data[..row_words], &mut flips[..row_words]);
+            } else {
+                crate::wide::xor_apply_clear_sparse(&mut state.data, flips, touched);
             }
             touched.clear();
         } else if cluster_relevant {

@@ -1,0 +1,127 @@
+//! Wide-word application of staged flip bitmaps.
+//!
+//! The materialization path stages flips in a dense one-`u64`-per-word
+//! scratch and lands them with XOR (see `module.rs`). When many words carry
+//! staged bits, walking the sparse `touched` list defeats the prefetcher
+//! and does a data-dependent scatter; a straight-line pass over the whole
+//! row XORs four words per loop iteration, which LLVM auto-vectorizes to
+//! 128/256-bit ops on stable Rust (no `std::simd` required). XOR with a
+//! zero mask is the identity, so the dense pass lands exactly the bits the
+//! sparse pass would — callers pick whichever walk is cheaper.
+
+/// XORs `flips` into `data` element-wise and zeroes `flips` on the way out,
+/// in one allocation-free pass over both slices.
+///
+/// Processed in 4-wide chunks so the loop body is a fixed-width bundle of
+/// independent XOR/store pairs — the form LLVM reliably turns into vector
+/// instructions — with a scalar tail for the remainder.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn xor_apply_clear(data: &mut [u64], flips: &mut [u64]) {
+    assert_eq!(data.len(), flips.len(), "row and scratch must match");
+    let mut d = data.chunks_exact_mut(4);
+    let mut f = flips.chunks_exact_mut(4);
+    for (dw, fw) in (&mut d).zip(&mut f) {
+        dw[0] ^= fw[0];
+        dw[1] ^= fw[1];
+        dw[2] ^= fw[2];
+        dw[3] ^= fw[3];
+        fw[0] = 0;
+        fw[1] = 0;
+        fw[2] = 0;
+        fw[3] = 0;
+    }
+    for (dw, fw) in d.into_remainder().iter_mut().zip(f.into_remainder()) {
+        *dw ^= *fw;
+        *fw = 0;
+    }
+}
+
+/// The sparse counterpart: XORs and clears only the listed words.
+///
+/// # Panics
+///
+/// Panics (in debug builds, via indexing) if a listed word is out of range.
+pub fn xor_apply_clear_sparse(data: &mut [u64], flips: &mut [u64], touched: &[u32]) {
+    for &w in touched {
+        data[w as usize] ^= flips[w as usize];
+        flips[w as usize] = 0;
+    }
+}
+
+/// Whether the dense whole-row pass is the better walk for `touched_words`
+/// staged words out of `row_words` total. The dense pass touches every word
+/// once with no indirection; the sparse pass touches only staged words but
+/// through a scatter. The crossover is conservative: dense wins once a
+/// quarter of the row carries staged bits.
+pub fn dense_apply_pays(touched_words: usize, row_words: usize) -> bool {
+    touched_words * 4 >= row_words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> (Vec<u64>, Vec<u64>) {
+        let data: Vec<u64> = (0..n)
+            .map(|i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let flips: Vec<u64> = (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    (i as u64) << 17 | 0b101
+                } else {
+                    0
+                }
+            })
+            .collect();
+        (data, flips)
+    }
+
+    #[test]
+    fn dense_equals_sparse() {
+        for n in [0, 1, 3, 4, 7, 8, 64, 129] {
+            let (base, staged) = sample(n);
+            let touched: Vec<u32> = staged
+                .iter()
+                .enumerate()
+                .filter(|(_, &f)| f != 0)
+                .map(|(i, _)| i as u32)
+                .collect();
+
+            let (mut d1, mut f1) = (base.clone(), staged.clone());
+            xor_apply_clear(&mut d1, &mut f1);
+            let (mut d2, mut f2) = (base.clone(), staged.clone());
+            xor_apply_clear_sparse(&mut d2, &mut f2, &touched);
+
+            assert_eq!(d1, d2, "n = {n}");
+            assert!(f1.iter().all(|&f| f == 0));
+            assert!(f2.iter().all(|&f| f == 0));
+        }
+    }
+
+    #[test]
+    fn dense_pass_clears_untouched_scratch_too() {
+        let mut data = vec![1u64, 2, 3, 4, 5];
+        let mut flips = vec![0u64, 0xFF, 0, 0, 0];
+        xor_apply_clear(&mut data, &mut flips);
+        assert_eq!(data, vec![1, 2 ^ 0xFF, 3, 4, 5]);
+        assert!(flips.iter().all(|&f| f == 0));
+    }
+
+    #[test]
+    fn crossover_is_quarter_occupancy() {
+        assert!(dense_apply_pays(16, 64));
+        assert!(!dense_apply_pays(15, 64));
+        assert!(dense_apply_pays(0, 0));
+        assert!(!dense_apply_pays(0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        xor_apply_clear(&mut [0u64; 2], &mut [0u64; 3]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Shared deterministic fork-join scheduler.
+//!
+//! One scheduler for every embarrassingly-parallel loop in the workspace:
+//! the study execution engine (`hammervolt-core::exec`) and the SPICE
+//! Monte-Carlo batcher (`hammervolt-spice`) both fan work out through
+//! [`parallel_map`] / [`parallel_map_with`], so scheduling semantics —
+//! ordered results, atomic work claiming, panic propagation — live in
+//! exactly one place.
+//!
+//! Both entry points guarantee that the result vector is ordered by input
+//! index regardless of which worker computed which item, which is the
+//! foundation of the workspace-wide "byte-identical for any worker count"
+//! invariant: as long as `f` is a pure function of the item (and, for
+//! [`parallel_map_with`], of a workspace whose state is fully re-initialized
+//! per item), output cannot depend on scheduling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a job count: `0` means one worker per available CPU.
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning results
+/// in input order.
+///
+/// Workers claim item indices from a shared atomic counter, so load
+/// balances automatically; each worker accumulates `(index, result)` pairs
+/// locally and the batches are stitched back into input order at the end —
+/// no per-item locking. `jobs <= 1` (or a single item) degrades to a plain
+/// serial map on the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all workers have stopped.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, jobs, || (), |(), item| f(item))
+}
+
+/// Like [`parallel_map`], but each worker thread owns a mutable workspace
+/// built by `init`, passed to every `f` call that worker makes.
+///
+/// This is the batching primitive: `init` clones a pristine solver
+/// workspace (scratch matrices, trace buffers, a template circuit) once per
+/// worker, and the per-item calls reuse it allocation-free. For ordered
+/// results to stay schedule-independent, `f` must fully re-initialize any
+/// workspace state it reads — an item's result must not depend on which
+/// items the same worker processed before it.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` after all workers have stopped.
+pub fn parallel_map_with<T, R, W, I, F>(items: &[T], jobs: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 {
+        let mut ws = init();
+        return items.iter().map(|item| f(&mut ws, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = init();
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return mine;
+                        }
+                        mine.push((i, f(&mut ws, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, result) in batches.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1).len(), 37);
+        assert!(parallel_map(&Vec::<u64>::new(), 8, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn workspace_variant_initializes_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_with(
+            &items,
+            3,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |acc, &x| {
+                *acc += 1; // workspace is genuinely mutable and persistent
+                x + 1
+            },
+        );
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "one init per worker, got {n}");
+    }
+
+    #[test]
+    fn workspace_results_are_order_stable_across_job_counts() {
+        let items: Vec<u64> = (0..101).collect();
+        let reference = parallel_map_with(&items, 1, || (), |(), &x| x * x);
+        for jobs in [2, 4, 8] {
+            assert_eq!(
+                parallel_map_with(&items, jobs, || (), |(), &x| x * x),
+                reference
+            );
+        }
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_cpus() {
+        assert!(resolve_jobs(0) >= 1);
+        assert_eq!(resolve_jobs(5), 5);
+        // and parallel_map with jobs=0 still completes correctly
+        let items: Vec<u64> = (0..10).collect();
+        assert_eq!(parallel_map(&items, 0, |&x| x), items);
+    }
+}

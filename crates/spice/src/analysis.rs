@@ -58,7 +58,7 @@ pub fn settling_time(times: &[f64], trace: &[f64], tolerance: f64) -> Option<f64
     if times.len() != trace.len() || times.is_empty() {
         return None;
     }
-    let target = *trace.last().expect("non-empty");
+    let &target = trace.last()?;
     // Walk backwards to the last sample outside the band.
     let mut settle_idx = 0;
     for i in (0..trace.len()).rev() {

@@ -97,11 +97,17 @@ pub fn operating_point(circuit: &Circuit, config: &DcConfig) -> Result<Vec<f64>,
             );
         }
         let mut x = stamper.rhs.clone();
+        // Preserve the source error kind: only an actual singular matrix is
+        // a singular matrix — relabeling every failure used to make other
+        // solver errors undiagnosable from a DC sweep.
         stamper
             .matrix
             .clone()
             .solve_in_place(&mut x)
-            .map_err(|_| SpiceError::SingularMatrix { time: 0.0 })?;
+            .map_err(|e| match e {
+                SpiceError::SingularMatrix { .. } => SpiceError::SingularMatrix { time: 0.0 },
+                other => other,
+            })?;
         let mut max_err = 0.0f64;
         for node in 1..n_nodes {
             let target = x[node - 1];

@@ -84,6 +84,11 @@ pub struct DramCellParams {
     pub t_stop: f64,
     /// Timestep (s).
     pub dt: f64,
+    /// Newton iteration budget per timestep. The default (100) converges
+    /// comfortably; lowering it makes individual trials fail with
+    /// `NoConvergence`, which batch runners count as trial failures —
+    /// also the fault-injection hook for testing that behaviour.
+    pub max_newton: usize,
 }
 
 impl Default for DramCellParams {
@@ -107,6 +112,7 @@ impl Default for DramCellParams {
             t_rcd_reliable_cap: 20e-9,
             t_stop: 50e-9,
             dt: 10e-12,
+            max_newton: 100,
         }
     }
 }
@@ -304,7 +310,9 @@ impl ActivationSim {
     ///
     /// # Errors
     ///
-    /// Propagates simulator failures.
+    /// Propagates simulator failures. A degenerate result (missing or empty
+    /// trace) is reported as [`SpiceError::DegenerateResult`] rather than a
+    /// panic, so batch runners can count the trial as failed and continue.
     pub fn run_stored(&self, vpp: f64, store_one: bool) -> Result<ActivationResult, SpiceError> {
         let p = &self.params;
         let (circuit, nodes) = self.build(vpp, store_one);
@@ -312,56 +320,108 @@ impl ActivationSim {
             t_stop: p.t_stop,
             dt: p.dt,
             record_stride: 1,
+            max_newton: p.max_newton,
             ..TransientConfig::default()
         };
         let result: TransientResult = Transient::new(&circuit, cfg)?.run()?;
+        let missing = |what: &str| SpiceError::DegenerateResult {
+            reason: format!("missing {what} trace"),
+        };
         let times = result.times().to_vec();
-        let v_cell = result.trace(nodes.cell).expect("cell trace").to_vec();
-        let v_sat = result.trace(nodes.sat).expect("sat trace").to_vec();
-        let v_saf = result.trace(nodes.saf).expect("saf trace").to_vec();
+        let v_cell = result
+            .trace(nodes.cell)
+            .ok_or_else(|| missing("cell"))?
+            .to_vec();
+        let v_sat = result
+            .trace(nodes.sat)
+            .ok_or_else(|| missing("sat"))?
+            .to_vec();
+        let v_saf = result
+            .trace(nodes.saf)
+            .ok_or_else(|| missing("saf"))?
+            .to_vec();
 
-        // Sense verdict: after the latch resolves, the true side must sit on
-        // the rail matching the stored value.
-        let sat_final = *v_sat.last().expect("non-empty");
-        let saf_final = *v_saf.last().expect("non-empty");
-        let sensed_correctly = if store_one {
-            sat_final > saf_final + 0.1 * p.vdd
-        } else {
-            saf_final > sat_final + 0.1 * p.vdd
-        };
-
-        // t_RCD: the sensed bitline reaching the read level for the stored
-        // value (rising to 0.9·V_DD for a 1; falling to 0.1·V_DD for a 0).
-        let t_rcd_min = if !sensed_correctly {
-            None
-        } else if store_one {
-            analysis::first_rising_crossing(&times, &v_sat, p.read_threshold_fraction * p.vdd)
-        } else {
-            analysis::first_falling_crossing(
-                &times,
-                &v_sat,
-                (1.0 - p.read_threshold_fraction) * p.vdd,
-            )
-        };
-
-        // t_RAS: cell settled to its restored level.
-        let t_ras_min = if sensed_correctly {
-            analysis::settling_time(&times, &v_cell, p.restore_tolerance)
-        } else {
-            None
-        };
-
-        let v_cell_final = *v_cell.last().expect("non-empty");
+        let m = measure_activation(p, store_one, &times, &v_cell, &v_sat, &v_saf)?;
         Ok(ActivationResult {
             times,
             v_cell,
             v_bitline: v_sat,
-            t_rcd_min,
-            t_ras_min,
-            v_cell_final,
-            sensed_correctly,
+            t_rcd_min: m.t_rcd_min,
+            t_ras_min: m.t_ras_min,
+            v_cell_final: m.v_cell_final,
+            sensed_correctly: m.sensed_correctly,
         })
     }
+}
+
+/// Scalar measurements extracted from one activation's traces — everything
+/// the Monte-Carlo statistics need, without the traces themselves.
+#[derive(Debug, Clone, Copy)]
+pub struct ActivationMeasurement {
+    /// First read-threshold crossing (s), `None` if activation never
+    /// completed.
+    pub t_rcd_min: Option<f64>,
+    /// Charge-restoration settling time (s).
+    pub t_ras_min: Option<f64>,
+    /// Final (restored) cell voltage (V).
+    pub v_cell_final: f64,
+    /// Whether the latch resolved in the correct direction.
+    pub sensed_correctly: bool,
+}
+
+/// Extracts the activation measurements from recorded traces. Shared by
+/// [`ActivationSim::run_stored`] and the batched Monte-Carlo runner so both
+/// produce identical verdicts from identical samples.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::DegenerateResult`] for empty traces — a property of
+/// one parameter draw, counted as a trial failure by batch runners.
+pub fn measure_activation(
+    p: &DramCellParams,
+    store_one: bool,
+    times: &[f64],
+    v_cell: &[f64],
+    v_sat: &[f64],
+    v_saf: &[f64],
+) -> Result<ActivationMeasurement, SpiceError> {
+    let empty = |what: &str| SpiceError::DegenerateResult {
+        reason: format!("empty {what} trace"),
+    };
+    // Sense verdict: after the latch resolves, the true side must sit on
+    // the rail matching the stored value.
+    let sat_final = *v_sat.last().ok_or_else(|| empty("sat"))?;
+    let saf_final = *v_saf.last().ok_or_else(|| empty("saf"))?;
+    let v_cell_final = *v_cell.last().ok_or_else(|| empty("cell"))?;
+    let sensed_correctly = if store_one {
+        sat_final > saf_final + 0.1 * p.vdd
+    } else {
+        saf_final > sat_final + 0.1 * p.vdd
+    };
+
+    // t_RCD: the sensed bitline reaching the read level for the stored
+    // value (rising to 0.9·V_DD for a 1; falling to 0.1·V_DD for a 0).
+    let t_rcd_min = if !sensed_correctly {
+        None
+    } else if store_one {
+        analysis::first_rising_crossing(times, v_sat, p.read_threshold_fraction * p.vdd)
+    } else {
+        analysis::first_falling_crossing(times, v_sat, (1.0 - p.read_threshold_fraction) * p.vdd)
+    };
+
+    // t_RAS: cell settled to its restored level.
+    let t_ras_min = if sensed_correctly {
+        analysis::settling_time(times, v_cell, p.restore_tolerance)
+    } else {
+        None
+    };
+
+    Ok(ActivationMeasurement {
+        t_rcd_min,
+        t_ras_min,
+        v_cell_final,
+        sensed_correctly,
+    })
 }
 
 /// Aggregate Monte-Carlo statistics for one `V_PP` level (Figs. 8b and 9b).
@@ -373,11 +433,16 @@ pub struct McActivationStats {
     pub t_rcd: Vec<f64>,
     /// Per-trial `t_RASmin` values (s); failed trials omitted.
     pub t_ras: Vec<f64>,
-    /// Per-trial restored cell voltage (V), for all trials.
+    /// Per-trial restored cell voltage (V), for every trial whose simulation
+    /// completed (solver failures omitted).
     pub v_restore: Vec<f64>,
-    /// Number of trials whose activation failed (mis-sense or no threshold
-    /// crossing).
+    /// Number of trials whose activation failed — mis-sense, no threshold
+    /// crossing, or a solver failure. Superset of `solver_failures`.
     pub failures: usize,
+    /// Number of trials whose *simulation* failed numerically (singular
+    /// matrix, Newton non-convergence, degenerate output). These draws count
+    /// as failed activations rather than aborting the whole study.
+    pub solver_failures: usize,
     /// Total trials run.
     pub trials: usize,
 }
@@ -403,45 +468,94 @@ impl McActivationStats {
             .cloned()
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
+
+    /// Folds one completed trial's measurements into the statistics. Shared
+    /// by the serial and batched runners so both count identically.
+    pub(crate) fn fold_measurement(&mut self, base: &DramCellParams, m: &ActivationMeasurement) {
+        self.v_restore.push(m.v_cell_final);
+        match (m.sensed_correctly, m.t_rcd_min, m.t_ras_min) {
+            (true, Some(rcd), Some(ras)) if rcd <= base.t_rcd_reliable_cap => {
+                self.t_rcd.push(rcd);
+                self.t_ras.push(ras);
+            }
+            _ => self.failures += 1,
+        }
+    }
+
+    /// Folds one numerically-failed trial into the statistics.
+    pub(crate) fn fold_solver_failure(&mut self) {
+        self.failures += 1;
+        self.solver_failures += 1;
+    }
 }
 
 /// Runs the paper's Monte-Carlo activation study at one `V_PP` level.
 ///
+/// Delegates to the batched runner ([`crate::batch::BatchedActivation`]);
+/// worker count comes from the `HAMMERVOLT_JOBS` environment variable
+/// (0 or unset = all cores). Results are bit-identical to
+/// [`monte_carlo_activation_serial`] for any worker count.
+///
 /// # Errors
 ///
-/// Propagates simulator failures (numerical failures, not activation
-/// failures — the latter are counted in the statistics).
+/// Propagates configuration/netlist errors. Per-trial numerical failures
+/// (singular matrix, non-convergence, degenerate output) are counted in the
+/// statistics, not propagated — one pathological draw must not abort a
+/// 10 000-trial study.
 pub fn monte_carlo_activation(
     base: &DramCellParams,
     vpp: f64,
     mc: &MonteCarlo,
 ) -> Result<McActivationStats, SpiceError> {
-    let mut t_rcd = Vec::new();
-    let mut t_ras = Vec::new();
-    let mut v_restore = Vec::new();
-    let mut failures = 0usize;
+    let jobs = std::env::var("HAMMERVOLT_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    crate::batch::BatchedActivation::new(base, vpp)?.run(mc, jobs)
+}
+
+/// The serial reference for [`monte_carlo_activation`]: one fresh circuit,
+/// layout, and transient engine per trial. Retained as the equivalence
+/// oracle for the batched fast path (`hammervolt-testkit`'s
+/// `mc_equivalence` suite), with identical failure-counting semantics.
+///
+/// # Errors
+///
+/// Propagates configuration/netlist errors; counts per-trial numerical
+/// failures.
+pub fn monte_carlo_activation_serial(
+    base: &DramCellParams,
+    vpp: f64,
+    mc: &MonteCarlo,
+) -> Result<McActivationStats, SpiceError> {
+    let mut stats = McActivationStats {
+        vpp,
+        t_rcd: Vec::new(),
+        t_ras: Vec::new(),
+        v_restore: Vec::new(),
+        failures: 0,
+        solver_failures: 0,
+        trials: mc.trials,
+    };
     for trial in 0..mc.trials {
         let mut rng = mc.trial_rng(trial);
         let params = base.perturbed(mc, &mut rng);
         let sim = ActivationSim::new(params);
-        let res = sim.run(vpp)?;
-        v_restore.push(res.v_cell_final);
-        match (res.sensed_correctly, res.t_rcd_min, res.t_ras_min) {
-            (true, Some(rcd), Some(ras)) if rcd <= base.t_rcd_reliable_cap => {
-                t_rcd.push(rcd);
-                t_ras.push(ras);
+        match sim.run(vpp) {
+            Ok(res) => {
+                let m = ActivationMeasurement {
+                    t_rcd_min: res.t_rcd_min,
+                    t_ras_min: res.t_ras_min,
+                    v_cell_final: res.v_cell_final,
+                    sensed_correctly: res.sensed_correctly,
+                };
+                stats.fold_measurement(base, &m);
             }
-            _ => failures += 1,
+            Err(e) if e.is_trial_failure() => stats.fold_solver_failure(),
+            Err(e) => return Err(e),
         }
     }
-    Ok(McActivationStats {
-        vpp,
-        t_rcd,
-        t_ras,
-        v_restore,
-        failures,
-        trials: mc.trials,
-    })
+    Ok(stats)
 }
 
 #[cfg(test)]

@@ -38,6 +38,30 @@ pub enum SpiceError {
         /// Number of iterations attempted.
         iterations: usize,
     },
+    /// A simulation completed but produced no usable output — a missing
+    /// node trace or an empty record — typically the consequence of a
+    /// degenerate parameter draw. Callers running trial batches should
+    /// count this as a failed trial, not abort the batch.
+    DegenerateResult {
+        /// What was missing or unusable.
+        reason: String,
+    },
+}
+
+impl SpiceError {
+    /// Whether this error condemns a single trial rather than the whole
+    /// batch. Numerical failures (singular matrix, Newton non-convergence)
+    /// and degenerate outputs are properties of one parameter draw;
+    /// configuration and netlist errors are deterministic across draws and
+    /// must propagate.
+    pub fn is_trial_failure(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::SingularMatrix { .. }
+                | SpiceError::NoConvergence { .. }
+                | SpiceError::DegenerateResult { .. }
+        )
+    }
 }
 
 impl fmt::Display for SpiceError {
@@ -55,6 +79,9 @@ impl fmt::Display for SpiceError {
                 f,
                 "Newton iteration did not converge at t = {time:.3e} s after {iterations} iterations"
             ),
+            SpiceError::DegenerateResult { reason } => {
+                write!(f, "simulation produced no usable output: {reason}")
+            }
         }
     }
 }
@@ -84,6 +111,25 @@ mod tests {
             reason: "negative resistance".to_string(),
         };
         assert!(e.to_string().contains("R1"));
+    }
+
+    #[test]
+    fn trial_failures_are_classified() {
+        assert!(SpiceError::SingularMatrix { time: 0.0 }.is_trial_failure());
+        assert!(SpiceError::NoConvergence {
+            time: 0.0,
+            iterations: 1
+        }
+        .is_trial_failure());
+        assert!(SpiceError::DegenerateResult {
+            reason: "no trace".to_string()
+        }
+        .is_trial_failure());
+        assert!(!SpiceError::InvalidConfig {
+            reason: "dt".to_string()
+        }
+        .is_trial_failure());
+        assert!(!SpiceError::UnknownNode { node: 3 }.is_trial_failure());
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //! - [`montecarlo`] — ±5 % component variation across seeded trials (§4.5),
 //! - [`dram_cell`] — the paper's Table 2 netlist: 16.8 fF cell, 100.5 fF
 //!   bitline, access NMOS, and a cross-coupled sense amplifier, with
-//!   activation/restoration experiments that reproduce Figs. 8 and 9.
+//!   activation/restoration experiments that reproduce Figs. 8 and 9,
+//! - [`batch`] — the batched Monte-Carlo runner: one symbolic analysis per
+//!   netlist shape, per-worker solver workspaces, data-parallel trials with
+//!   results bit-identical to the serial reference for any worker count.
 //!
 //! # Example: RC step response
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod dc;
 pub mod dram_cell;
 pub mod error;

@@ -61,6 +61,17 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Overwrites this matrix with the contents of `other` without
+    /// allocating — the workspace-reuse analogue of `clone()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.n, other.n, "matrix dimensions must match");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Solves `A · x = b` in place via LU with partial pivoting; `self` is
     /// consumed as workspace (overwritten with the factors).
     ///
@@ -212,5 +223,23 @@ mod tests {
     #[should_panic]
     fn out_of_range_access_panics() {
         Matrix::zeros(2).get(2, 0);
+    }
+
+    #[test]
+    fn copy_from_duplicates_bitwise() {
+        let src = from_rows(&[&[1.5, -2.0], &[0.25, 1e-300]]);
+        let mut dst = Matrix::zeros(2);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // and solving the copy leaves the source untouched
+        let mut b = vec![1.0, 1.0];
+        dst.solve_in_place(&mut b).unwrap();
+        assert_eq!(src.get(0, 0), 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn copy_from_rejects_dimension_mismatch() {
+        Matrix::zeros(2).copy_from(&Matrix::zeros(3));
     }
 }

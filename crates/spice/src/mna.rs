@@ -49,7 +49,7 @@ impl Layout {
 /// The system solved each Newton iteration is `J · x = b` where `x` is the
 /// *next* candidate solution (not a delta); element stamps therefore include
 /// their linearization constants on the right-hand side.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Stamper {
     /// Jacobian under construction.
     pub matrix: Matrix,

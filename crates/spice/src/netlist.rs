@@ -86,6 +86,27 @@ pub struct Circuit {
     pub mosfets: Vec<Mosfet>,
 }
 
+/// Clamp applied to every resistance entering a circuit: non-positive or
+/// non-finite values become a 1 mΩ minimum, matching SPICE's forgiving
+/// behaviour for degenerate elements.
+fn clamp_ohms(ohms: f64) -> f64 {
+    if ohms.is_finite() && ohms > 0.0 {
+        ohms
+    } else {
+        1e-3
+    }
+}
+
+/// Clamp applied to every capacitance entering a circuit: non-positive or
+/// non-finite values become a 1 aF minimum.
+fn clamp_farads(farads: f64) -> f64 {
+    if farads.is_finite() && farads > 0.0 {
+        farads
+    } else {
+        1e-18
+    }
+}
+
 impl Circuit {
     /// The ground node, always present.
     pub const GROUND: NodeId = 0;
@@ -131,11 +152,7 @@ impl Circuit {
     /// 1 mΩ minimum rather than rejected, matching SPICE's forgiving behaviour
     /// for degenerate elements; callers that care should validate upstream.
     pub fn resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) -> &mut Self {
-        let ohms = if ohms.is_finite() && ohms > 0.0 {
-            ohms
-        } else {
-            1e-3
-        };
+        let ohms = clamp_ohms(ohms);
         self.resistors.push(Resistor {
             name: name.to_string(),
             a,
@@ -154,11 +171,7 @@ impl Circuit {
         farads: f64,
         initial_volts: f64,
     ) -> &mut Self {
-        let farads = if farads.is_finite() && farads > 0.0 {
-            farads
-        } else {
-            1e-18
-        };
+        let farads = clamp_farads(farads);
         self.capacitors.push(Capacitor {
             name: name.to_string(),
             a,
@@ -205,6 +218,53 @@ impl Circuit {
             params,
         });
         self
+    }
+
+    /// Looks up an element index by name in the resistor list.
+    pub fn resistor_index(&self, name: &str) -> Option<usize> {
+        self.resistors.iter().position(|r| r.name == name)
+    }
+
+    /// Looks up an element index by name in the capacitor list.
+    pub fn capacitor_index(&self, name: &str) -> Option<usize> {
+        self.capacitors.iter().position(|c| c.name == name)
+    }
+
+    /// Looks up an element index by name in the MOSFET list.
+    pub fn mosfet_index(&self, name: &str) -> Option<usize> {
+        self.mosfets.iter().position(|m| m.name == name)
+    }
+
+    /// Overwrites a resistor's value in place, applying the same degenerate
+    /// clamp as [`Circuit::resistor`]. Used by batched runners that patch a
+    /// template circuit per trial instead of rebuilding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_resistance(&mut self, index: usize, ohms: f64) {
+        self.resistors[index].ohms = clamp_ohms(ohms);
+    }
+
+    /// Overwrites a capacitor's value and initial condition in place,
+    /// applying the same degenerate clamp as [`Circuit::capacitor`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_capacitance(&mut self, index: usize, farads: f64, initial_volts: f64) {
+        let c = &mut self.capacitors[index];
+        c.farads = clamp_farads(farads);
+        c.initial_volts = initial_volts;
+    }
+
+    /// Overwrites a MOSFET's device parameters in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_mosfet_params(&mut self, index: usize, params: MosfetParams) {
+        self.mosfets[index].params = params;
     }
 
     /// The largest node index referenced by any element, or `None` if the
@@ -287,5 +347,34 @@ mod tests {
     #[test]
     fn empty_circuit_has_no_referenced_nodes() {
         assert_eq!(Circuit::new().max_referenced_node(), None);
+    }
+
+    #[test]
+    fn in_place_setters_match_builder_semantics() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.resistor("R1", a, 0, 100.0);
+        c.capacitor("C1", a, 0, 1e-12, 0.5);
+        c.mosfet("M1", a, 0, 0, 0.0, ptm::sense_amp_nmos());
+        let r = c.resistor_index("R1").unwrap();
+        let cp = c.capacitor_index("C1").unwrap();
+        let m = c.mosfet_index("M1").unwrap();
+        assert_eq!(c.resistor_index("missing"), None);
+        assert_eq!(c.capacitor_index("missing"), None);
+        assert_eq!(c.mosfet_index("missing"), None);
+
+        c.set_resistance(r, 250.0);
+        assert_eq!(c.resistors[r].ohms, 250.0);
+        // degenerate values take the same clamp as the builder
+        c.set_resistance(r, -1.0);
+        assert_eq!(c.resistors[r].ohms, 1e-3);
+        c.set_capacitance(cp, f64::NAN, 0.7);
+        assert_eq!(c.capacitors[cp].farads, 1e-18);
+        assert_eq!(c.capacitors[cp].initial_volts, 0.7);
+
+        let mut p = ptm::sense_amp_nmos();
+        p.width *= 2.0;
+        c.set_mosfet_params(m, p);
+        assert_eq!(c.mosfets[m].params.width, p.width);
     }
 }
