@@ -1,0 +1,106 @@
+//! `serve` — run the study server: `hammervolt` studies over HTTP.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--queue N] [--shed-oldest]
+//!       [--cache-dir PATH] [--jobs N] [--resume]
+//! ```
+//!
+//! - `--addr` (default `127.0.0.1:8077`): listen address; port 0 picks an
+//!   ephemeral port (printed on startup).
+//! - `--workers` (default 2): concurrent study executions.
+//! - `--queue` (default 64): total queued-job bound. Submissions beyond it
+//!   are rejected with 429, or — with `--shed-oldest` — admitted by evicting
+//!   the globally oldest queued job.
+//! - `--cache-dir`: content-addressed sweep cache shared by all jobs. Warm
+//!   resubmissions of a finished spec answer from it without re-executing.
+//! - `--jobs` (default: all cores): per-study engine worker threads.
+//! - `--resume`: persist per-chunk checkpoints (requires `--cache-dir`), so
+//!   cancelled or interrupted studies resume from completed chunks.
+//!
+//! See `EXPERIMENTS.md` ("Serving studies") for the endpoint reference.
+
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_serve::{OverflowPolicy, SchedConfig, Server, ServerConfig};
+use std::time::Duration;
+
+fn parse_args() -> Result<(String, ServerConfig), String> {
+    let mut addr = "127.0.0.1:8077".to_string();
+    let mut sched = SchedConfig::default();
+    let mut exec = ExecConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    // Accept both `--flag value` and `--flag=value`, like the main CLI.
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str, inline: Option<&str>| {
+        inline
+            .map(str::to_string)
+            .or_else(|| args.next())
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        match flag.as_str() {
+            "--addr" => addr = next_value(&mut args, "--addr", inline.as_deref())?,
+            "--workers" => {
+                sched.workers = next_value(&mut args, "--workers", inline.as_deref())?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--queue" => {
+                sched.queue_capacity = next_value(&mut args, "--queue", inline.as_deref())?
+                    .parse()
+                    .map_err(|_| "--queue needs an integer".to_string())?;
+            }
+            "--shed-oldest" => sched.overflow = OverflowPolicy::ShedOldest,
+            "--cache-dir" => {
+                exec.cache_dir =
+                    Some(next_value(&mut args, "--cache-dir", inline.as_deref())?.into());
+            }
+            "--jobs" => {
+                exec.jobs = next_value(&mut args, "--jobs", inline.as_deref())?
+                    .parse()
+                    .map_err(|_| "--jobs needs an integer".to_string())?;
+            }
+            "--resume" => exec.checkpoints = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if exec.checkpoints && exec.cache_dir.is_none() {
+        return Err("--resume needs a checkpoint directory: pass --cache-dir PATH".to_string());
+    }
+    Ok((addr, ServerConfig { sched, exec }))
+}
+
+fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
+    let (addr, config) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hammervolt study server listening on http://{}",
+        server.addr()
+    );
+    println!(
+        "submit:  curl -XPOST http://{}/studies -d '{{\"kind\":\"hammer\",\"scale\":\"smoke\"}}'",
+        server.addr()
+    );
+    // Serve until the process is killed. Interruption is safe at any point:
+    // checkpoints and cache entries are written atomically (write + rename),
+    // so a killed server leaves only valid partial state, and a restarted
+    // one resumes unfinished studies chunk-by-chunk when resubmitted.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

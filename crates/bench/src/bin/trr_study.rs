@@ -5,7 +5,7 @@
 //! attack and (b) why many-sided attacks exist: they spread activations so
 //! samplers lose track — at the cost of per-aggressor intensity.
 
-use hammervolt_core::attacks::{mount, Attack};
+use hammervolt_core::attacks::{center_victim, mount, Attack};
 use hammervolt_core::patterns::DataPattern;
 use hammervolt_dram::geometry::Geometry;
 use hammervolt_dram::module::DramModule;
@@ -17,7 +17,7 @@ use hammervolt_stats::table::AsciiTable;
 fn attack_with_refresh(id: ModuleId, attack: &Attack, budget: u64, refresh_bursts: u32) -> u64 {
     let module = DramModule::with_geometry(registry::spec(id), 17, Geometry::small_test()).unwrap();
     let mut mc = SoftMc::new(module);
-    let victim = 150;
+    let victim = center_victim(&mc);
     if refresh_bursts == 0 {
         return mount(
             &mut mc,

@@ -55,6 +55,17 @@ pub struct AttackOutcome {
     pub victim_ber: f64,
 }
 
+/// A victim row at the physical center of the bank, derived from the
+/// session's geometry (never hard-code a row number — a reduced test
+/// geometry may not even contain it). The center maximizes the physical
+/// distance to both bank edges, so every attack shape up to
+/// `rows_per_bank / 2 - 1` aggressor pairs finds its neighbors.
+pub fn center_victim(mc: &SoftMc) -> u32 {
+    let mapping = mc.module().mapping();
+    let rows = mc.module().geometry().rows_per_bank;
+    mapping.physical_to_logical(rows / 2)
+}
+
 /// The aggressor rows an attack uses against `victim`, at increasing
 /// physical distance.
 fn aggressor_rows(mc: &SoftMc, victim: u32, pairs: u32) -> Result<Vec<u32>, StudyError> {
@@ -185,6 +196,40 @@ mod tests {
         .unwrap();
         assert_eq!(out.activations, 600_000 / 6 * 6);
         assert_eq!(out.attack.label(), "3-pair many-sided");
+    }
+
+    #[test]
+    fn center_victim_tracks_geometry() {
+        // Regression: harnesses used to hard-code row 150, which does not
+        // even exist in a sufficiently reduced geometry. The derived center
+        // victim must stay attackable no matter how small the bank is.
+        let tiny = Geometry {
+            banks: 2,
+            rows_per_bank: 16,
+            columns_per_row: 64,
+        };
+        let module = DramModule::with_geometry(registry::spec(ModuleId::B0), 3, tiny).unwrap();
+        let mut mc = SoftMc::new(module);
+        let victim = center_victim(&mc);
+        assert!(mc.module().geometry().check_row(victim).is_ok());
+        let out = mount(
+            &mut mc,
+            0,
+            victim,
+            &Attack::DoubleSided,
+            DataPattern::CheckerboardAa,
+            1_000,
+        )
+        .expect("center victim of a 16-row bank must have both neighbors");
+        assert_eq!(out.activations, 1_000);
+
+        // And on the standard test geometry it sits mid-bank.
+        let mc = session(3);
+        let phys = mc
+            .module()
+            .mapping()
+            .logical_to_physical(center_victim(&mc));
+        assert_eq!(phys, Geometry::small_test().rows_per_bank / 2);
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum StudyError {
         /// Description of the violated constraint.
         reason: String,
     },
+    /// The run was cooperatively cancelled before completion. Chunk
+    /// checkpoints persisted up to the cancellation point remain valid; a
+    /// re-run of the same configuration resumes from them.
+    Cancelled,
 }
 
 impl fmt::Display for StudyError {
@@ -33,6 +37,7 @@ impl fmt::Display for StudyError {
                 )
             }
             StudyError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            StudyError::Cancelled => write!(f, "cancelled before completion"),
         }
     }
 }

@@ -48,6 +48,7 @@ use crate::alg2;
 use crate::alg3;
 use crate::error::StudyError;
 use crate::experiment::vpp_ladder;
+use crate::job::JobControl;
 use crate::patterns::DataPattern;
 use crate::records::{RetentionRecord, RowHammerRecord, TrcdRecord};
 use crate::study::{
@@ -66,7 +67,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// How the engine runs: worker count and optional sweep cache.
+/// How the engine runs: worker count, optional sweep cache, and optional
+/// chunk-granular checkpoints.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Worker threads; `0` means one per available CPU.
@@ -74,6 +76,13 @@ pub struct ExecConfig {
     /// Directory for the content-addressed sweep cache; `None` disables
     /// caching.
     pub cache_dir: Option<PathBuf>,
+    /// Persist every completed `(module, chunk)` unit as a sealed checkpoint in
+    /// `cache_dir` and restore finished units on re-run, so a cancelled or
+    /// killed sweep resumes re-running only unfinished chunks. Requires
+    /// `cache_dir`; a module's checkpoints are swept away once its
+    /// module-level cache entry lands. Output stays byte-identical to an
+    /// uninterrupted run.
+    pub checkpoints: bool,
 }
 
 impl ExecConfig {
@@ -81,7 +90,7 @@ impl ExecConfig {
     pub fn serial() -> Self {
         ExecConfig {
             jobs: 1,
-            cache_dir: None,
+            ..ExecConfig::default()
         }
     }
 
@@ -89,14 +98,22 @@ impl ExecConfig {
     pub fn with_jobs(jobs: usize) -> Self {
         ExecConfig {
             jobs,
-            cache_dir: None,
+            ..ExecConfig::default()
         }
     }
 
-    /// Reads `HAMMERVOLT_JOBS` (worker count, `0` = auto) and
-    /// `HAMMERVOLT_CACHE_DIR` (cache directory) from the environment.
-    /// Unset (or empty) variables leave the defaults: one worker per CPU,
-    /// no cache. A variable that is set but unparsable or unusable is
+    /// This configuration with chunk checkpoints switched on or off.
+    #[must_use]
+    pub fn with_checkpoints(mut self, on: bool) -> Self {
+        self.checkpoints = on;
+        self
+    }
+
+    /// Reads `HAMMERVOLT_JOBS` (worker count, `0` = auto),
+    /// `HAMMERVOLT_CACHE_DIR` (cache directory), and `HAMMERVOLT_RESUME`
+    /// (chunk checkpoints, truthy = on) from the environment. Unset (or
+    /// empty) variables leave the defaults: one worker per CPU, no cache,
+    /// no checkpoints. A variable that is set but unparsable or unusable is
     /// reported through the observability event sink (stderr when no sink
     /// is installed) before falling back, never silently ignored.
     pub fn from_env() -> Self {
@@ -152,7 +169,15 @@ impl ExecConfig {
                 None
             }
         };
-        ExecConfig { jobs, cache_dir }
+        let checkpoints = match std::env::var("HAMMERVOLT_RESUME") {
+            Ok(v) => !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false"),
+            Err(_) => false,
+        };
+        ExecConfig {
+            jobs,
+            cache_dir,
+            checkpoints,
+        }
     }
 
     /// The concrete worker count this configuration resolves to.
@@ -167,8 +192,11 @@ impl ExecConfig {
 
 // The ordered fork-join map lives in `hammervolt-par` so the execution
 // engine and the SPICE Monte-Carlo batcher share one scheduler (one claim
-// discipline, one ordering guarantee, one panic-propagation policy).
-use hammervolt_par::parallel_map;
+// discipline, one ordering guarantee, one panic-propagation policy). The
+// engine runs the cancellable variant: a fired `JobControl` token stops
+// workers at the next unit boundary and the sweep returns
+// `StudyError::Cancelled`.
+use hammervolt_par::parallel_map_cancellable_with;
 
 // ---------------------------------------------------------------------------
 // Work units
@@ -355,15 +383,19 @@ type Assembled<R> = (f64, Vec<f64>, Vec<R>);
 /// `parent_span` is the sweep-wide span id shard spans attach to (`0` for
 /// none); instrumentation is a pure side channel and never affects which
 /// units run or how their outputs assemble.
+#[allow(clippy::too_many_arguments)]
 fn run_sharded<R, F>(
     config: &StudyConfig,
     modules: &[ModuleId],
     exec: &ExecConfig,
+    kind: &str,
+    extra: u64,
     parent_span: u64,
+    ctl: &JobControl,
     run_unit: F,
 ) -> Result<Vec<Assembled<R>>, StudyError>
 where
-    R: Send,
+    R: Send + Serialize + for<'de> Deserialize<'de>,
     F: Fn(&ModuleBlueprint, ModuleId, u64, &[u32]) -> Result<UnitOut<R>, StudyError> + Sync,
 {
     // The shared immutable stage of bring-up: one calibrated blueprint per
@@ -392,31 +424,109 @@ where
     counter_add!("exec_modules", modules.len());
     counter_add!("exec_units", units.len());
     progress::add_totals(modules.len() as u64, units.len() as u64);
+    ctl.progress()
+        .add_totals(modules.len() as u64, units.len() as u64);
+    // Chunk checkpoints live in the sweep-cache directory, addressed by the
+    // module's sweep key continued over the chunk index — so they share the
+    // cache's envelope verification and its any-config-change-changes-the-key
+    // invalidation-free property.
+    let ckpt_dir = if exec.checkpoints {
+        exec.cache_dir.as_deref()
+    } else {
+        None
+    };
+    let module_keys: Vec<u64> = if ckpt_dir.is_some() {
+        modules
+            .iter()
+            .map(|&id| sweep_key(config, id, kind, extra))
+            .collect()
+    } else {
+        Vec::new()
+    };
     // Per-module outstanding-unit counts so the progress line can tick a
     // module the moment its last unit completes, whichever worker ran it.
     let outstanding: Vec<AtomicUsize> = modules.iter().map(|_| AtomicUsize::new(0)).collect();
     for u in &units {
         outstanding[u.module_index].fetch_add(1, Ordering::Relaxed);
     }
-    let outputs = parallel_map(&units, exec.effective_jobs(), |u| {
-        let mut span = Span::begin_child_of(parent_span, "exec.shard");
-        span.field_str("module", &u.id.label());
-        span.field_u64("bank", u64::from(config.bank));
-        span.field_u64("chunk", u.chunk);
-        span.field_u64("rows", u.rows.len() as u64);
-        let timed = hammervolt_obs::metrics_enabled().then(Instant::now);
-        let out = run_unit(&blueprints[u.module_index], u.id, u.chunk, &u.rows);
-        if let Some(t0) = timed {
-            histogram_record!("exec_unit_us", t0.elapsed().as_micros());
-        }
-        if hammervolt_obs::progress_enabled() {
-            progress::unit_done();
-            if outstanding[u.module_index].fetch_sub(1, Ordering::Relaxed) == 1 {
-                progress::module_done();
+    let outputs = parallel_map_cancellable_with(
+        &units,
+        exec.effective_jobs(),
+        &ctl.cancel,
+        || (),
+        |(), u| {
+            let mut span = Span::begin_child_of(parent_span, "exec.shard");
+            span.field_str("module", &u.id.label());
+            span.field_u64("bank", u64::from(config.bank));
+            span.field_u64("chunk", u.chunk);
+            span.field_u64("rows", u.rows.len() as u64);
+            // Resume: a verified checkpoint replaces the unit's computation
+            // outright — restored bytes equal recomputed bytes because the
+            // unit is a pure function of (config, coordinates).
+            let restored = ckpt_dir.and_then(|dir| {
+                let skey = module_keys[u.module_index];
+                let ukey = unit_key(skey, u.chunk);
+                let path = unit_checkpoint_path(dir, kind, u.id, skey, u.chunk);
+                match cache_read::<(f64, Vec<f64>, Vec<Vec<R>>)>(&path, ukey) {
+                    CacheRead::Hit((vpp_min, levels, per_level)) => {
+                        counter_add!("ckpt_hits", 1);
+                        ctl.progress().checkpoint_hit();
+                        Some(UnitOut {
+                            vpp_min,
+                            levels,
+                            per_level,
+                        })
+                    }
+                    CacheRead::Miss => None,
+                    CacheRead::Corrupt => {
+                        counter_add!("ckpt_corrupt_recovered", 1);
+                        None
+                    }
+                }
+            });
+            let out = match restored {
+                Some(unit_out) => Ok(unit_out),
+                None => {
+                    let timed = hammervolt_obs::metrics_enabled().then(Instant::now);
+                    let out = run_unit(&blueprints[u.module_index], u.id, u.chunk, &u.rows);
+                    if let Some(t0) = timed {
+                        histogram_record!("exec_unit_us", t0.elapsed().as_micros());
+                    }
+                    if let Ok(unit_out) = &out {
+                        ctl.progress().unit_executed();
+                        if let Some(dir) = ckpt_dir {
+                            let skey = module_keys[u.module_index];
+                            let ukey = unit_key(skey, u.chunk);
+                            // Written inside the work item, so cooperative
+                            // cancellation can never tear a checkpoint: the
+                            // item either completes (checkpoint sealed) or
+                            // never starts.
+                            cache_store(
+                                &unit_checkpoint_path(dir, kind, u.id, skey, u.chunk),
+                                ukey,
+                                &(unit_out.vpp_min, &unit_out.levels, &unit_out.per_level),
+                            );
+                        }
+                    }
+                    out
+                }
+            };
+            ctl.progress().unit_done();
+            if hammervolt_obs::progress_enabled() {
+                progress::unit_done();
             }
-        }
-        out
-    });
+            if outstanding[u.module_index].fetch_sub(1, Ordering::Relaxed) == 1 {
+                ctl.progress().module_done();
+                if hammervolt_obs::progress_enabled() {
+                    progress::module_done();
+                }
+            }
+            out
+        },
+    );
+    let Some(outputs) = outputs else {
+        return Err(StudyError::Cancelled);
+    };
     let mut per_module: Vec<Vec<UnitOut<R>>> = modules.iter().map(|_| Vec::new()).collect();
     for (unit, out) in units.iter().zip(outputs) {
         per_module[unit.module_index].push(out?);
@@ -447,8 +557,10 @@ fn stitch<R>(mut units: Vec<UnitOut<R>>) -> Assembled<R> {
 // Content-addressed sweep cache
 // ---------------------------------------------------------------------------
 
-/// 64-bit FNV-1a over a byte string, continuing from `h`.
-fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
+/// 64-bit FNV-1a over a byte string, continuing from `h`. Public because
+/// the job layer derives spec hashes with the same function the cache keys
+/// use (one hashing discipline across the workspace).
+pub fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);
@@ -456,7 +568,8 @@ fn fnv1a64(bytes: &[u8], mut h: u64) -> u64 {
     h
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a-64 offset basis — the starting `h` for [`fnv1a64`].
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
 /// On-disk format version; bumped whenever the envelope layout changes so
 /// old entries miss instead of misparsing.
@@ -501,6 +614,42 @@ pub fn cache_path(dir: &Path, kind: &str, id: ModuleId, key: u64) -> PathBuf {
     dir.join(format!("{kind}-{}-{key:016x}.jsonl", id.label()))
 }
 
+/// The checkpoint key for one `(module, chunk)` unit: the module's sweep
+/// key (see [`sweep_key`]) continued over the chunk index.
+pub fn unit_key(sweep_key: u64, chunk: u64) -> u64 {
+    fnv1a64(&chunk.to_le_bytes(), sweep_key)
+}
+
+/// The checkpoint file path for one `(module, chunk)` unit. The name embeds
+/// the module's sweep key so a whole module's checkpoints share a prefix and
+/// can be swept away together once its sweep-level entry lands.
+pub fn unit_checkpoint_path(
+    dir: &Path,
+    kind: &str,
+    id: ModuleId,
+    sweep_key: u64,
+    chunk: u64,
+) -> PathBuf {
+    dir.join(format!(
+        "ckpt-{kind}-{}-{sweep_key:016x}-{chunk}.jsonl",
+        id.label()
+    ))
+}
+
+/// Removes every checkpoint for one module's sweep (best-effort — leftover
+/// checkpoints are harmless, merely stale disk).
+fn clear_unit_checkpoints(dir: &Path, kind: &str, id: ModuleId, sweep_key: u64) {
+    let prefix = format!("ckpt-{kind}-{}-{sweep_key:016x}-", id.label());
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with(&prefix) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
 /// Seals a payload into its single-line envelope form: the exact line
 /// [`cache_store`] writes for `key`. Public so conformance tests can forge
 /// valid entries (proving warm hits are served from disk) and fault
@@ -517,8 +666,10 @@ pub fn seal_entry(key: u64, payload_json: &str) -> String {
 
 /// Verifies an envelope line against the reader's expected key and returns
 /// the payload on success. `None` on parse failure, version skew, key
-/// mismatch (stale-key swap), or checksum mismatch (corruption).
-fn open_entry(line: &str, expected_key: u64) -> Option<String> {
+/// mismatch (stale-key swap), or checksum mismatch (corruption). Public so
+/// stress and fault-injection suites can verify entries exactly the way the
+/// engine does.
+pub fn open_entry(line: &str, expected_key: u64) -> Option<String> {
     let envelope: CacheEnvelope = serde_json::from_str(line).ok()?;
     if envelope.version != CACHE_FORMAT_VERSION {
         return None;
@@ -565,9 +716,9 @@ fn cache_read<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> C
 
 /// Loads and verifies a cached sweep; `None` on miss, any read/parse
 /// failure, or an envelope whose key or checksum does not match (the entry
-/// is then recomputed and rewritten).
-#[cfg(test)]
-fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> Option<T> {
+/// is then recomputed and rewritten). Public for the multi-writer stress
+/// suite, which must observe entries through the verifying read path.
+pub fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> Option<T> {
     match cache_read(path, expected_key) {
         CacheRead::Hit(value) => Some(value),
         CacheRead::Miss | CacheRead::Corrupt => None,
@@ -582,8 +733,9 @@ fn cache_load<T: for<'de> Deserialize<'de>>(path: &Path, expected_key: u64) -> O
 /// two threads storing to the same path concurrently (e.g. two workers
 /// finishing the same module's sweep in separate pools) each write their own
 /// temp file, so neither can rename the other's half-written bytes into
-/// place.
-fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
+/// place. Public so the multi-writer stress suite can hammer this exact
+/// path from many threads.
+pub fn cache_store<T: Serialize>(path: &Path, key: u64, value: &T) {
     static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
     let Some(dir) = path.parent() else { return };
     if std::fs::create_dir_all(dir).is_err() {
@@ -608,6 +760,7 @@ fn with_cache<T, G>(
     exec: &ExecConfig,
     kind: &str,
     extra: u64,
+    ctl: &JobControl,
     compute: G,
 ) -> Result<Vec<T>, StudyError>
 where
@@ -634,17 +787,20 @@ where
             CacheRead::Hit(value) => {
                 counter_add!("cache_hits", 1);
                 progress::cache_lookup(true);
+                ctl.progress().cache_lookup(true);
                 Some(value)
             }
             CacheRead::Miss => {
                 counter_add!("cache_misses", 1);
                 progress::cache_lookup(false);
+                ctl.progress().cache_lookup(false);
                 None
             }
             CacheRead::Corrupt => {
                 counter_add!("cache_misses", 1);
                 counter_add!("cache_corrupt_recovered", 1);
                 progress::cache_lookup(false);
+                ctl.progress().cache_lookup(false);
                 hammervolt_obs::warn(
                     "exec",
                     &format!(
@@ -667,6 +823,12 @@ where
             let sweep = fresh.next().expect("compute returns one sweep per module");
             let key = sweep_key(config, id, kind, extra);
             cache_store(&cache_path(dir, kind, id, key), key, &sweep);
+            // The sweep-level entry supersedes the module's chunk
+            // checkpoints; sweep them away so a cache dir doesn't
+            // accumulate one file per chunk forever.
+            if exec.checkpoints {
+                clear_unit_checkpoints(dir, kind, id, key);
+            }
             *slot = Some(sweep);
         }
     }
@@ -704,14 +866,22 @@ fn hammer_sweeps_for(
     config: &StudyConfig,
     modules: &[ModuleId],
     exec: &ExecConfig,
+    ctl: &JobControl,
 ) -> Result<Vec<ModuleHammerSweep>, StudyError> {
     let _phase = manifest::phase("sweep:hammer");
     let sweep_span = begin_sweep(config, exec, "hammer", modules.len());
     let parent = sweep_span.id();
-    with_cache(config, modules, exec, "hammer", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
-            hammer_unit(config, bp, id, chunk, rows)
-        })?;
+    with_cache(config, modules, exec, "hammer", 0, ctl, |missing| {
+        let assembled = run_sharded(
+            config,
+            missing,
+            exec,
+            "hammer",
+            0,
+            parent,
+            ctl,
+            |bp, id, chunk, rows| hammer_unit(config, bp, id, chunk, rows),
+        )?;
         Ok(missing
             .iter()
             .zip(assembled)
@@ -735,7 +905,23 @@ pub fn rowhammer_sweeps(
     config: &StudyConfig,
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleHammerSweep>, StudyError> {
-    hammer_sweeps_for(config, &config.modules, exec)
+    hammer_sweeps_for(config, &config.modules, exec, &JobControl::new())
+}
+
+/// [`rowhammer_sweeps`] under a caller-supplied [`JobControl`]: the token
+/// cancels cooperatively (returning [`StudyError::Cancelled`]) and the
+/// control's progress counters tick as units and modules finish.
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit; `Cancelled` when
+/// the control's token fires first.
+pub fn rowhammer_sweeps_ctl(
+    config: &StudyConfig,
+    exec: &ExecConfig,
+    ctl: &JobControl,
+) -> Result<Vec<ModuleHammerSweep>, StudyError> {
+    hammer_sweeps_for(config, &config.modules, exec, ctl)
 }
 
 /// Runs the Alg. 1 sweep for one module (its chunks still run in parallel).
@@ -748,7 +934,7 @@ pub fn rowhammer_sweep(
     id: ModuleId,
     exec: &ExecConfig,
 ) -> Result<ModuleHammerSweep, StudyError> {
-    Ok(hammer_sweeps_for(config, &[id], exec)?
+    Ok(hammer_sweeps_for(config, &[id], exec, &JobControl::new())?
         .pop()
         .expect("one module in, one sweep out"))
 }
@@ -758,6 +944,7 @@ fn trcd_sweeps_for(
     modules: &[ModuleId],
     levels_cap: usize,
     exec: &ExecConfig,
+    ctl: &JobControl,
 ) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
     let _phase = manifest::phase("sweep:trcd");
     let sweep_span = begin_sweep(config, exec, "trcd", modules.len());
@@ -768,10 +955,18 @@ fn trcd_sweeps_for(
         exec,
         "trcd",
         levels_cap as u64,
+        ctl,
         |missing| {
-            let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
-                trcd_unit(config, bp, id, levels_cap, chunk, rows)
-            })?;
+            let assembled = run_sharded(
+                config,
+                missing,
+                exec,
+                "trcd",
+                levels_cap as u64,
+                parent,
+                ctl,
+                |bp, id, chunk, rows| trcd_unit(config, bp, id, levels_cap, chunk, rows),
+            )?;
             Ok(missing
                 .iter()
                 .zip(assembled)
@@ -796,7 +991,29 @@ pub fn trcd_sweeps(
     levels_cap: usize,
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
-    trcd_sweeps_for(config, &config.modules, levels_cap, exec)
+    trcd_sweeps_for(
+        config,
+        &config.modules,
+        levels_cap,
+        exec,
+        &JobControl::new(),
+    )
+}
+
+/// [`trcd_sweeps`] under a caller-supplied [`JobControl`] (cancellation +
+/// progress; see [`rowhammer_sweeps_ctl`]).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit; `Cancelled` when
+/// the control's token fires first.
+pub fn trcd_sweeps_ctl(
+    config: &StudyConfig,
+    levels_cap: usize,
+    exec: &ExecConfig,
+    ctl: &JobControl,
+) -> Result<Vec<ModuleTrcdSweep>, StudyError> {
+    trcd_sweeps_for(config, &config.modules, levels_cap, exec, ctl)
 }
 
 /// Runs the Alg. 2 sweep for one module (its chunks still run in parallel).
@@ -810,23 +1027,33 @@ pub fn trcd_sweep(
     levels_cap: usize,
     exec: &ExecConfig,
 ) -> Result<ModuleTrcdSweep, StudyError> {
-    Ok(trcd_sweeps_for(config, &[id], levels_cap, exec)?
-        .pop()
-        .expect("one module in, one sweep out"))
+    Ok(
+        trcd_sweeps_for(config, &[id], levels_cap, exec, &JobControl::new())?
+            .pop()
+            .expect("one module in, one sweep out"),
+    )
 }
 
 fn retention_sweeps_for(
     config: &StudyConfig,
     modules: &[ModuleId],
     exec: &ExecConfig,
+    ctl: &JobControl,
 ) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
     let _phase = manifest::phase("sweep:retention");
     let sweep_span = begin_sweep(config, exec, "retention", modules.len());
     let parent = sweep_span.id();
-    with_cache(config, modules, exec, "retention", 0, |missing| {
-        let assembled = run_sharded(config, missing, exec, parent, |bp, id, chunk, rows| {
-            retention_unit(config, bp, id, chunk, rows)
-        })?;
+    with_cache(config, modules, exec, "retention", 0, ctl, |missing| {
+        let assembled = run_sharded(
+            config,
+            missing,
+            exec,
+            "retention",
+            0,
+            parent,
+            ctl,
+            |bp, id, chunk, rows| retention_unit(config, bp, id, chunk, rows),
+        )?;
         Ok(missing
             .iter()
             .zip(assembled)
@@ -851,7 +1078,22 @@ pub fn retention_sweeps(
     config: &StudyConfig,
     exec: &ExecConfig,
 ) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
-    retention_sweeps_for(config, &config.modules, exec)
+    retention_sweeps_for(config, &config.modules, exec, &JobControl::new())
+}
+
+/// [`retention_sweeps`] under a caller-supplied [`JobControl`] (cancellation
+/// + progress; see [`rowhammer_sweeps_ctl`]).
+///
+/// # Errors
+///
+/// Propagates infrastructure errors from any work unit; `Cancelled` when
+/// the control's token fires first.
+pub fn retention_sweeps_ctl(
+    config: &StudyConfig,
+    exec: &ExecConfig,
+    ctl: &JobControl,
+) -> Result<Vec<ModuleRetentionSweep>, StudyError> {
+    retention_sweeps_for(config, &config.modules, exec, ctl)
 }
 
 /// Runs the Alg. 3 sweep for one module (its chunks still run in parallel).
@@ -864,14 +1106,17 @@ pub fn retention_sweep(
     id: ModuleId,
     exec: &ExecConfig,
 ) -> Result<ModuleRetentionSweep, StudyError> {
-    Ok(retention_sweeps_for(config, &[id], exec)?
-        .pop()
-        .expect("one module in, one sweep out"))
+    Ok(
+        retention_sweeps_for(config, &[id], exec, &JobControl::new())?
+            .pop()
+            .expect("one module in, one sweep out"),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hammervolt_par::parallel_map;
     use std::sync::atomic::AtomicU64;
 
     fn tiny_config(modules: &[ModuleId]) -> StudyConfig {
@@ -933,6 +1178,7 @@ mod tests {
         let exec = ExecConfig {
             jobs: 2,
             cache_dir: Some(dir.clone()),
+            ..ExecConfig::default()
         };
         let cold = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
         // The entry exists on disk now.
@@ -985,6 +1231,7 @@ mod tests {
         let exec = ExecConfig {
             jobs: 1,
             cache_dir: Some(dir.clone()),
+            ..ExecConfig::default()
         };
         let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);
         let path = cache_path(&dir, "hammer", ModuleId::B3, key);
@@ -1072,6 +1319,7 @@ mod tests {
         let exec = ExecConfig {
             jobs: 1,
             cache_dir: Some(dir.clone()),
+            ..ExecConfig::default()
         };
         let cold = rowhammer_sweep(&cfg, ModuleId::B3, &exec).unwrap();
         let key = sweep_key(&cfg, ModuleId::B3, "hammer", 0);

@@ -26,6 +26,9 @@
 //! - [`exec`] — the parallel execution engine: deterministic sharding of
 //!   sweeps across modules and row chunks, plus a content-addressed sweep
 //!   cache,
+//! - [`job`] — the resumable, cancellable job abstraction over the engine
+//!   (spec hashes, cooperative cancellation, chunk checkpoints, progress
+//!   snapshots) that the CLI's `--resume` and the study server build on,
 //! - [`attacks`] — the attack-pattern family (single-, double-, many-sided)
 //!   behind §4.2's effectiveness claim,
 //! - [`recommend`] — §8's optimal-wordline-voltage selection (Table 3's
@@ -58,6 +61,7 @@ pub mod attacks;
 pub mod error;
 pub mod exec;
 pub mod experiment;
+pub mod job;
 pub mod mitigation;
 pub mod patterns;
 pub mod recommend;

@@ -17,7 +17,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation token shared between a controller and the
+/// workers of a fork-join region.
+///
+/// Cancellation is *cooperative*: setting the token never interrupts an
+/// in-flight item — workers observe it between items and simply stop
+/// claiming new ones. An item therefore either runs to completion or never
+/// starts, which is what lets the execution engine persist chunk
+/// checkpoints without ever writing a torn entry.
+///
+/// Tokens are cheap to clone (an `Arc` around one atomic) and sticky: once
+/// cancelled, a token stays cancelled.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; workers observe it at the next
+    /// item boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// Resolves a job count: `0` means one worker per available CPU.
 pub fn resolve_jobs(jobs: usize) -> usize {
@@ -71,10 +106,65 @@ where
     I: Fn() -> W + Sync,
     F: Fn(&mut W, &T) -> R + Sync,
 {
+    run_pool(items, jobs, None, init, f).expect("uncancellable map cannot be cancelled")
+}
+
+/// Like [`parallel_map_with`], but workers stop claiming new items once
+/// `cancel` fires. Returns `None` if the region was cancelled before every
+/// item completed (already-computed results are dropped — persist durable
+/// side effects inside `f` if partial progress must survive); `Some` with
+/// the full ordered result vector otherwise.
+///
+/// Cancellation is cooperative per item: an in-flight `f` call always runs
+/// to completion, so `f`'s side effects are never torn.
+///
+/// # Panics
+///
+/// Propagates a panic from `init` or `f` after all workers have stopped.
+pub fn parallel_map_cancellable_with<T, R, W, I, F>(
+    items: &[T],
+    jobs: usize,
+    cancel: &CancelToken,
+    init: I,
+    f: F,
+) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, &T) -> R + Sync,
+{
+    run_pool(items, jobs, Some(cancel), init, f)
+}
+
+/// The one worker-pool implementation behind both entry points: atomic
+/// index claiming, per-worker result batches, optional cooperative
+/// cancellation.
+fn run_pool<T, R, W, I, F>(
+    items: &[T],
+    jobs: usize,
+    cancel: Option<&CancelToken>,
+    init: I,
+    f: F,
+) -> Option<Vec<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, &T) -> R + Sync,
+{
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let jobs = resolve_jobs(jobs).min(items.len().max(1));
     if jobs <= 1 {
         let mut ws = init();
-        return items.iter().map(|item| f(&mut ws, item)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        for item in items {
+            if cancelled() {
+                return None;
+            }
+            out.push(f(&mut ws, item));
+        }
+        return Some(out);
     }
     let next = AtomicUsize::new(0);
     let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -84,6 +174,9 @@ where
                     let mut ws = init();
                     let mut mine = Vec::new();
                     loop {
+                        if cancelled() {
+                            return mine;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             return mine;
@@ -98,22 +191,28 @@ where
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
+    if cancelled() {
+        return None;
+    }
     let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     for (i, result) in batches.into_iter().flatten() {
         debug_assert!(slots[i].is_none(), "index {i} claimed twice");
         slots[i] = Some(result);
     }
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index is claimed exactly once"))
-        .collect()
+    Some(
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index is claimed exactly once"))
+            .collect(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
 
     #[test]
     fn preserves_order() {
@@ -155,6 +254,94 @@ mod tests {
                 reference
             );
         }
+    }
+
+    #[test]
+    fn cancellable_map_without_cancel_matches_plain_map() {
+        let items: Vec<u64> = (0..23).collect();
+        let token = CancelToken::new();
+        let out = parallel_map_cancellable_with(&items, 4, &token, || (), |(), &x| x * 3);
+        assert_eq!(out, Some(items.iter().map(|x| x * 3).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn cancelled_before_start_returns_none_without_running_items() {
+        let ran = AtomicUsize::new(0);
+        let token = CancelToken::new();
+        token.cancel();
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 4] {
+            let out = parallel_map_cancellable_with(
+                &items,
+                jobs,
+                &token,
+                || (),
+                |(), &x| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+            );
+            assert_eq!(out, None, "jobs={jobs}");
+        }
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "no item may start");
+    }
+
+    #[test]
+    fn cancel_mid_run_stops_claiming_but_never_tears_items() {
+        // Serial pool: deterministic — cancellation fired from inside item 5
+        // completes that item, then stops the region before item 6.
+        let token = CancelToken::new();
+        let completed = Mutex::new(Vec::new());
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map_cancellable_with(
+            &items,
+            1,
+            &token,
+            || (),
+            |(), &x| {
+                if x == 5 {
+                    token.cancel();
+                }
+                completed.lock().unwrap().push(x);
+                x
+            },
+        );
+        assert_eq!(out, None);
+        assert_eq!(*completed.lock().unwrap(), (0..=5).collect::<Vec<u64>>());
+
+        // Parallel pool: the cancelling item still completes (cooperative,
+        // never torn) and the region reports cancellation.
+        let token = CancelToken::new();
+        let completed = Mutex::new(Vec::new());
+        let out = parallel_map_cancellable_with(
+            &items,
+            3,
+            &token,
+            || (),
+            |(), &x| {
+                if x == 5 {
+                    token.cancel();
+                }
+                completed.lock().unwrap().push(x);
+                x
+            },
+        );
+        assert_eq!(out, None);
+        assert!(
+            completed.lock().unwrap().contains(&5),
+            "the cancelling item completes"
+        );
+    }
+
+    #[test]
+    fn cancel_token_is_sticky_and_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        b.cancel(); // idempotent
+        assert!(a.is_cancelled());
     }
 
     #[test]

@@ -1,0 +1,163 @@
+//! The HTTP API's payload schemas: submission parsing and response bodies.
+//!
+//! A submission body is accepted in either of two forms:
+//!
+//! 1. **Full spec** — the exact JSON serialization of
+//!    [`JobSpec`] (`{"kind":…,"config":…}`), for callers that
+//!    already hold a configuration (round-trips through
+//!    [`JobSpec::spec_hash`] unchanged).
+//! 2. **Shortcut** — the CLI's environment mapping as JSON:
+//!    `{"kind":"hammer","scale":"smoke","rows_per_chunk":2,"modules":["B3"]}`.
+//!    `scale` mirrors `HAMMERVOLT_SCALE` (`smoke`, `paper`, anything
+//!    else/absent = the CLI default protocol), `rows_per_chunk` mirrors
+//!    `HAMMERVOLT_ROWS`, `modules` mirrors the CLI's positional labels, and
+//!    `levels_cap` (trcd only) defaults to the CLI's 4 — so a shortcut
+//!    submission reconstructs the *same* [`StudyConfig`] the CLI builds for
+//!    the same knobs, which is what makes HTTP results byte-identical to
+//!    CLI runs.
+
+use hammervolt_core::job::{JobSpec, SweepKind};
+use hammervolt_core::study::StudyConfig;
+use hammervolt_dram::registry::ModuleId;
+use serde::Deserialize;
+
+/// The shortcut submission form (see module docs).
+#[derive(Debug, Deserialize)]
+struct ShortcutSpec {
+    kind: String,
+    levels_cap: Option<usize>,
+    scale: Option<String>,
+    rows_per_chunk: Option<u32>,
+    modules: Option<Vec<String>>,
+}
+
+/// Parses a submission body into a [`JobSpec`]; `Err` carries a
+/// client-facing message.
+pub fn parse_spec(body: &[u8]) -> Result<JobSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    if let Ok(spec) = serde_json::from_str::<JobSpec>(text) {
+        return Ok(spec);
+    }
+    let shortcut: ShortcutSpec = serde_json::from_str(text)
+        .map_err(|e| format!("body is neither a full JobSpec nor a shortcut spec: {e}"))?;
+    let kind = match shortcut.kind.as_str() {
+        "hammer" => SweepKind::Hammer,
+        "trcd" => SweepKind::Trcd {
+            levels_cap: shortcut.levels_cap.unwrap_or(4),
+        },
+        "retention" => SweepKind::Retention,
+        other => return Err(format!("unknown sweep kind {other:?}")),
+    };
+    // Mirror the CLI's HAMMERVOLT_SCALE mapping exactly (smoke / paper /
+    // default quick protocol with its 8-row sample).
+    let mut config = match shortcut.scale.as_deref() {
+        Some("paper") => StudyConfig::paper(),
+        Some("smoke") => StudyConfig::smoke(),
+        _ => StudyConfig {
+            rows_per_chunk: 8,
+            ..StudyConfig::quick()
+        },
+    };
+    if let Some(rows) = shortcut.rows_per_chunk {
+        if rows == 0 {
+            return Err("rows_per_chunk must be positive".to_string());
+        }
+        config.rows_per_chunk = rows;
+    }
+    if let Some(labels) = shortcut.modules {
+        if labels.is_empty() {
+            return Err("modules must not be empty when present".to_string());
+        }
+        let mut modules = Vec::with_capacity(labels.len());
+        for label in &labels {
+            let id = ModuleId::ALL
+                .iter()
+                .copied()
+                .find(|m| m.label().eq_ignore_ascii_case(label))
+                .ok_or_else(|| format!("unknown module {label:?}"))?;
+            modules.push(id);
+        }
+        config.modules = modules;
+    }
+    Ok(JobSpec { kind, config })
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{"error":"…"}` body.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json_escape(message))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_spec_round_trips() {
+        let spec = JobSpec {
+            kind: SweepKind::Trcd { levels_cap: 3 },
+            config: StudyConfig::smoke(),
+        };
+        let body = serde_json::to_string(&spec).unwrap();
+        let parsed = parse_spec(body.as_bytes()).unwrap();
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.spec_hash(), spec.spec_hash());
+    }
+
+    #[test]
+    fn shortcut_matches_cli_config_mapping() {
+        let parsed =
+            parse_spec(br#"{"kind":"hammer","scale":"smoke","rows_per_chunk":2,"modules":["B3"]}"#)
+                .unwrap();
+        // Exactly what the CLI builds for HAMMERVOLT_SCALE=smoke
+        // HAMMERVOLT_ROWS=2 with module B3.
+        let mut expected = StudyConfig::smoke();
+        expected.rows_per_chunk = 2;
+        expected.modules = vec![ModuleId::B3];
+        assert_eq!(parsed.kind, SweepKind::Hammer);
+        assert_eq!(parsed.config, expected);
+
+        // Default scale is the CLI default protocol (8-row sample).
+        let default = parse_spec(br#"{"kind":"retention"}"#).unwrap();
+        assert_eq!(default.config.rows_per_chunk, 8);
+        assert_eq!(default.kind, SweepKind::Retention);
+
+        // trcd defaults to the CLI's levels cap.
+        let trcd = parse_spec(br#"{"kind":"trcd"}"#).unwrap();
+        assert_eq!(trcd.kind, SweepKind::Trcd { levels_cap: 4 });
+    }
+
+    #[test]
+    fn bad_bodies_are_rejected_with_messages() {
+        assert!(parse_spec(b"not json").is_err());
+        assert!(parse_spec(br#"{"kind":"warp"}"#).is_err());
+        assert!(parse_spec(br#"{"kind":"hammer","modules":["Z9"]}"#).is_err());
+        assert!(parse_spec(br#"{"kind":"hammer","modules":[]}"#).is_err());
+        assert!(parse_spec(br#"{"kind":"hammer","rows_per_chunk":0}"#).is_err());
+        assert!(parse_spec(&[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn error_body_escapes() {
+        assert_eq!(
+            error_body("a \"quoted\"\nline"),
+            "{\"error\":\"a \\\"quoted\\\"\\nline\"}"
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Minimal hand-rolled HTTP/1.1 support over `std` I/O.
+//!
+//! The build is offline/vendored, so there is no HTTP dependency to reach
+//! for — this module hand-rolls the small, strict subset the study server
+//! needs, the same way `hammervolt-obs` hand-rolls JSONL: request line,
+//! headers, `Content-Length` bodies, and plain (optionally streamed,
+//! close-delimited) responses. No chunked encoding, no keep-alive — every
+//! exchange is one request, one response, connection closed. That keeps the
+//! parser ~100 lines and trivially auditable.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on header block size; a peer sending more is rejected rather
+/// than buffered without limit.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// Upper bound on declared body size (a study spec is tiny).
+const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with the query string split off.
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Header names lowercased; values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `key` in the query string (`a=1&b=2` form, no
+    /// percent-decoding — the API's values are plain tokens).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads one request from `stream`. `Ok(None)` on a cleanly closed
+/// connection with no bytes sent; `Err` on malformed or oversized input.
+pub fn read_request<S: BufRead>(stream: &mut S) -> io::Result<Option<Request>> {
+    let mut head = Vec::new();
+    // Read up to the blank line terminating the header block.
+    loop {
+        let mut line = Vec::new();
+        let n = read_line(stream, &mut line)?;
+        if n == 0 {
+            return if head.is_empty() {
+                Ok(None)
+            } else {
+                Err(bad("truncated header block"))
+            };
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEADER_BYTES {
+            return Err(bad("header block too large"));
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("non-UTF-8 header block"))?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or_else(|| bad("missing request line"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let version = parts.next().ok_or_else(|| bad("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header line"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| bad("unparsable Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Reads one `\n`-terminated line (CR retained) into `buf`; returns bytes
+/// read (0 at EOF).
+fn read_line<S: BufRead>(stream: &mut S, buf: &mut Vec<u8>) -> io::Result<usize> {
+    let mut total = 0;
+    loop {
+        let available = stream.fill_buf()?;
+        if available.is_empty() {
+            return Ok(total);
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            buf.extend_from_slice(&available[..=pos]);
+            stream.consume(pos + 1);
+            return Ok(total + pos + 1);
+        }
+        let len = available.len();
+        buf.extend_from_slice(available);
+        stream.consume(len);
+        total += len;
+        if total > MAX_HEADER_BYTES {
+            return Err(bad("header line too long"));
+        }
+    }
+}
+
+fn bad(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason)
+}
+
+/// Writes a complete response with a body and closes the exchange (the
+/// caller drops the stream afterwards).
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Starts a close-delimited streaming response (no `Content-Length`; the
+/// body ends when the server closes the connection). The caller then writes
+/// body bytes directly.
+pub fn write_stream_head<W: Write>(stream: &mut W, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> io::Result<Option<Request>> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req = parse(
+            "GET /studies/7?wait_ms=100&stream=1 HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\n\r\n",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/studies/7");
+        assert_eq!(req.query_param("wait_ms"), Some("100"));
+        assert_eq!(req.query_param("stream"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.header("X-TENANT"), Some("alice"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = parse("POST /studies HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"hello world");
+    }
+
+    #[test]
+    fn clean_close_is_none_and_garbage_is_an_error() {
+        assert!(parse("").unwrap().is_none());
+        assert!(parse("NOT A REQUEST\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/2.0\r\n\r\n").is_err());
+        assert!(parse("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n").is_err());
+        // Truncated header block (no terminating blank line).
+        assert!(parse("GET /x HTTP/1.1\r\nHost: y\r\n").is_err());
+    }
+
+    #[test]
+    fn response_writer_emits_well_formed_exchange() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "Not Found", "application/json", b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

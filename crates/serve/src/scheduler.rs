@@ -1,0 +1,347 @@
+//! The threaded job scheduler: worker threads driving the deterministic
+//! [`Core`] over real [`JobSpec`] executions.
+//!
+//! Threading is a thin shell — every scheduling decision is delegated to the
+//! [`Core`] state machine under one mutex, with a logical tick counter as its
+//! clock, so the concurrent scheduler inherits the core's tested fairness,
+//! bounding, dedup, and stealing behavior. Workers block on a condvar when
+//! idle and are woken by submissions and shutdown.
+//!
+//! Execution itself happens *outside* the lock: a worker claims a job,
+//! releases the mutex, runs [`JobSpec::run`] under the job's [`JobControl`],
+//! then re-locks to record the outcome and wake waiters. Cancellation fires
+//! the running job's token; the engine returns [`StudyError::Cancelled`] at
+//! the next unit boundary and (with checkpoints enabled) the finished chunks
+//! stay on disk for the next submission of the same spec to resume from.
+
+use crate::sched::{CancelOutcome, Core, JobId, SchedConfig, SubmitOutcome};
+use hammervolt_core::error::StudyError;
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_core::job::{JobControl, JobOutput, JobSpec, ProgressSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity and the overflow policy rejects.
+    QueueFull,
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+/// A job's externally visible lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPhase {
+    /// Waiting in the queue.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully; the output is available.
+    Done,
+    /// Finished with an engine error (message attached).
+    Failed(String),
+    /// Cancelled before completion.
+    Cancelled,
+    /// Evicted from the queue by the shed-oldest overflow policy.
+    Shed,
+}
+
+impl JobPhase {
+    /// Whether the job has reached a terminal state.
+    pub fn is_settled(&self) -> bool {
+        !matches!(self, JobPhase::Queued | JobPhase::Running)
+    }
+
+    /// Short lowercase label for API payloads.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "running",
+            JobPhase::Done => "done",
+            JobPhase::Failed(_) => "failed",
+            JobPhase::Cancelled => "cancelled",
+            JobPhase::Shed => "shed",
+        }
+    }
+}
+
+/// A point-in-time external view of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobView {
+    /// The job's scheduler id.
+    pub id: JobId,
+    /// The job's content hash (shared by deduped submitters).
+    pub spec_hash: u64,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Progress counters (all zeros until the job starts).
+    pub progress: ProgressSnapshot,
+    /// How many submissions share this execution (1 + dedup hits).
+    pub subscribers: u64,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    spec_hash: u64,
+    ctl: JobControl,
+    phase: JobPhase,
+    output: Option<JobOutput>,
+    subscribers: u64,
+}
+
+struct Shared {
+    core: Mutex<Inner>,
+    /// Woken on submissions (workers) and on any job settling (waiters).
+    changed: Condvar,
+    exec: ExecConfig,
+    tick: AtomicU64,
+}
+
+struct Inner {
+    core: Core,
+    jobs: BTreeMap<JobId, JobRecord>,
+    shutdown: bool,
+}
+
+/// The multi-tenant job scheduler. Create with [`Scheduler::start`], stop
+/// with [`Scheduler::shutdown`] (also invoked on drop).
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Starts `config.workers` worker threads executing jobs under `exec`
+    /// (shared cache dir, per-job worker count, checkpoint policy).
+    pub fn start(config: SchedConfig, exec: ExecConfig) -> Self {
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Inner {
+                core: Core::new(config.clone()),
+                jobs: BTreeMap::new(),
+                shutdown: false,
+            }),
+            changed: Condvar::new(),
+            exec,
+            tick: AtomicU64::new(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hv-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Scheduler { shared, workers }
+    }
+
+    fn now(&self) -> u64 {
+        self.shared.tick.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Submits a spec for `tenant`. Identical in-flight specs dedup onto the
+    /// existing job (its id is returned and its subscriber count grows).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under the reject policy at capacity;
+    /// [`SubmitError::ShuttingDown`] after [`Scheduler::shutdown`] began.
+    pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let spec_hash = spec.spec_hash();
+        let now = self.now();
+        let mut inner = self.shared.core.lock().expect("scheduler poisoned");
+        if inner.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let reply = inner.core.submit(tenant, spec_hash, now);
+        if let Some(shed) = reply.shed {
+            if let Some(rec) = inner.jobs.get_mut(&shed) {
+                rec.phase = JobPhase::Shed;
+            }
+        }
+        let id = match reply.outcome {
+            SubmitOutcome::Rejected => return Err(SubmitError::QueueFull),
+            SubmitOutcome::Deduped(id) => {
+                if let Some(rec) = inner.jobs.get_mut(&id) {
+                    rec.subscribers += 1;
+                }
+                id
+            }
+            SubmitOutcome::Queued(id) => {
+                inner.jobs.insert(
+                    id,
+                    JobRecord {
+                        spec,
+                        spec_hash,
+                        ctl: JobControl::new(),
+                        phase: JobPhase::Queued,
+                        output: None,
+                        subscribers: 1,
+                    },
+                );
+                id
+            }
+        };
+        drop(inner);
+        self.shared.changed.notify_all();
+        Ok(id)
+    }
+
+    /// A snapshot of one job, or `None` for an unknown id.
+    pub fn view(&self, id: JobId) -> Option<JobView> {
+        let inner = self.shared.core.lock().expect("scheduler poisoned");
+        inner.jobs.get(&id).map(|rec| JobView {
+            id,
+            spec_hash: rec.spec_hash,
+            phase: rec.phase.clone(),
+            progress: rec.ctl.snapshot(),
+            subscribers: rec.subscribers,
+        })
+    }
+
+    /// Blocks until the job settles (or `timeout` elapses), then returns its
+    /// final view plus output when done. `None` for an unknown id;
+    /// `Some((view, None))` on timeout or non-`Done` terminal states.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Option<(JobView, Option<JobOutput>)> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.shared.core.lock().expect("scheduler poisoned");
+        loop {
+            let settled = match inner.jobs.get(&id) {
+                None => return None,
+                Some(rec) => rec.phase.is_settled(),
+            };
+            if settled {
+                break;
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _timeout) = self
+                .shared
+                .changed
+                .wait_timeout(inner, left)
+                .expect("scheduler poisoned");
+            inner = guard;
+        }
+        inner.jobs.get(&id).map(|rec| {
+            (
+                JobView {
+                    id,
+                    spec_hash: rec.spec_hash,
+                    phase: rec.phase.clone(),
+                    progress: rec.ctl.snapshot(),
+                    subscribers: rec.subscribers,
+                },
+                rec.output.clone(),
+            )
+        })
+    }
+
+    /// Requests cancellation. Queued jobs settle as `Cancelled` immediately;
+    /// running jobs get their token fired and settle once the engine unwinds
+    /// (cooperatively, at the next unit boundary). Returns `false` for an
+    /// unknown id.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut inner = self.shared.core.lock().expect("scheduler poisoned");
+        match inner.core.cancel(id) {
+            CancelOutcome::Unknown => false,
+            CancelOutcome::Settled => true,
+            CancelOutcome::WasQueued => {
+                if let Some(rec) = inner.jobs.get_mut(&id) {
+                    rec.phase = JobPhase::Cancelled;
+                }
+                drop(inner);
+                self.shared.changed.notify_all();
+                true
+            }
+            CancelOutcome::WasRunning(_) => {
+                if let Some(rec) = inner.jobs.get(&id) {
+                    rec.ctl.cancel.cancel();
+                }
+                true
+            }
+        }
+    }
+
+    /// Stops accepting work, drains running jobs, and joins the workers.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut inner = self.shared.core.lock().expect("scheduler poisoned");
+        inner.shutdown = true;
+        drop(inner);
+        self.shared.changed.notify_all();
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    let mut inner = shared.core.lock().expect("scheduler poisoned");
+    loop {
+        let now = shared.tick.fetch_add(1, Ordering::Relaxed);
+        if let Some(id) = inner.core.next(worker, now) {
+            let Some((spec, ctl)) = inner.jobs.get_mut(&id).map(|rec| {
+                rec.phase = JobPhase::Running;
+                (rec.spec.clone(), rec.ctl.clone())
+            }) else {
+                // A claimed job with no record cannot happen (records are
+                // inserted before the core learns the id), but completing it
+                // keeps the core consistent if it ever did.
+                inner.core.complete(id);
+                continue;
+            };
+            drop(inner);
+            let result = spec.run(&shared.exec, &ctl);
+            inner = shared.core.lock().expect("scheduler poisoned");
+            inner.core.complete(id);
+            if let Some(rec) = inner.jobs.get_mut(&id) {
+                match result {
+                    Ok(output) => {
+                        rec.output = Some(output);
+                        rec.phase = JobPhase::Done;
+                    }
+                    Err(StudyError::Cancelled) => rec.phase = JobPhase::Cancelled,
+                    Err(e) => rec.phase = JobPhase::Failed(e.to_string()),
+                }
+            }
+            // Wake result waiters (and idle peers, harmlessly).
+            shared.changed.notify_all();
+            continue;
+        }
+        if inner.shutdown {
+            return;
+        }
+        inner = self_wait(shared, inner);
+    }
+}
+
+/// Parks an idle worker until something changes; a timeout guards against a
+/// missed wakeup ever stranding a queued job.
+fn self_wait<'a>(
+    shared: &'a Shared,
+    inner: std::sync::MutexGuard<'a, Inner>,
+) -> std::sync::MutexGuard<'a, Inner> {
+    let (guard, _) = shared
+        .changed
+        .wait_timeout(inner, Duration::from_millis(50))
+        .expect("scheduler poisoned");
+    guard
+}

@@ -1,0 +1,382 @@
+//! The std-only HTTP/1.1 study server: `std::net::TcpListener`, one thread
+//! per connection, routing onto the [`Scheduler`].
+//!
+//! # Endpoints
+//!
+//! | Method & path                  | Purpose |
+//! |--------------------------------|---------|
+//! | `POST /studies`                | Submit a study spec (full or shortcut form; see [`crate::api`]). Tenant from the `X-Tenant` header (default `anon`). `202` with `{"job":…}`; `429` when the queue rejects. |
+//! | `GET /studies/{id}`            | One status + progress snapshot. |
+//! | `GET /studies/{id}/progress`   | Same snapshot; with `?stream=1`, a close-delimited JSONL stream of snapshots until the job settles. |
+//! | `GET /studies/{id}/result`     | Block (up to `?wait_ms`, default 10 min) for the result. `200` with the records JSONL on success — byte-identical to the CLI run of the same spec; `202` while still running; `410` for cancelled/shed; `500` for failed. |
+//! | `POST /studies/{id}/cancel`    | Cooperative cancel. |
+//! | `GET /stats`                   | Global obs counters + progress counts. |
+//! | `GET /healthz`                 | Liveness probe. |
+//!
+//! Every exchange is one request, one response, connection closed — no
+//! keep-alive state to manage across tenants.
+
+use crate::api;
+use crate::http::{read_request, write_response, write_stream_head, Request};
+use crate::sched::SchedConfig;
+use crate::scheduler::{JobPhase, JobView, Scheduler, SubmitError};
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_core::job::ProgressSnapshot;
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often streaming progress emits a snapshot and the accept loop polls
+/// for shutdown.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Default cap on how long `/result` blocks before answering `202`.
+const DEFAULT_WAIT: Duration = Duration::from_secs(600);
+
+/// Everything the server needs: scheduler sizing and the execution-engine
+/// template shared by all jobs (cache directory, per-job worker count,
+/// checkpoint policy).
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Scheduler sizing and overflow policy.
+    pub sched: SchedConfig,
+    /// Engine configuration every job runs under.
+    pub exec: ExecConfig,
+}
+
+/// A running study server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting connections and drains the scheduler.
+pub struct Server {
+    addr: SocketAddr,
+    sched: Arc<Scheduler>,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the accept
+    /// loop and scheduler workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration failures from the listener.
+    pub fn start(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let sched = Arc::new(Scheduler::start(config.sched, config.exec));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("hv-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &sched, &stop))
+                .expect("spawn accept loop")
+        };
+        Ok(Server {
+            addr,
+            sched,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The scheduler behind the server (for in-process inspection in
+    /// tests).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
+    }
+
+    /// Stops accepting connections, then drains and joins the scheduler
+    /// workers.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+        // The scheduler's own Drop drains workers once the last Arc (accept
+        // loop joined above; handler threads are short-lived) releases.
+    }
+}
+
+fn accept_loop(listener: &TcpListener, sched: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let sched = Arc::clone(sched);
+                let _ = std::thread::Builder::new()
+                    .name("hv-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(&sched, stream);
+                    });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(POLL);
+            }
+            Err(_) => {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(sched: &Scheduler, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut out = stream;
+    let request = match read_request(&mut reader) {
+        Ok(Some(req)) => req,
+        Ok(None) => return Ok(()),
+        Err(e) => {
+            return write_response(
+                &mut out,
+                400,
+                "Bad Request",
+                "application/json",
+                api::error_body(&e.to_string()).as_bytes(),
+            );
+        }
+    };
+    route(sched, &request, &mut out)
+}
+
+/// Splits `/studies/{id}[/{action}]` into the id and optional action.
+fn study_target(path: &str) -> Option<(u64, Option<&str>)> {
+    let rest = path.strip_prefix("/studies/")?;
+    let (id_part, action) = match rest.split_once('/') {
+        Some((id, action)) => (id, Some(action)),
+        None => (rest, None),
+    };
+    id_part.parse().ok().map(|id| (id, action))
+}
+
+fn route(sched: &Scheduler, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => write_response(out, 200, "OK", "application/json", b"{\"ok\":true}"),
+        ("GET", "/stats") => {
+            write_response(out, 200, "OK", "application/json", stats_body().as_bytes())
+        }
+        ("POST", "/studies") => submit(sched, req, out),
+        (method, path) => {
+            if let Some((id, action)) = study_target(path) {
+                return match (method, action) {
+                    ("GET", None) => status(sched, id, out),
+                    ("GET", Some("progress")) => progress(sched, req, id, out),
+                    ("GET", Some("result")) => result(sched, req, id, out),
+                    ("POST", Some("cancel")) => cancel(sched, id, out),
+                    _ => not_found(out),
+                };
+            }
+            not_found(out)
+        }
+    }
+}
+
+fn not_found(out: &mut TcpStream) -> io::Result<()> {
+    write_response(
+        out,
+        404,
+        "Not Found",
+        "application/json",
+        api::error_body("no such resource").as_bytes(),
+    )
+}
+
+fn submit(sched: &Scheduler, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+    let spec = match api::parse_spec(&req.body) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            return write_response(
+                out,
+                400,
+                "Bad Request",
+                "application/json",
+                api::error_body(&msg).as_bytes(),
+            );
+        }
+    };
+    let tenant = req.header("x-tenant").unwrap_or("anon").to_string();
+    match sched.submit(&tenant, spec) {
+        Ok(id) => {
+            let view = sched.view(id);
+            let state = view.map_or("queued".to_string(), |v| v.phase.label().to_string());
+            let hash = sched.view(id).map_or(0, |v| v.spec_hash);
+            let body =
+                format!("{{\"job\":{id},\"spec_hash\":\"{hash:016x}\",\"state\":\"{state}\"}}");
+            write_response(out, 202, "Accepted", "application/json", body.as_bytes())
+        }
+        Err(SubmitError::QueueFull) => write_response(
+            out,
+            429,
+            "Too Many Requests",
+            "application/json",
+            api::error_body("queue full").as_bytes(),
+        ),
+        Err(SubmitError::ShuttingDown) => write_response(
+            out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            api::error_body("shutting down").as_bytes(),
+        ),
+    }
+}
+
+fn view_body(view: &JobView) -> String {
+    let mut body = format!(
+        "{{\"job\":{},\"spec_hash\":\"{:016x}\",\"state\":\"{}\",\"subscribers\":{},\"progress\":{}",
+        view.id,
+        view.spec_hash,
+        view.phase.label(),
+        view.subscribers,
+        progress_body(&view.progress),
+    );
+    if let JobPhase::Failed(msg) = &view.phase {
+        body.push_str(&format!(",\"error\":\"{}\"", api::json_escape(msg)));
+    }
+    body.push('}');
+    body
+}
+
+fn progress_body(p: &ProgressSnapshot) -> String {
+    serde_json::to_string(p).expect("snapshot serializes")
+}
+
+fn status(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<()> {
+    match sched.view(id) {
+        Some(view) => write_response(
+            out,
+            200,
+            "OK",
+            "application/json",
+            view_body(&view).as_bytes(),
+        ),
+        None => not_found(out),
+    }
+}
+
+fn progress(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<()> {
+    if req.query_param("stream") != Some("1") {
+        return status(sched, id, out);
+    }
+    let Some(mut view) = sched.view(id) else {
+        return not_found(out);
+    };
+    // Close-delimited JSONL stream: one snapshot per poll tick, final
+    // snapshot carries the terminal state, then the connection closes.
+    write_stream_head(out, "application/x-ndjson")?;
+    loop {
+        writeln!(out, "{}", view_body(&view))?;
+        out.flush()?;
+        if view.phase.is_settled() {
+            return Ok(());
+        }
+        std::thread::sleep(POLL);
+        match sched.view(id) {
+            Some(v) => view = v,
+            None => return Ok(()),
+        }
+    }
+}
+
+fn result(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<()> {
+    let wait = req
+        .query_param("wait_ms")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map_or(DEFAULT_WAIT, Duration::from_millis);
+    let Some((view, output)) = sched.wait(id, wait) else {
+        return not_found(out);
+    };
+    match (&view.phase, output) {
+        (JobPhase::Done, Some(output)) => write_response(
+            out,
+            200,
+            "OK",
+            "application/x-ndjson",
+            output.records_jsonl.as_bytes(),
+        ),
+        (JobPhase::Failed(msg), _) => write_response(
+            out,
+            500,
+            "Internal Server Error",
+            "application/json",
+            api::error_body(msg).as_bytes(),
+        ),
+        (JobPhase::Cancelled, _) => write_response(
+            out,
+            410,
+            "Gone",
+            "application/json",
+            api::error_body("job was cancelled").as_bytes(),
+        ),
+        (JobPhase::Shed, _) => write_response(
+            out,
+            410,
+            "Gone",
+            "application/json",
+            api::error_body("job was shed from the queue; resubmit").as_bytes(),
+        ),
+        _ => write_response(
+            out,
+            202,
+            "Accepted",
+            "application/json",
+            view_body(&view).as_bytes(),
+        ),
+    }
+}
+
+fn cancel(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<()> {
+    if sched.cancel(id) {
+        write_response(out, 200, "OK", "application/json", b"{\"cancelled\":true}")
+    } else {
+        not_found(out)
+    }
+}
+
+/// `{"counters":{…},"progress":{…}}` from the global obs registries — the
+/// same counters the run manifest reports, served live.
+fn stats_body() -> String {
+    let counters = hammervolt_obs::metrics::counters_snapshot();
+    let progress = hammervolt_obs::progress::snapshot();
+    let mut body = String::from("{\"counters\":{");
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\":{value}", api::json_escape(name)));
+    }
+    body.push_str(&format!(
+        "}},\"progress\":{{\"modules_done\":{},\"modules_total\":{},\"units_done\":{},\"units_total\":{},\"cache_hits\":{},\"cache_misses\":{}}}}}",
+        progress.modules_done,
+        progress.modules_total,
+        progress.units_done,
+        progress.units_total,
+        progress.cache_hits,
+        progress.cache_misses,
+    ));
+    body
+}

@@ -1,0 +1,233 @@
+//! Deterministic fake-clock tests for the scheduling core.
+//!
+//! [`Core`] takes every timestamp as an explicit argument and iterates in
+//! sorted order with explicit tie-breaks, so these tests drive exact
+//! schedules tick by tick and assert the precise claim order — no sleeps,
+//! no threads, no flakiness.
+
+use hammervolt_serve::sched::{
+    CancelOutcome, Core, JobId, JobState, OverflowPolicy, SchedConfig, SubmitOutcome,
+};
+
+fn core(workers: usize, cap: usize, overflow: OverflowPolicy) -> Core {
+    Core::new(SchedConfig {
+        workers,
+        queue_capacity: cap,
+        overflow,
+    })
+}
+
+fn queued(core: &mut Core, tenant: &str, spec: u64, now: u64) -> JobId {
+    match core.submit(tenant, spec, now).outcome {
+        SubmitOutcome::Queued(id) => id,
+        other => panic!("expected Queued, got {other:?}"),
+    }
+}
+
+/// Drains the core one claim per tick starting at `t0`, recording which
+/// tenant each claim belonged to.
+fn drain_order(core: &mut Core, owner_of: &[(JobId, &str)], t0: u64) -> Vec<String> {
+    let mut order = Vec::new();
+    let mut t = t0;
+    while let Some(id) = core.next(0, t) {
+        let tenant = owner_of
+            .iter()
+            .find(|(j, _)| *j == id)
+            .map(|(_, tenant)| (*tenant).to_string())
+            .expect("claimed id was submitted");
+        order.push(tenant);
+        core.complete(id);
+        t += 1;
+    }
+    order
+}
+
+#[test]
+fn fairness_interleaves_tenants_sharing_a_worker() {
+    // One worker → every tenant shares one deque. Tenant `a` floods three
+    // jobs before `b` submits two; least-recently-served scheduling must
+    // alternate them instead of draining `a`'s flood first.
+    let mut c = core(1, 16, OverflowPolicy::Reject);
+    let mut owners: Vec<(JobId, &str)> = Vec::new();
+    for i in 0..3 {
+        owners.push((queued(&mut c, "a", 100 + i, 0), "a"));
+    }
+    for i in 0..2 {
+        owners.push((queued(&mut c, "b", 200 + i, 1), "b"));
+    }
+    let order = drain_order(&mut c, &owners, 10);
+    assert_eq!(order, ["a", "b", "a", "b", "a"]);
+}
+
+#[test]
+fn fairness_never_strands_a_late_quiet_tenant() {
+    // A quiet tenant submitting one job behind a 10-deep flood is served
+    // second, not eleventh.
+    let mut c = core(1, 32, OverflowPolicy::Reject);
+    let mut owners: Vec<(JobId, &str)> = Vec::new();
+    for i in 0..10 {
+        owners.push((queued(&mut c, "noisy", 300 + i, 0), "noisy"));
+    }
+    owners.push((queued(&mut c, "quiet", 999, 5), "quiet"));
+    let order = drain_order(&mut c, &owners, 10);
+    assert_eq!(order.len(), 11);
+    assert_eq!(order[0], "noisy", "ties at last_served=0 break by name");
+    assert_eq!(order[1], "quiet", "one flood must not starve a peer");
+    assert!(order[2..].iter().all(|t| t == "noisy"));
+}
+
+#[test]
+fn reject_policy_bounds_the_queue() {
+    let mut c = core(1, 2, OverflowPolicy::Reject);
+    let a = queued(&mut c, "t", 1, 0);
+    let _b = queued(&mut c, "t", 2, 1);
+    let reply = c.submit("t", 3, 2);
+    assert_eq!(reply.outcome, SubmitOutcome::Rejected);
+    assert_eq!(reply.shed, None);
+    assert_eq!(c.queued_len(), 2, "a rejected submission changes nothing");
+    // Draining one slot readmits.
+    assert_eq!(c.next(0, 3), Some(a));
+    assert!(matches!(
+        c.submit("t", 3, 4).outcome,
+        SubmitOutcome::Queued(_)
+    ));
+}
+
+#[test]
+fn shed_policy_evicts_the_globally_oldest_queued_job() {
+    let mut c = core(1, 2, OverflowPolicy::ShedOldest);
+    let oldest = queued(&mut c, "t", 1, 0);
+    let second = queued(&mut c, "t", 2, 1);
+    let reply = c.submit("t", 3, 2);
+    let third = match reply.outcome {
+        SubmitOutcome::Queued(id) => id,
+        other => panic!("expected Queued, got {other:?}"),
+    };
+    assert_eq!(reply.shed, Some(oldest), "the globally oldest job is shed");
+    assert_eq!(c.state(oldest), Some(JobState::Shed));
+    assert_eq!(c.queued_len(), 2);
+    // The shed job's dedup slot is released: resubmitting its spec starts a
+    // fresh job rather than pointing at the tombstone.
+    let reply = c.submit("u", 1, 3);
+    match reply.outcome {
+        SubmitOutcome::Queued(id) => assert_ne!(id, oldest),
+        other => panic!("expected Queued, got {other:?}"),
+    }
+    assert_eq!(reply.shed, Some(second), "next-oldest goes next");
+    // Claim order reflects the survivors only.
+    assert_eq!(c.next(0, 4), Some(third));
+}
+
+#[test]
+fn zero_capacity_rejects_even_under_shed_policy() {
+    let mut c = core(1, 0, OverflowPolicy::ShedOldest);
+    let reply = c.submit("t", 1, 0);
+    assert_eq!(reply.outcome, SubmitOutcome::Rejected);
+    assert_eq!(reply.shed, None);
+}
+
+#[test]
+fn idle_workers_steal_a_flooded_home_deque() {
+    // One tenant's jobs all queue on its single home deque; with four
+    // workers, every worker must still be able to claim work (liveness via
+    // stealing), and all jobs must drain exactly once.
+    let workers = 4;
+    let mut c = core(workers, 64, OverflowPolicy::Reject);
+    let ids: Vec<JobId> = (0..8)
+        .map(|i| queued(&mut c, "flood", 500 + i, 0))
+        .collect();
+    let mut claimed = Vec::new();
+    let mut t = 1;
+    // Round-robin the workers; each must get a job while any remain.
+    'outer: loop {
+        for w in 0..workers {
+            match c.next(w, t) {
+                Some(id) => {
+                    assert_eq!(c.state(id), Some(JobState::Running { worker: w }));
+                    claimed.push(id);
+                    c.complete(id);
+                    t += 1;
+                }
+                None => break 'outer,
+            }
+        }
+    }
+    // Every job claimed exactly once, in FIFO order for the single tenant.
+    assert_eq!(claimed, ids);
+    assert_eq!(c.queued_len(), 0);
+    for id in ids {
+        assert_eq!(c.state(id), Some(JobState::Done));
+    }
+}
+
+#[test]
+fn steal_prefers_the_longest_peer_deque() {
+    // Two tenants with distinct home deques: build that situation by
+    // probing — submit one job per candidate tenant name and see which
+    // worker's `next` claims it without stealing being distinguishable.
+    // Instead, assert the observable contract: with every deque drained by
+    // its own worker except one, an idle worker's claim count matches the
+    // flooded deque's length.
+    let workers = 2;
+    let mut c = core(workers, 64, OverflowPolicy::Reject);
+    for i in 0..6 {
+        queued(&mut c, "only", 700 + i, 0);
+    }
+    // Both workers pull; between them all six jobs drain even though only
+    // one deque ever held work.
+    let mut total = 0;
+    let mut t = 1;
+    while let Some(id) = c.next(total % workers, t) {
+        c.complete(id);
+        total += 1;
+        t += 1;
+    }
+    assert_eq!(total, 6);
+}
+
+#[test]
+fn cancel_queued_removes_it_from_the_schedule() {
+    let mut c = core(1, 16, OverflowPolicy::Reject);
+    let a = queued(&mut c, "t", 1, 0);
+    let b = queued(&mut c, "t", 2, 1);
+    assert_eq!(c.cancel(a), CancelOutcome::WasQueued);
+    assert_eq!(c.state(a), Some(JobState::Cancelled));
+    assert_eq!(c.queued_len(), 1);
+    assert_eq!(c.next(0, 2), Some(b), "cancelled job never runs");
+    // Cancelling again (or after settle) is a no-op.
+    assert_eq!(c.cancel(a), CancelOutcome::Settled);
+    assert_eq!(c.cancel(b), CancelOutcome::WasRunning(0));
+    c.complete(b);
+    assert_eq!(c.cancel(b), CancelOutcome::Settled);
+    assert_eq!(c.cancel(999), CancelOutcome::Unknown);
+}
+
+#[test]
+fn same_inputs_produce_the_same_schedule() {
+    // Determinism end-to-end: two cores fed the identical call sequence
+    // claim identical ids at identical ticks.
+    let run = || {
+        let mut c = core(3, 32, OverflowPolicy::ShedOldest);
+        let mut claims = Vec::new();
+        for (i, tenant) in ["a", "b", "c", "a", "b", "a"].iter().enumerate() {
+            c.submit(tenant, 40 + i as u64, i as u64);
+        }
+        let mut t = 100;
+        loop {
+            let mut any = false;
+            for w in 0..3 {
+                if let Some(id) = c.next(w, t) {
+                    claims.push((w, id));
+                    c.complete(id);
+                    any = true;
+                    t += 1;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        claims
+    };
+    assert_eq!(run(), run());
+}

@@ -38,6 +38,7 @@ where
     let cached = ExecConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let cold = canon(&run(&cached));
     assert_eq!(serial, cold, "{tag}: serial vs cold-cache diverged");

@@ -37,6 +37,7 @@ fn corrupted_cache_entries_are_recomputed_never_served() {
     let exec = ExecConfig {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let cold = canon(&rowhammer_sweep(&cfg, id, &exec).expect("cold run"));
     let key = sweep_key(&cfg, id, "hammer", 0);
@@ -101,6 +102,7 @@ fn stale_key_swapped_entries_are_rejected() {
     let exec = ExecConfig {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let cold = rowhammer_sweeps(&cfg, &exec).expect("cold run");
     let cold_text = canon(&cold);
@@ -132,6 +134,7 @@ fn forged_but_validly_sealed_entry_is_served() {
     let exec = ExecConfig {
         jobs: 1,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let mut sweep = rowhammer_sweep(&cfg, id, &exec).expect("cold run");
     const SENTINEL: f64 = 0.123_456_789;

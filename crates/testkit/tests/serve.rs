@@ -1,0 +1,322 @@
+//! End-to-end conformance for the study server: concurrent HTTP clients
+//! with overlapping specs get byte-identical results to serial engine runs,
+//! identical in-flight specs share one execution, cancel-then-resubmit
+//! resumes from chunk checkpoints, and queue bounds reject as configured.
+//!
+//! The client side is a deliberately tiny hand-rolled HTTP/1.1 exchange over
+//! `std::net::TcpStream` (one request, read to close) — the same strict
+//! subset the server speaks.
+
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_core::job::{JobControl, JobSpec, SweepKind};
+use hammervolt_core::study::StudyConfig;
+use hammervolt_dram::registry::ModuleId;
+use hammervolt_serve::{OverflowPolicy, SchedConfig, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("testkit-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_spec(module: ModuleId, rows_per_chunk: u32) -> JobSpec {
+    JobSpec {
+        kind: SweepKind::Hammer,
+        config: StudyConfig {
+            rows_per_chunk,
+            modules: vec![module],
+            ..StudyConfig::smoke()
+        },
+    }
+}
+
+/// One HTTP exchange: send, read to close, split status and body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect to test server");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a header block");
+    let head = std::str::from_utf8(&raw[..header_end]).expect("UTF-8 headers");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, raw[header_end + 4..].to_vec())
+}
+
+/// Extracts the first `"key":<digits>` value from a JSON body.
+fn json_u64(body: &[u8], key: &str) -> u64 {
+    let text = std::str::from_utf8(body).expect("UTF-8 body");
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no {key:?} in {text}"));
+    text[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key:?} in {text}"))
+}
+
+fn submit(addr: SocketAddr, spec: &JobSpec) -> u64 {
+    let body = serde_json::to_string(spec).expect("spec serializes");
+    let (status, reply) = http(addr, "POST", "/studies", &body);
+    assert_eq!(status, 202, "submit: {}", String::from_utf8_lossy(&reply));
+    json_u64(&reply, "job")
+}
+
+fn server(tag: &str, workers: usize, checkpoints: bool) -> (Server, PathBuf) {
+    let dir = temp_dir(tag);
+    let exec = ExecConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
+    }
+    .with_checkpoints(checkpoints);
+    let config = ServerConfig {
+        sched: SchedConfig {
+            workers,
+            ..SchedConfig::default()
+        },
+        exec,
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind ephemeral port");
+    (server, dir)
+}
+
+#[test]
+fn concurrent_clients_get_results_byte_identical_to_serial_runs() {
+    let specs = [small_spec(ModuleId::B3, 2), small_spec(ModuleId::B0, 2)];
+    let serial: Vec<Vec<u8>> = specs
+        .iter()
+        .map(|s| {
+            s.run(&ExecConfig::serial(), &JobControl::new())
+                .expect("serial reference run")
+                .records_jsonl
+                .into_bytes()
+        })
+        .collect();
+
+    let (server, dir) = server("clients", 2, false);
+    let addr = server.addr();
+    // Six clients, three per spec, submitted concurrently: between dedup
+    // and the sweep cache the server may run each spec only once, but every
+    // client must still receive the full, exact byte stream.
+    let handles: Vec<_> = (0..6)
+        .map(|i| {
+            let spec = specs[i % 2].clone();
+            std::thread::spawn(move || {
+                let job = submit(addr, &spec);
+                let (status, body) = http(
+                    addr,
+                    "GET",
+                    &format!("/studies/{job}/result?wait_ms=120000"),
+                    "",
+                );
+                assert_eq!(status, 200, "result: {}", String::from_utf8_lossy(&body));
+                (i % 2, body)
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (which, body) = handle.join().expect("client thread");
+        assert_eq!(
+            body, serial[which],
+            "HTTP result diverged from the serial engine run"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_inflight_specs_share_one_execution() {
+    let (server, dir) = server("dedup", 1, false);
+    let addr = server.addr();
+    let spec = small_spec(ModuleId::B1, 2);
+
+    let first = submit(addr, &spec);
+    // Submitted again while queued or running: the server must answer with
+    // the *same* job rather than scheduling a second execution.
+    let second = submit(addr, &spec);
+    assert_eq!(first, second, "identical in-flight specs must dedup");
+    let (status, view) = http(addr, "GET", &format!("/studies/{first}"), "");
+    assert_eq!(status, 200);
+    assert_eq!(json_u64(&view, "subscribers"), 2);
+
+    let (s1, b1) = http(
+        addr,
+        "GET",
+        &format!("/studies/{first}/result?wait_ms=120000"),
+        "",
+    );
+    let (s2, b2) = http(
+        addr,
+        "GET",
+        &format!("/studies/{second}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(b1, b2, "both waiters see the one execution's bytes");
+
+    // Once settled the dedup slot is released — a resubmission is a *new*
+    // job (served instantly from the sweep cache).
+    let third = submit(addr, &spec);
+    assert_ne!(third, first, "settled specs must not dedup");
+    let (status, body) = http(
+        addr,
+        "GET",
+        &format!("/studies/{third}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!(status, 200);
+    assert_eq!(body, b1);
+    let (_, view) = http(addr, "GET", &format!("/studies/{third}"), "");
+    assert_eq!(
+        json_u64(&view, "units_executed"),
+        0,
+        "warm resubmission must be served from cache without re-executing"
+    );
+    assert_eq!(json_u64(&view, "cache_hits"), 1);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancel_then_resubmit_resumes_from_chunk_checkpoints() {
+    let (server, dir) = server("resume", 1, true);
+    let addr = server.addr();
+    let spec = small_spec(ModuleId::B2, 2);
+
+    let job = submit(addr, &spec);
+    // Wait until at least one unit has checkpointed, then cancel.
+    loop {
+        let (_, view) = http(addr, "GET", &format!("/studies/{job}"), "");
+        if json_u64(&view, "units_done") >= 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let (status, _) = http(addr, "POST", &format!("/studies/{job}/cancel"), "");
+    assert_eq!(status, 200);
+    let (status, body) = http(
+        addr,
+        "GET",
+        &format!("/studies/{job}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!(
+        status,
+        410,
+        "cancelled job's result is gone: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let (_, view) = http(addr, "GET", &format!("/studies/{job}"), "");
+    let finished_units = json_u64(&view, "units_done");
+    let total_units = json_u64(&view, "units_total");
+    assert!(finished_units >= 1);
+    assert!(
+        finished_units < total_units,
+        "cancel must land mid-sweep ({finished_units}/{total_units})"
+    );
+
+    // Resubmit: a fresh job restores the finished chunks and re-runs only
+    // the rest, and its bytes match a clean serial run.
+    let retry = submit(addr, &spec);
+    assert_ne!(retry, job);
+    let (status, body) = http(
+        addr,
+        "GET",
+        &format!("/studies/{retry}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!(status, 200);
+    let clean = spec
+        .run(&ExecConfig::serial(), &JobControl::new())
+        .expect("clean reference run");
+    assert_eq!(body, clean.records_jsonl.into_bytes());
+    let (_, view) = http(addr, "GET", &format!("/studies/{retry}"), "");
+    assert_eq!(json_u64(&view, "checkpoint_hits"), finished_units);
+    assert_eq!(
+        json_u64(&view, "units_executed"),
+        total_units - finished_units,
+        "resume may re-run only unfinished chunks"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn queue_bound_rejects_with_429() {
+    let dir = temp_dir("bound");
+    let exec = ExecConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
+    };
+    let config = ServerConfig {
+        sched: SchedConfig {
+            workers: 1,
+            queue_capacity: 1,
+            overflow: OverflowPolicy::Reject,
+        },
+        exec,
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+
+    let running = submit(addr, &small_spec(ModuleId::B3, 2));
+    // Wait for the worker to claim it so it stops counting against the
+    // queue bound.
+    loop {
+        let (_, view) = http(addr, "GET", &format!("/studies/{running}"), "");
+        if !String::from_utf8_lossy(&view).contains("\"state\":\"queued\"") {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let _queued = submit(addr, &small_spec(ModuleId::B0, 2));
+    let body = serde_json::to_string(&small_spec(ModuleId::B1, 2)).unwrap();
+    let (status, reply) = http(addr, "POST", "/studies", &body);
+    assert_eq!(
+        status,
+        429,
+        "over-bound submission must be rejected: {}",
+        String::from_utf8_lossy(&reply)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_submissions_and_unknown_jobs_are_clean_errors() {
+    let (server, dir) = server("errors", 1, false);
+    let addr = server.addr();
+    let (status, _) = http(addr, "POST", "/studies", "not json");
+    assert_eq!(status, 400);
+    let (status, _) = http(addr, "GET", "/studies/424242", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "POST", "/studies/424242/cancel", "");
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/no/such/route", "");
+    assert_eq!(status, 404);
+    let (status, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((status, body.as_slice()), (200, &b"{\"ok\":true}"[..]));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -16,6 +16,12 @@
 //! - `--cache-dir PATH` (or `HAMMERVOLT_CACHE_DIR`) enables the
 //!   content-addressed sweep cache: completed module sweeps are persisted
 //!   and re-runs with the same configuration skip simulation entirely.
+//! - `--resume` (or `HAMMERVOLT_RESUME=1`; requires `--cache-dir`) persists
+//!   every completed `(module, chunk)` work unit as a sealed checkpoint and
+//!   restores finished units on re-run. Checkpoints are written atomically
+//!   as units finish, so an interrupted run (Ctrl-C, kill, crash) leaves
+//!   valid partial results on disk and the next invocation re-runs only the
+//!   unfinished chunks — with byte-identical final output.
 //!
 //! `HAMMERVOLT_SCALE` selects the protocol (`smoke`, `quick` (default), or
 //! `paper`); `HAMMERVOLT_ROWS` overrides the per-chunk row sample.
@@ -41,7 +47,7 @@ use hammervolt::study::study::StudyConfig;
 use std::io::Write as _;
 
 const USAGE: &str = "usage: hammervolt <sweep|trcd|retention|vppmin|list> \
-     [--jobs N] [--cache-dir PATH] \
+     [--jobs N] [--cache-dir PATH] [--resume] \
      [--trace-out PATH] [--manifest-out PATH] [--metrics] [--progress] [modules..]";
 
 /// Flags and positional module labels pulled out of the raw argument list.
@@ -77,12 +83,17 @@ fn parse_cli(args: &[String]) -> Cli {
                 });
             }
             "--cache-dir" => exec.cache_dir = Some(value("--cache-dir").into()),
+            "--resume" => exec.checkpoints = true,
             f if f.starts_with('-') => {
                 eprintln!("unknown flag {f:?}\n{USAGE}");
                 std::process::exit(2);
             }
             _ => labels.push(arg.clone()),
         }
+    }
+    if exec.checkpoints && exec.cache_dir.is_none() {
+        eprintln!("--resume needs a checkpoint directory: pass --cache-dir PATH\n{USAGE}");
+        std::process::exit(2);
     }
     Cli {
         exec,

@@ -35,6 +35,7 @@ fn all_sweep_kinds_are_deterministic_across_worker_counts() {
             let exec = ExecConfig {
                 jobs,
                 cache_dir: None,
+                ..ExecConfig::default()
             };
             (
                 serde_json::to_string(&rowhammer_sweeps(&cfg, &exec).unwrap()).unwrap(),
@@ -86,6 +87,7 @@ fn warm_cache_round_trips_every_sweep_kind() {
     let exec = ExecConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let cold = (
         serde_json::to_string(&rowhammer_sweeps(&cfg, &exec).unwrap()).unwrap(),
@@ -130,6 +132,7 @@ fn cache_detects_tampering_but_serves_sealed_entries() {
     let exec = ExecConfig {
         jobs: 2,
         cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
     };
     let cold = rowhammer_sweeps(&cfg, &exec).unwrap();
     let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
