@@ -10,6 +10,11 @@
 //!   baseline (each instrumentation site is one relaxed atomic load).
 //! - `counter_add_disabled` / `counter_add_enabled`: raw cost of one
 //!   `counter_add!` call site in both states.
+//! - `counter_add_scoped`: the same call site with metrics on *and* a
+//!   metric scope entered on the thread — the study server's steady state,
+//!   where every tick also lands in the job's scoped series.
+//! - `gauge_set_disabled` / `gauge_set_enabled`: one `gauge_set!` call site
+//!   in both states (the scheduler refreshes gauges on every transition).
 //! - `measure_ber_300k_obs_disabled` / `..._obs_metrics`: an Alg. 1 BER
 //!   measurement, the hottest instrumented study path.
 
@@ -19,7 +24,7 @@ use hammervolt_core::patterns::DataPattern;
 use hammervolt_dram::geometry::Geometry;
 use hammervolt_dram::module::DramModule;
 use hammervolt_dram::registry::{self, ModuleId};
-use hammervolt_obs::counter_add;
+use hammervolt_obs::{counter_add, gauge_set};
 use hammervolt_softmc::SoftMc;
 use std::hint::black_box;
 
@@ -85,6 +90,24 @@ fn bench_counter_site(c: &mut Criterion) {
     c.bench_function("counter_add_enabled", |b| {
         b.iter(|| counter_add!("bench_obs_overhead", black_box(1u64)))
     });
+    let scope = hammervolt_obs::scope::Scope::new(&[("job_id", "bench"), ("tenant", "bench")]);
+    let _guard = hammervolt_obs::scope::enter(&scope);
+    c.bench_function("counter_add_scoped", |b| {
+        b.iter(|| counter_add!("bench_obs_overhead", black_box(1u64)))
+    });
+    drop(_guard);
+    hammervolt_obs::set_metrics(false);
+}
+
+fn bench_gauge_site(c: &mut Criterion) {
+    hammervolt_obs::set_metrics(false);
+    c.bench_function("gauge_set_disabled", |b| {
+        b.iter(|| gauge_set!("bench_obs_gauge", black_box(7i64)))
+    });
+    hammervolt_obs::set_metrics(true);
+    c.bench_function("gauge_set_enabled", |b| {
+        b.iter(|| gauge_set!("bench_obs_gauge", black_box(7i64)))
+    });
     hammervolt_obs::set_metrics(false);
 }
 
@@ -92,6 +115,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_hammer_disabled, bench_hammer_metrics, bench_ber_disabled,
-        bench_ber_metrics, bench_counter_site
+        bench_ber_metrics, bench_counter_site, bench_gauge_site
 }
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--queue N] [--shed-oldest]
 //!       [--cache-dir PATH] [--jobs N] [--resume]
+//!       [--read-timeout-ms N] [--write-timeout-ms N]
 //! ```
 //!
 //! - `--addr` (default `127.0.0.1:8077`): listen address; port 0 picks an
@@ -16,6 +17,9 @@
 //! - `--jobs` (default: all cores): per-study engine worker threads.
 //! - `--resume`: persist per-chunk checkpoints (requires `--cache-dir`), so
 //!   cancelled or interrupted studies resume from completed chunks.
+//! - `--read-timeout-ms` / `--write-timeout-ms` (defaults 10000 / 30000,
+//!   `0` disables): per-socket timeouts on accepted connections, so a slow
+//!   or stalled client cannot pin a handler thread.
 //!
 //! See `EXPERIMENTS.md` ("Serving studies") for the endpoint reference.
 
@@ -27,6 +31,7 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
     let mut addr = "127.0.0.1:8077".to_string();
     let mut sched = SchedConfig::default();
     let mut exec = ExecConfig::from_env();
+    let mut config = ServerConfig::default();
     let mut args = std::env::args().skip(1);
     // Accept both `--flag value` and `--flag=value`, like the main CLI.
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str, inline: Option<&str>| {
@@ -63,13 +68,27 @@ fn parse_args() -> Result<(String, ServerConfig), String> {
                     .map_err(|_| "--jobs needs an integer".to_string())?;
             }
             "--resume" => exec.checkpoints = true,
+            "--read-timeout-ms" => {
+                let ms: u64 = next_value(&mut args, "--read-timeout-ms", inline.as_deref())?
+                    .parse()
+                    .map_err(|_| "--read-timeout-ms needs an integer".to_string())?;
+                config.read_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--write-timeout-ms" => {
+                let ms: u64 = next_value(&mut args, "--write-timeout-ms", inline.as_deref())?
+                    .parse()
+                    .map_err(|_| "--write-timeout-ms needs an integer".to_string())?;
+                config.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
     if exec.checkpoints && exec.cache_dir.is_none() {
         return Err("--resume needs a checkpoint directory: pass --cache-dir PATH".to_string());
     }
-    Ok((addr, ServerConfig { sched, exec }))
+    config.sched = sched;
+    config.exec = exec;
+    Ok((addr, config))
 }
 
 fn main() {

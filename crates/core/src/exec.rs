@@ -225,6 +225,34 @@ struct UnitOut<R> {
 /// stream rebased onto the unit's chunk seed so results are independent of
 /// scheduling. The chunk's row-parameter table is pre-derived so the
 /// ladder's hammer loops never derive parameters mid-sweep.
+/// Starts a unit sub-phase timer when metrics are enabled; the disabled
+/// path costs one relaxed load, like every instrumentation site here.
+fn subphase_timer() -> Option<Instant> {
+    hammervolt_obs::metrics_enabled().then(Instant::now)
+}
+
+/// Closes a unit bring-up timing window: one sample in the `exec_bringup_us`
+/// histogram plus the manifest's accumulated `unit:bringup` phase — the
+/// bring-up half of the bring-up-vs-steady profiling split (ROADMAP item 4).
+fn record_bringup(t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        histogram_record!("exec_bringup_us", us);
+        manifest::add_phase_us("unit:bringup", us);
+    }
+}
+
+/// Closes a unit steady-state timing window (`exec_steady_us` histogram,
+/// `unit:steady` manifest phase): everything after bring-up — the ladder's
+/// measurement loops and record assembly.
+fn record_steady(t0: Option<Instant>) {
+    if let Some(t0) = t0 {
+        let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        histogram_record!("exec_steady_us", us);
+        manifest::add_phase_us("unit:steady", us);
+    }
+}
+
 fn bring_up_unit(
     config: &StudyConfig,
     blueprint: &ModuleBlueprint,
@@ -251,7 +279,10 @@ fn hammer_unit(
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<RowHammerRecord>, StudyError> {
+    let timer = subphase_timer();
     let (mut mc, vpp_min) = bring_up_unit(config, blueprint, id, chunk, rows)?;
+    record_bringup(timer);
+    let timer = subphase_timer();
     let levels = vpp_ladder(vpp_min);
     let mut per_level: Vec<Vec<RowHammerRecord>> = levels.iter().map(|_| Vec::new()).collect();
     let mut wcdp_by_row: HashMap<u32, DataPattern> = HashMap::new();
@@ -286,6 +317,7 @@ fn hammer_unit(
             });
         }
     }
+    record_steady(timer);
     Ok(UnitOut {
         vpp_min,
         levels,
@@ -302,7 +334,10 @@ fn trcd_unit(
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<TrcdRecord>, StudyError> {
+    let timer = subphase_timer();
     let (mut mc, vpp_min) = bring_up_unit(config, blueprint, id, chunk, rows)?;
+    record_bringup(timer);
+    let timer = subphase_timer();
     let levels = thin_levels(&vpp_ladder(vpp_min), levels_cap.max(2));
     let mut per_level: Vec<Vec<TrcdRecord>> = levels.iter().map(|_| Vec::new()).collect();
     for (li, &vpp) in levels.iter().enumerate() {
@@ -318,6 +353,7 @@ fn trcd_unit(
             });
         }
     }
+    record_steady(timer);
     Ok(UnitOut {
         vpp_min,
         levels,
@@ -333,12 +369,17 @@ fn retention_unit(
     chunk: u64,
     rows: &[u32],
 ) -> Result<UnitOut<RetentionRecord>, StudyError> {
+    // Retention's bring-up is inline (it runs hot, at 80 °C, instead of the
+    // shared nominal path) but profiles under the same split.
+    let timer = subphase_timer();
     let mut mc = SoftMc::new(blueprint.instantiate());
     let vpp_min = mc.find_vppmin()?;
     mc.set_temperature(80.0)?;
     mc.module_mut()
         .reseed_noise(hash::chunk_seed(config.module_seed(id), config.bank, chunk));
     mc.module_mut().prepare_rows(config.bank, rows);
+    record_bringup(timer);
+    let timer = subphase_timer();
     let mut levels: Vec<f64> = config
         .retention_vpp_levels
         .iter()
@@ -362,6 +403,7 @@ fn retention_unit(
             }
         }
     }
+    record_steady(timer);
     Ok(UnitOut {
         vpp_min,
         levels,
@@ -530,6 +572,26 @@ where
     let mut per_module: Vec<Vec<UnitOut<R>>> = modules.iter().map(|_| Vec::new()).collect();
     for (unit, out) in units.iter().zip(outputs) {
         per_module[unit.module_index].push(out?);
+    }
+    // Surface the bring-up share of total unit time (ROADMAP item 4's
+    // profiling question) from the cumulative phase totals; recomputed after
+    // every sweep so the manifest's value covers the whole run.
+    if hammervolt_obs::collecting() {
+        let phases = manifest::phases_snapshot();
+        let total_of = |name: &str| {
+            phases
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, us)| us)
+        };
+        let bringup = total_of("unit:bringup");
+        let steady = total_of("unit:steady");
+        if bringup + steady > 0 {
+            manifest::annotate(
+                "bringup_ratio",
+                &format!("{:.4}", bringup as f64 / (bringup + steady) as f64),
+            );
+        }
     }
     Ok(per_module.into_iter().map(stitch).collect())
 }

@@ -32,6 +32,8 @@ use crate::error::StudyError;
 use crate::exec::{self, ExecConfig};
 use crate::records::write_jsonl;
 use crate::study::StudyConfig;
+use hammervolt_obs::scope::Scope;
+use hammervolt_obs::Span;
 use hammervolt_par::CancelToken;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +97,18 @@ impl JobSpec {
     /// Propagates engine errors; returns [`StudyError::Cancelled`] when
     /// `ctl.cancel` fires before the run completes.
     pub fn run(&self, exec: &ExecConfig, ctl: &JobControl) -> Result<JobOutput, StudyError> {
+        // Root the job's span tree at the submitter's span (an HTTP
+        // request, for server jobs) and activate its metric scope so every
+        // counter the engine ticks — on this thread or any `hammervolt-par`
+        // worker — attributes to this job. Both are pure side channels.
+        let mut span = if ctl.trace_parent() != 0 {
+            Span::begin_child_of(ctl.trace_parent(), "job.run")
+        } else {
+            Span::begin("job.run")
+        };
+        span.field_str("kind", self.kind.label());
+        span.field_str("spec_hash", &format!("{:016x}", self.spec_hash()));
+        let _scope_guard = ctl.scope().map(hammervolt_obs::scope::enter);
         let mut buf: Vec<u8> = Vec::new();
         match self.kind {
             SweepKind::Hammer => {
@@ -209,20 +223,54 @@ pub struct ProgressSnapshot {
     pub units_executed: u64,
 }
 
-/// The handle a controller keeps on a running job: cancellation plus
-/// progress.
+/// The handle a controller keeps on a running job: cancellation, progress,
+/// and (for server-submitted jobs) the observability context the run
+/// executes under.
 #[derive(Debug, Clone, Default)]
 pub struct JobControl {
     /// Cooperative cancellation token; [`CancelToken::cancel`] stops the
     /// job at the next unit boundary.
     pub cancel: CancelToken,
     progress: Arc<JobProgress>,
+    /// Span id the job's root span parents to (`0` = root; the study server
+    /// passes the submitting HTTP request's span so one job forms a single
+    /// span tree from socket to shard).
+    trace_parent: u64,
+    /// Metric scope entered for the duration of [`JobSpec::run`], so the
+    /// engine's counters attribute to this job.
+    scope: Option<Arc<Scope>>,
 }
 
 impl JobControl {
     /// A fresh control with its own token and zeroed progress.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Parents the job's root span to an existing span id (e.g. the
+    /// submitting HTTP request's span).
+    #[must_use]
+    pub fn with_trace_parent(mut self, span_id: u64) -> Self {
+        self.trace_parent = span_id;
+        self
+    }
+
+    /// Runs the job under `scope`, attributing every engine counter tick to
+    /// it (on the job thread and every fork-join worker).
+    #[must_use]
+    pub fn with_scope(mut self, scope: Arc<Scope>) -> Self {
+        self.scope = Some(scope);
+        self
+    }
+
+    /// The span id the job's root span parents to (`0` = root).
+    pub fn trace_parent(&self) -> u64 {
+        self.trace_parent
+    }
+
+    /// The metric scope the job runs under, if any.
+    pub fn scope(&self) -> Option<&Arc<Scope>> {
+        self.scope.as_ref()
     }
 
     /// The shared progress the engine ticks (for wiring, prefer

@@ -40,6 +40,8 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod progress;
+pub mod prometheus;
+pub mod scope;
 pub mod trace;
 
 use std::io::Write as _;
@@ -236,40 +238,92 @@ impl EventSink for MemorySink {
     }
 }
 
-/// Adds `n` to the named process-wide counter when metrics are enabled.
+/// Adds `n` to the named process-wide counter when metrics are enabled,
+/// and attributes the same `n` to the thread's active [`scope::Scope`],
+/// if one is entered.
 ///
 /// The counter handle is resolved once per call site and cached, so the
-/// enabled path is one atomic load plus one relaxed `fetch_add`; the
-/// disabled path is the load alone. Counters must only ever count
-/// *deterministic* quantities (events, commands, flips) — wall-clock time
-/// belongs in histograms — so that the manifest's counter snapshot is
-/// byte-stable for a fixed configuration.
+/// enabled path is one atomic load plus one relaxed `fetch_add` (plus a
+/// thread-local scope probe); the disabled path is the load alone.
+/// Counters must only ever count *deterministic* quantities (events,
+/// commands, flips) — wall-clock time belongs in histograms — so that the
+/// manifest's counter snapshot is byte-stable for a fixed configuration.
 #[macro_export]
 macro_rules! counter_add {
     ($name:literal, $n:expr) => {
         if $crate::metrics_enabled() {
             static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
                 ::std::sync::OnceLock::new();
+            let n = $n as u64;
             HANDLE
                 .get_or_init(|| $crate::metrics::counter($name))
-                .add($n as u64);
+                .add(n);
+            $crate::scope::record_counter($name, n);
         }
     };
 }
 
 /// Records a value in the named process-wide histogram when metrics are
-/// enabled. Same call-site caching as [`counter_add!`]. Histograms are the
-/// home for wall-clock durations and other nondeterministic samples; they
-/// are excluded from the manifest's stable subset.
+/// enabled, and attributes the same sample to the thread's active
+/// [`scope::Scope`], if one is entered. Same call-site caching as
+/// [`counter_add!`]. Histograms are the home for wall-clock durations and
+/// other nondeterministic samples; they are excluded from the manifest's
+/// stable subset.
 #[macro_export]
 macro_rules! histogram_record {
     ($name:literal, $v:expr) => {
         if $crate::metrics_enabled() {
             static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
                 ::std::sync::OnceLock::new();
+            let v = $v as u64;
             HANDLE
                 .get_or_init(|| $crate::metrics::histogram($name))
-                .record($v as u64);
+                .record(v);
+            $crate::scope::record_histogram($name, v);
+        }
+    };
+}
+
+/// Sets the named process-wide gauge when metrics are enabled. Gauges are
+/// levels (queue depth, in-flight jobs): global-only, never scoped, and —
+/// like histograms — excluded from the manifest's stable subset.
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:literal, $v:expr) => {
+        if $crate::metrics_enabled() {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::metrics::gauge($name))
+                .set($v as i64);
+        }
+    };
+}
+
+/// Raises the named process-wide gauge by `n` when metrics are enabled.
+#[macro_export]
+macro_rules! gauge_add {
+    ($name:literal, $n:expr) => {
+        if $crate::metrics_enabled() {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::metrics::gauge($name))
+                .add($n as i64);
+        }
+    };
+}
+
+/// Lowers the named process-wide gauge by `n` when metrics are enabled.
+#[macro_export]
+macro_rules! gauge_sub {
+    ($name:literal, $n:expr) => {
+        if $crate::metrics_enabled() {
+            static HANDLE: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::metrics::gauge($name))
+                .sub($n as i64);
         }
     };
 }
@@ -305,5 +359,39 @@ mod tests {
         counter_add!("lib_test_inert", 5);
         set_metrics(false);
         assert_eq!(metrics::counter_value("lib_test_inert"), 5);
+    }
+
+    #[test]
+    fn gauge_macro_is_inert_when_disabled() {
+        set_metrics(false);
+        gauge_set!("lib_test_gauge_inert", 7);
+        assert_eq!(metrics::gauge_value("lib_test_gauge_inert"), 0);
+        set_metrics(true);
+        gauge_set!("lib_test_gauge_inert", 7);
+        gauge_add!("lib_test_gauge_inert", 2);
+        gauge_sub!("lib_test_gauge_inert", 4);
+        set_metrics(false);
+        assert_eq!(metrics::gauge_value("lib_test_gauge_inert"), 5);
+    }
+
+    #[test]
+    fn macros_attribute_to_the_entered_scope() {
+        let s = scope::Scope::new(&[("job_id", "lib-macro")]);
+        set_metrics(true);
+        {
+            let _g = scope::enter(&s);
+            counter_add!("lib_test_scoped", 4);
+            histogram_record!("lib_test_scoped_us", 9);
+        }
+        counter_add!("lib_test_scoped", 1); // outside: global only
+        set_metrics(false);
+        assert_eq!(s.counter_value("lib_test_scoped"), 4);
+        assert!(metrics::counter_value("lib_test_scoped") >= 5);
+        let hist = s.histograms_snapshot();
+        let h = hist
+            .iter()
+            .find(|h| h.name == "lib_test_scoped_us")
+            .expect("scoped histogram recorded");
+        assert_eq!((h.count, h.sum), (1, 9));
     }
 }

@@ -12,7 +12,7 @@
 //! golden-checked stable subset.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A monotonically increasing event counter.
@@ -46,6 +46,44 @@ impl Counter {
     }
 }
 
+/// A last-write-wins level metric (queue depths, in-flight jobs): unlike a
+/// [`Counter`] it may go down, so it is signed and supports `set`.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of power-of-two histogram buckets (covers the full `u64` range).
 const BUCKETS: usize = 65;
 
@@ -62,7 +100,7 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(name: &'static str) -> Self {
+    pub(crate) fn new(name: &'static str) -> Self {
         Histogram {
             name,
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -125,6 +163,26 @@ impl Histogram {
         }
         Self::bucket_bound(BUCKETS - 1)
     }
+
+    /// The occupied buckets as `(inclusive upper bound, cumulative count)`
+    /// pairs in ascending bound order, plus the total count the cumulative
+    /// series converges to. The final `u64::MAX` bucket is folded into the
+    /// total (a scraper renders it as `+Inf`); bounds with no new samples
+    /// since the previous bound are skipped. The pairs and the total come
+    /// from one pass over the buckets, so `total` always equals the last
+    /// cumulative value even while other threads record.
+    pub fn exposition_buckets(&self) -> (Vec<(u64, u64)>, u64) {
+        let mut pairs = Vec::new();
+        let mut cumulative = 0u64;
+        for (b, slot) in self.buckets.iter().enumerate() {
+            let n = slot.load(Ordering::Relaxed);
+            cumulative += n;
+            if n > 0 && b < BUCKETS - 1 {
+                pairs.push((Self::bucket_bound(b), cumulative));
+            }
+        }
+        (pairs, cumulative)
+    }
 }
 
 /// A point-in-time histogram summary.
@@ -146,11 +204,13 @@ pub struct HistogramSnapshot {
 
 struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
 }
 
 static REGISTRY: Registry = Registry {
     counters: Mutex::new(BTreeMap::new()),
+    gauges: Mutex::new(BTreeMap::new()),
     histograms: Mutex::new(BTreeMap::new()),
 };
 
@@ -163,6 +223,50 @@ pub fn counter(name: &'static str) -> &'static Counter {
             value: AtomicU64::new(0),
         }))
     })
+}
+
+/// [`counter`] for a name only known at runtime (per-worker, per-endpoint
+/// series). The name is interned — leaked once per distinct string — so
+/// callers must keep the name set bounded.
+pub fn counter_named(name: &str) -> &'static Counter {
+    let mut map = REGISTRY.counters.lock().expect("counter registry poisoned");
+    if let Some(c) = map.get(name) {
+        return c;
+    }
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let handle: &'static Counter = Box::leak(Box::new(Counter {
+        name,
+        value: AtomicU64::new(0),
+    }));
+    map.insert(name, handle);
+    handle
+}
+
+/// The gauge registered under `name`, creating it (at zero) on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut map = REGISTRY.gauges.lock().expect("gauge registry poisoned");
+    map.entry(name).or_insert_with(|| {
+        Box::leak(Box::new(Gauge {
+            name,
+            value: AtomicI64::new(0),
+        }))
+    })
+}
+
+/// [`gauge`] for a name only known at runtime. Interned like
+/// [`counter_named`] — keep the name set bounded.
+pub fn gauge_named(name: &str) -> &'static Gauge {
+    let mut map = REGISTRY.gauges.lock().expect("gauge registry poisoned");
+    if let Some(g) = map.get(name) {
+        return g;
+    }
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    let handle: &'static Gauge = Box::leak(Box::new(Gauge {
+        name,
+        value: AtomicI64::new(0),
+    }));
+    map.insert(name, handle);
+    handle
 }
 
 /// The histogram registered under `name`, creating it empty on first use.
@@ -197,6 +301,39 @@ pub fn counters_snapshot() -> Vec<(String, u64)> {
         .collect()
 }
 
+/// The current level of a gauge; `0` when it was never registered.
+pub fn gauge_value(name: &str) -> i64 {
+    REGISTRY
+        .gauges
+        .lock()
+        .expect("gauge registry poisoned")
+        .get(name)
+        .map_or(0, |g| g.get())
+}
+
+/// Every registered gauge as `(name, level)`, sorted by name.
+pub fn gauges_snapshot() -> Vec<(String, i64)> {
+    REGISTRY
+        .gauges
+        .lock()
+        .expect("gauge registry poisoned")
+        .iter()
+        .map(|(&name, g)| (name.to_string(), g.get()))
+        .collect()
+}
+
+/// Every registered histogram handle, sorted by name — for renderers that
+/// need bucket-level detail ([`crate::prometheus`]).
+pub fn histograms_registered() -> Vec<&'static Histogram> {
+    REGISTRY
+        .histograms
+        .lock()
+        .expect("histogram registry poisoned")
+        .values()
+        .copied()
+        .collect()
+}
+
 /// Every registered histogram's summary, sorted by name.
 pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
     REGISTRY
@@ -215,8 +352,9 @@ pub fn histograms_snapshot() -> Vec<HistogramSnapshot> {
         .collect()
 }
 
-/// Resets every registered counter and histogram to zero (registrations are
-/// kept). For golden regeneration and tests that need clean deltas.
+/// Resets every registered counter, gauge, and histogram to zero
+/// (registrations are kept). For golden regeneration and tests that need
+/// clean deltas.
 pub fn reset() {
     for c in REGISTRY
         .counters
@@ -225,6 +363,14 @@ pub fn reset() {
         .values()
     {
         c.value.store(0, Ordering::Relaxed);
+    }
+    for g in REGISTRY
+        .gauges
+        .lock()
+        .expect("gauge registry poisoned")
+        .values()
+    {
+        g.value.store(0, Ordering::Relaxed);
     }
     for h in REGISTRY
         .histograms
@@ -313,12 +459,72 @@ mod tests {
     #[test]
     fn reset_zeroes_but_keeps_registration() {
         counter("metrics_test_reset").add(9);
+        gauge("metrics_test_reset_g").set(4);
         histogram("metrics_test_reset_h").record(5);
         reset();
         assert_eq!(counter_value("metrics_test_reset"), 0);
+        assert_eq!(gauge_value("metrics_test_reset_g"), 0);
         assert_eq!(histogram("metrics_test_reset_h").count(), 0);
         assert!(counters_snapshot()
             .iter()
             .any(|(n, _)| n == "metrics_test_reset"));
+        assert!(gauges_snapshot()
+            .iter()
+            .any(|(n, _)| n == "metrics_test_reset_g"));
+    }
+
+    #[test]
+    fn gauge_levels_move_both_ways() {
+        let g = gauge("metrics_test_gauge");
+        g.set(10);
+        g.add(5);
+        g.sub(12);
+        assert_eq!(g.get(), 3);
+        g.sub(7);
+        assert_eq!(g.get(), -4, "gauges may go negative");
+    }
+
+    #[test]
+    fn named_lookup_interns_one_handle_per_string() {
+        let a = counter_named(&format!("metrics_test_{}", "dyn")) as *const Counter;
+        let b = counter_named("metrics_test_dyn") as *const Counter;
+        assert_eq!(a, b);
+        let g1 = gauge_named(&format!("metrics_test_{}", "dyn_g")) as *const Gauge;
+        let g2 = gauge_named("metrics_test_dyn_g") as *const Gauge;
+        assert_eq!(g1, g2);
+        // Static and dynamic registration of the same name share a handle.
+        let s = counter("metrics_test_dyn") as *const Counter;
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn exposition_buckets_are_cumulative_and_skip_empty() {
+        let h = histogram("metrics_test_exposition");
+        for v in [0u64, 1, 1, 3, 100] {
+            h.record(v);
+        }
+        let (pairs, total) = h.exposition_buckets();
+        assert_eq!(total, 5);
+        // Bounds 0, 1, 3, 127 — the empty [4,64) range is skipped.
+        assert_eq!(pairs, vec![(0, 1), (1, 3), (3, 4), (127, 5)]);
+        let bounds: Vec<u64> = pairs.iter().map(|&(b, _)| b).collect();
+        let mut sorted = bounds.clone();
+        sorted.sort_unstable();
+        assert_eq!(bounds, sorted, "bounds ascend");
+        assert_eq!(pairs.last().map(|&(_, c)| c), Some(total));
+    }
+
+    #[test]
+    fn exposition_folds_max_bucket_into_total() {
+        let h = histogram("metrics_test_exposition_max");
+        h.record(u64::MAX);
+        h.record(1);
+        let (pairs, total) = h.exposition_buckets();
+        assert_eq!(total, 2);
+        assert_eq!(
+            pairs,
+            vec![(1, 1)],
+            "u64::MAX lands past every finite bound"
+        );
     }
 }

@@ -1,0 +1,323 @@
+//! Per-job metric scopes: a label set that [`crate::counter_add!`] and
+//! [`crate::histogram_record!`] attribute to, in addition to the global
+//! registry, while the scope is entered on the recording thread.
+//!
+//! A [`Scope`] is the service-layer answer to "which job burned these
+//! units?": the study server creates one scope per job (labels `job_id`,
+//! `tenant`, `sweep_kind`), enters it around `JobSpec::run`, and the
+//! fork-join scheduler in `hammervolt-par` re-enters the caller's scope on
+//! every worker thread — the same hand-off discipline as cross-thread span
+//! parenting in [`crate::trace`]. Per-job counters then fall out of the
+//! exact macros the engine already uses, with no new instrumentation sites.
+//!
+//! Cost model: the macros' disabled path is untouched (one relaxed flag
+//! load); the enabled path adds one thread-local probe, and only threads
+//! that actually entered a scope pay the per-scope atomic update.
+//! Scoped values are a pure side channel like everything else in this
+//! crate — they never feed back into measurement code.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock, Weak};
+
+use crate::metrics::{Histogram, HistogramSnapshot};
+
+/// A live label set that scoped metric updates accumulate under.
+///
+/// Create with [`Scope::new`], activate on a thread with [`enter`]. The
+/// scope stays visible to `/metrics`-style renderers ([`live_scopes`]) for
+/// as long as any `Arc` clone is held; dropping the last clone retires the
+/// series automatically.
+pub struct Scope {
+    id: u64,
+    labels: Vec<(String, String)>,
+    counters: RwLock<BTreeMap<&'static str, AtomicU64>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for Scope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("id", &self.id)
+            .field("labels", &self.labels)
+            .finish_non_exhaustive()
+    }
+}
+
+static NEXT_SCOPE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Every live scope, keyed by id. Holds `Weak` so a scope's lifetime is
+/// owned entirely by its creator; `Scope::drop` unregisters.
+static SCOPES: Mutex<BTreeMap<u64, Weak<Scope>>> = Mutex::new(BTreeMap::new());
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Scope>>> = const { RefCell::new(None) };
+}
+
+impl Scope {
+    /// A fresh scope under the given labels (sorted by key for stable
+    /// rendering) — registered for [`live_scopes`] until dropped.
+    pub fn new(labels: &[(&str, &str)]) -> Arc<Scope> {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        let scope = Arc::new(Scope {
+            id: NEXT_SCOPE_ID.fetch_add(1, Ordering::Relaxed),
+            labels,
+            counters: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        });
+        SCOPES
+            .lock()
+            .expect("scope registry poisoned")
+            .insert(scope.id, Arc::downgrade(&scope));
+        scope
+    }
+
+    /// The scope's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The label set, sorted by key.
+    pub fn labels(&self) -> &[(String, String)] {
+        &self.labels
+    }
+
+    fn add_counter(&self, name: &'static str, n: u64) {
+        {
+            let map = self.counters.read().expect("scope counters poisoned");
+            if let Some(slot) = map.get(name) {
+                slot.fetch_add(n, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.counters
+            .write()
+            .expect("scope counters poisoned")
+            .entry(name)
+            .or_insert_with(|| AtomicU64::new(0))
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn record_histogram(&self, name: &'static str, v: u64) {
+        {
+            let map = self.histograms.read().expect("scope histograms poisoned");
+            if let Some(h) = map.get(name) {
+                h.record(v);
+                return;
+            }
+        }
+        let h = self
+            .histograms
+            .write()
+            .expect("scope histograms poisoned")
+            .entry(name)
+            .or_insert_with(|| Arc::new(Histogram::new(name)))
+            .clone();
+        h.record(v);
+    }
+
+    /// This scope's counters as `(name, value)`, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .expect("scope counters poisoned")
+            .iter()
+            .map(|(&name, v)| (name.to_string(), v.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// The value of one scoped counter; `0` when never touched here.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .expect("scope counters poisoned")
+            .get(name)
+            .map_or(0, |v| v.load(Ordering::Relaxed))
+    }
+
+    /// This scope's histograms, name-sorted handles (for bucket render).
+    pub fn histograms_registered(&self) -> Vec<Arc<Histogram>> {
+        self.histograms
+            .read()
+            .expect("scope histograms poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// This scope's histogram summaries, sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<HistogramSnapshot> {
+        self.histograms
+            .read()
+            .expect("scope histograms poisoned")
+            .iter()
+            .map(|(&name, h)| HistogramSnapshot {
+                name: name.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.quantile(0.50),
+                p90: h.quantile(0.90),
+                p99: h.quantile(0.99),
+            })
+            .collect()
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        SCOPES
+            .lock()
+            .expect("scope registry poisoned")
+            .remove(&self.id);
+    }
+}
+
+/// Restores the previously entered scope (if any) when dropped.
+#[must_use = "the scope is only active while the guard lives"]
+#[derive(Debug)]
+pub struct ScopeGuard {
+    previous: Option<Arc<Scope>>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cell| *cell.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Makes `scope` the recording thread's active scope until the returned
+/// guard drops (nesting restores the outer scope).
+pub fn enter(scope: &Arc<Scope>) -> ScopeGuard {
+    let previous = CURRENT.with(|cell| cell.borrow_mut().replace(Arc::clone(scope)));
+    ScopeGuard { previous }
+}
+
+/// The thread's active scope, if one is entered — what `parallel_map_*`
+/// captures on the caller thread and re-enters on each worker.
+pub fn current() -> Option<Arc<Scope>> {
+    CURRENT.with(|cell| cell.borrow().clone())
+}
+
+/// Attributes `n` of `name` to the thread's active scope, if any. Called
+/// by [`crate::counter_add!`] on its (metrics-enabled) slow path.
+#[inline]
+pub fn record_counter(name: &'static str, n: u64) {
+    if let Some(scope) = CURRENT.with(|cell| cell.borrow().clone()) {
+        scope.add_counter(name, n);
+    }
+}
+
+/// Attributes one `v` sample of `name` to the thread's active scope, if
+/// any. Called by [`crate::histogram_record!`] when metrics are enabled.
+#[inline]
+pub fn record_histogram(name: &'static str, v: u64) {
+    if let Some(scope) = CURRENT.with(|cell| cell.borrow().clone()) {
+        scope.record_histogram(name, v);
+    }
+}
+
+/// Every scope still alive, ascending by id — the series set a registry
+/// renderer labels. Dead entries are pruned as a side effect.
+pub fn live_scopes() -> Vec<Arc<Scope>> {
+    let mut map = SCOPES.lock().expect("scope registry poisoned");
+    let live: Vec<Arc<Scope>> = map.values().filter_map(Weak::upgrade).collect();
+    map.retain(|_, w| w.strong_count() > 0);
+    live
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_attribute_to_the_entered_scope_only() {
+        let a = Scope::new(&[("job_id", "1")]);
+        let b = Scope::new(&[("job_id", "2")]);
+        {
+            let _g = enter(&a);
+            record_counter("scope_test_units", 3);
+        }
+        {
+            let _g = enter(&b);
+            record_counter("scope_test_units", 5);
+        }
+        record_counter("scope_test_units", 100); // no scope entered: dropped
+        assert_eq!(a.counter_value("scope_test_units"), 3);
+        assert_eq!(b.counter_value("scope_test_units"), 5);
+    }
+
+    #[test]
+    fn nested_enter_restores_the_outer_scope() {
+        let outer = Scope::new(&[("k", "outer")]);
+        let inner = Scope::new(&[("k", "inner")]);
+        let _g = enter(&outer);
+        {
+            let _h = enter(&inner);
+            assert_eq!(current().map(|s| s.id()), Some(inner.id()));
+            record_counter("scope_test_nested", 1);
+        }
+        assert_eq!(current().map(|s| s.id()), Some(outer.id()));
+        record_counter("scope_test_nested", 1);
+        assert_eq!(inner.counter_value("scope_test_nested"), 1);
+        assert_eq!(outer.counter_value("scope_test_nested"), 1);
+    }
+
+    #[test]
+    fn labels_are_sorted_and_ids_unique() {
+        let s = Scope::new(&[("z", "1"), ("a", "2")]);
+        let keys: Vec<&str> = s.labels().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "z"]);
+        let t = Scope::new(&[]);
+        assert_ne!(s.id(), t.id());
+    }
+
+    #[test]
+    fn dropping_the_last_handle_retires_the_scope() {
+        let s = Scope::new(&[("job_id", "drop-me")]);
+        let id = s.id();
+        assert!(live_scopes().iter().any(|l| l.id() == id));
+        drop(s);
+        assert!(!live_scopes().iter().any(|l| l.id() == id));
+    }
+
+    #[test]
+    fn cross_thread_handoff_merges_into_one_scope() {
+        let s = Scope::new(&[("job_id", "threads")]);
+        {
+            let _g = enter(&s);
+            let captured = current().expect("scope is entered");
+            std::thread::scope(|threads| {
+                for _ in 0..4 {
+                    let captured = Arc::clone(&captured);
+                    threads.spawn(move || {
+                        let _g = enter(&captured);
+                        for _ in 0..1000 {
+                            record_counter("scope_test_threads", 1);
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(s.counter_value("scope_test_threads"), 4000);
+    }
+
+    #[test]
+    fn scoped_histograms_summarize_like_global_ones() {
+        let s = Scope::new(&[("job_id", "hist")]);
+        let _g = enter(&s);
+        for v in [1u64, 1, 3, 100] {
+            record_histogram("scope_test_hist", v);
+        }
+        let snaps = s.histograms_snapshot();
+        let h = snaps
+            .iter()
+            .find(|h| h.name == "scope_test_hist")
+            .expect("histogram recorded");
+        assert_eq!((h.count, h.sum), (4, 105));
+    }
+}

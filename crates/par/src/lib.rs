@@ -13,6 +13,13 @@
 //! invariant: as long as `f` is a pure function of the item (and, for
 //! [`parallel_map_with`], of a workspace whose state is fully re-initialized
 //! per item), output cannot depend on scheduling.
+//!
+//! The pool also hands observability context across the fork: the caller's
+//! active metric scope (`hammervolt_obs::scope`) is captured before workers
+//! spawn and re-entered on each worker thread, so per-job counter
+//! attribution survives the fan-out exactly like cross-thread span
+//! parenting does. This is a pure side channel — it cannot affect claiming
+//! order or results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -166,11 +173,15 @@ where
         }
         return Some(out);
     }
+    // Capture the caller's metric scope (if any) so worker threads record
+    // under the same per-job label set as the thread that forked them.
+    let metric_scope = hammervolt_obs::scope::current();
     let next = AtomicUsize::new(0);
     let batches: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
             .map(|_| {
                 scope.spawn(|| {
+                    let _scope_guard = metric_scope.as_ref().map(hammervolt_obs::scope::enter);
                     let mut ws = init();
                     let mut mine = Vec::new();
                     loop {
@@ -342,6 +353,23 @@ mod tests {
         assert!(a.is_cancelled() && b.is_cancelled());
         b.cancel(); // idempotent
         assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn metric_scope_propagates_to_every_worker() {
+        let scope = hammervolt_obs::scope::Scope::new(&[("job_id", "par-test")]);
+        let _g = hammervolt_obs::scope::enter(&scope);
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, 4, |&x| {
+            hammervolt_obs::scope::record_counter("par_test_scope_units", 1);
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(
+            scope.counter_value("par_test_scope_units"),
+            32,
+            "every worker must attribute to the forking thread's scope"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //!   **dedup** onto one execution: the second submitter gets the first job's
 //!   id and waits on the same result.
 
+use hammervolt_obs::counter_add;
 use std::collections::BTreeMap;
 
 /// Scheduler-assigned job identifier (monotonic, never reused).
@@ -150,6 +151,12 @@ pub struct Core {
     spec_of: BTreeMap<JobId, u64>,
     next_id: JobId,
     next_seq: u64,
+    /// Jobs claimed but not yet completed (maintained, not derived, so the
+    /// accessor is O(1) however many settled jobs the state map retains).
+    running: usize,
+    /// Jobs claimed per tenant over the core's lifetime — the deterministic
+    /// fairness record `/stats` reports.
+    served: BTreeMap<String, u64>,
 }
 
 /// Stable FNV-1a-64 of a tenant name (home-worker assignment).
@@ -170,6 +177,8 @@ impl Core {
             spec_of: BTreeMap::new(),
             next_id: 1,
             next_seq: 0,
+            running: 0,
+            served: BTreeMap::new(),
         }
     }
 
@@ -183,6 +192,22 @@ impl Core {
         self.deques.iter().map(Vec::len).sum()
     }
 
+    /// Jobs currently claimed by workers but not yet completed.
+    pub fn running_len(&self) -> usize {
+        self.running
+    }
+
+    /// Each worker deque's queued length, by worker index.
+    pub fn deque_lens(&self) -> Vec<usize> {
+        self.deques.iter().map(Vec::len).collect()
+    }
+
+    /// Jobs claimed per tenant over the core's lifetime, name-sorted — the
+    /// deterministic fairness record behind `/stats`.
+    pub fn tenants_served(&self) -> Vec<(String, u64)> {
+        self.served.iter().map(|(t, &n)| (t.clone(), n)).collect()
+    }
+
     /// A job's current state, if the core has ever seen it.
     pub fn state(&self, id: JobId) -> Option<JobState> {
         self.states.get(&id).copied()
@@ -192,6 +217,7 @@ impl Core {
     /// `now`. See [`SubmitReply`].
     pub fn submit(&mut self, tenant: &str, spec_hash: u64, _now: u64) -> SubmitReply {
         if let Some(&existing) = self.in_flight.get(&spec_hash) {
+            counter_add!("sched_dedup_hits", 1);
             return SubmitReply {
                 outcome: SubmitOutcome::Deduped(existing),
                 shed: None,
@@ -201,6 +227,7 @@ impl Core {
         if self.queued_len() >= self.config.queue_capacity {
             match self.config.overflow {
                 OverflowPolicy::Reject => {
+                    counter_add!("sched_rejects", 1);
                     return SubmitReply {
                         outcome: SubmitOutcome::Rejected,
                         shed: None,
@@ -210,6 +237,7 @@ impl Core {
                     shed = self.shed_oldest();
                     if shed.is_none() {
                         // Capacity zero or nothing evictable: refuse.
+                        counter_add!("sched_rejects", 1);
                         return SubmitReply {
                             outcome: SubmitOutcome::Rejected,
                             shed: None,
@@ -256,6 +284,7 @@ impl Core {
         let entry = self.deques[w].remove(i);
         self.states.insert(entry.id, JobState::Shed);
         self.unindex(entry.id);
+        counter_add!("sched_sheds", 1);
         Some(entry.id)
     }
 
@@ -309,6 +338,7 @@ impl Core {
             if len == 0 {
                 return None;
             }
+            counter_add!("sched_steals", 1);
             victim
         };
         let i = self.fair_pick(&self.deques[source])?;
@@ -316,6 +346,8 @@ impl Core {
         if let Some(t) = self.tenants.get_mut(&entry.tenant) {
             t.last_served = now;
         }
+        *self.served.entry(entry.tenant.clone()).or_insert(0) += 1;
+        self.running += 1;
         self.states.insert(entry.id, JobState::Running { worker });
         Some(entry.id)
     }
@@ -326,6 +358,7 @@ impl Core {
         if matches!(self.states.get(&id), Some(JobState::Running { .. })) {
             self.states.insert(id, JobState::Done);
             self.unindex(id);
+            self.running = self.running.saturating_sub(1);
         }
     }
 
@@ -376,6 +409,35 @@ mod tests {
             .collect();
         let order: Vec<JobId> = (0..4).filter_map(|t| c.next(0, t)).collect();
         assert_eq!(order, ids);
+    }
+
+    #[test]
+    fn accessors_track_queue_running_and_served() {
+        let mut c = core(2, 16, OverflowPolicy::Reject);
+        for (i, tenant) in ["a", "b", "a"].iter().enumerate() {
+            match c.submit(tenant, 100 + i as u64, i as u64).outcome {
+                SubmitOutcome::Queued(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(c.deque_lens().iter().sum::<usize>(), c.queued_len());
+        assert_eq!(c.queued_len(), 3);
+        assert_eq!(c.running_len(), 0);
+        let first = c.next(0, 10).expect("work is queued");
+        assert_eq!(c.running_len(), 1);
+        assert_eq!(c.queued_len(), 2);
+        let served: u64 = c.tenants_served().iter().map(|&(_, n)| n).sum();
+        assert_eq!(served, 1);
+        c.complete(first);
+        assert_eq!(c.running_len(), 0);
+        // Drain the rest: the per-tenant ledger ends at the claim counts.
+        while let Some(id) = c.next(0, 20) {
+            c.complete(id);
+        }
+        assert_eq!(
+            c.tenants_served(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
     }
 
     #[test]

@@ -18,10 +18,12 @@ use crate::sched::{CancelOutcome, Core, JobId, SchedConfig, SubmitOutcome};
 use hammervolt_core::error::StudyError;
 use hammervolt_core::exec::ExecConfig;
 use hammervolt_core::job::{JobControl, JobOutput, JobSpec, ProgressSnapshot};
+use hammervolt_obs::scope::Scope;
+use hammervolt_obs::{histogram_record, metrics};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Why a submission was not accepted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +83,26 @@ pub struct JobView {
     pub progress: ProgressSnapshot,
     /// How many submissions share this execution (1 + dedup hits).
     pub subscribers: u64,
+    /// The submitting request's id (empty for jobs submitted without one).
+    pub request_id: String,
+    /// The job's scoped counter snapshot, name-sorted: every `obs` counter
+    /// the engine ticked while executing *this* job — empty until it runs,
+    /// or when metrics are disabled process-wide.
+    pub metrics: Vec<(String, u64)>,
+}
+
+/// Scheduler-level numbers for `/stats`: the deterministic state the core
+/// tracks, read under the same lock submissions take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Queued (not yet claimed) jobs across all deques.
+    pub queue_depth: usize,
+    /// Jobs claimed by workers but not yet completed.
+    pub in_flight: usize,
+    /// Each worker deque's queued length, by worker index.
+    pub deque_lens: Vec<usize>,
+    /// Jobs claimed per tenant over the scheduler's lifetime, name-sorted.
+    pub tenants_served: Vec<(String, u64)>,
 }
 
 struct JobRecord {
@@ -90,6 +112,28 @@ struct JobRecord {
     phase: JobPhase,
     output: Option<JobOutput>,
     subscribers: u64,
+    /// The submitting request's id (propagated into `x-request-id`-rooted
+    /// span trees and the job view).
+    request_id: String,
+    /// The job's metric scope; held here so its series stays visible to
+    /// `/metrics` for as long as the job record is retained.
+    scope: Arc<Scope>,
+    /// When the job entered the queue (queue-wait histogram).
+    queued_at: Instant,
+}
+
+impl JobRecord {
+    fn view(&self, id: JobId) -> JobView {
+        JobView {
+            id,
+            spec_hash: self.spec_hash,
+            phase: self.phase.clone(),
+            progress: self.ctl.snapshot(),
+            subscribers: self.subscribers,
+            request_id: self.request_id.clone(),
+            metrics: self.scope.counters_snapshot(),
+        }
+    }
 }
 
 struct Shared {
@@ -151,6 +195,25 @@ impl Scheduler {
     /// [`SubmitError::QueueFull`] under the reject policy at capacity;
     /// [`SubmitError::ShuttingDown`] after [`Scheduler::shutdown`] began.
     pub fn submit(&self, tenant: &str, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submit_with(tenant, spec, "", 0)
+    }
+
+    /// [`Scheduler::submit`] carrying the submitter's observability context:
+    /// `request_id` is recorded on the job (and echoed in views), and
+    /// `trace_parent` — the submitting request's span id, `0` for none —
+    /// becomes the parent of the job's root span, so one job's spans form a
+    /// single tree from socket to shard.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Scheduler::submit`].
+    pub fn submit_with(
+        &self,
+        tenant: &str,
+        spec: JobSpec,
+        request_id: &str,
+        trace_parent: u64,
+    ) -> Result<JobId, SubmitError> {
         let spec_hash = spec.spec_hash();
         let now = self.now();
         let mut inner = self.shared.core.lock().expect("scheduler poisoned");
@@ -172,20 +235,35 @@ impl Scheduler {
                 id
             }
             SubmitOutcome::Queued(id) => {
+                // One metric scope per job: the engine's counters attribute
+                // to it while this job (and only this job) executes, however
+                // many fork-join workers the run fans out over.
+                let scope = Scope::new(&[
+                    ("job_id", id.to_string().as_str()),
+                    ("tenant", tenant),
+                    ("sweep_kind", spec.kind.label()),
+                ]);
+                let ctl = JobControl::new()
+                    .with_trace_parent(trace_parent)
+                    .with_scope(Arc::clone(&scope));
                 inner.jobs.insert(
                     id,
                     JobRecord {
                         spec,
                         spec_hash,
-                        ctl: JobControl::new(),
+                        ctl,
                         phase: JobPhase::Queued,
                         output: None,
                         subscribers: 1,
+                        request_id: request_id.to_string(),
+                        scope,
+                        queued_at: Instant::now(),
                     },
                 );
                 id
             }
         };
+        refresh_gauges(&inner.core);
         drop(inner);
         self.shared.changed.notify_all();
         Ok(id)
@@ -194,13 +272,18 @@ impl Scheduler {
     /// A snapshot of one job, or `None` for an unknown id.
     pub fn view(&self, id: JobId) -> Option<JobView> {
         let inner = self.shared.core.lock().expect("scheduler poisoned");
-        inner.jobs.get(&id).map(|rec| JobView {
-            id,
-            spec_hash: rec.spec_hash,
-            phase: rec.phase.clone(),
-            progress: rec.ctl.snapshot(),
-            subscribers: rec.subscribers,
-        })
+        inner.jobs.get(&id).map(|rec| rec.view(id))
+    }
+
+    /// Scheduler-level numbers for `/stats`, read under the scheduling lock.
+    pub fn stats(&self) -> SchedStats {
+        let inner = self.shared.core.lock().expect("scheduler poisoned");
+        SchedStats {
+            queue_depth: inner.core.queued_len(),
+            in_flight: inner.core.running_len(),
+            deque_lens: inner.core.deque_lens(),
+            tenants_served: inner.core.tenants_served(),
+        }
     }
 
     /// Blocks until the job settles (or `timeout` elapses), then returns its
@@ -228,18 +311,10 @@ impl Scheduler {
                 .expect("scheduler poisoned");
             inner = guard;
         }
-        inner.jobs.get(&id).map(|rec| {
-            (
-                JobView {
-                    id,
-                    spec_hash: rec.spec_hash,
-                    phase: rec.phase.clone(),
-                    progress: rec.ctl.snapshot(),
-                    subscribers: rec.subscribers,
-                },
-                rec.output.clone(),
-            )
-        })
+        inner
+            .jobs
+            .get(&id)
+            .map(|rec| (rec.view(id), rec.output.clone()))
     }
 
     /// Requests cancellation. Queued jobs settle as `Cancelled` immediately;
@@ -293,14 +368,29 @@ impl Drop for Scheduler {
     }
 }
 
+/// Re-publishes the scheduler gauges from the core's current state. Called
+/// under the scheduling lock after every mutation; a no-op when metrics are
+/// off so the hot path stays untouched in bare runs.
+fn refresh_gauges(core: &Core) {
+    if !hammervolt_obs::metrics_enabled() {
+        return;
+    }
+    metrics::gauge("sched_queue_depth").set(i64::try_from(core.queued_len()).unwrap_or(i64::MAX));
+    metrics::gauge("sched_inflight").set(i64::try_from(core.running_len()).unwrap_or(i64::MAX));
+    for (w, len) in core.deque_lens().into_iter().enumerate() {
+        metrics::gauge_named(&format!("sched_deque_len_{w}"))
+            .set(i64::try_from(len).unwrap_or(i64::MAX));
+    }
+}
+
 fn worker_loop(shared: &Shared, worker: usize) {
     let mut inner = shared.core.lock().expect("scheduler poisoned");
     loop {
         let now = shared.tick.fetch_add(1, Ordering::Relaxed);
         if let Some(id) = inner.core.next(worker, now) {
-            let Some((spec, ctl)) = inner.jobs.get_mut(&id).map(|rec| {
+            let Some((spec, ctl, queued_at)) = inner.jobs.get_mut(&id).map(|rec| {
                 rec.phase = JobPhase::Running;
-                (rec.spec.clone(), rec.ctl.clone())
+                (rec.spec.clone(), rec.ctl.clone(), rec.queued_at)
             }) else {
                 // A claimed job with no record cannot happen (records are
                 // inserted before the core learns the id), but completing it
@@ -308,8 +398,18 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 inner.core.complete(id);
                 continue;
             };
+            refresh_gauges(&inner.core);
             drop(inner);
+            if hammervolt_obs::metrics_enabled() {
+                let wait_us = u64::try_from(queued_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                histogram_record!("sched_queue_wait_us", wait_us);
+            }
+            let run_started = Instant::now();
             let result = spec.run(&shared.exec, &ctl);
+            if hammervolt_obs::metrics_enabled() {
+                let run_us = u64::try_from(run_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                histogram_record!("sched_job_run_us", run_us);
+            }
             inner = shared.core.lock().expect("scheduler poisoned");
             inner.core.complete(id);
             if let Some(rec) = inner.jobs.get_mut(&id) {
@@ -322,6 +422,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                     Err(e) => rec.phase = JobPhase::Failed(e.to_string()),
                 }
             }
+            refresh_gauges(&inner.core);
             // Wake result waiters (and idle peers, harmlessly).
             shared.changed.notify_all();
             continue;

@@ -6,27 +6,44 @@
 //! | Method & path                  | Purpose |
 //! |--------------------------------|---------|
 //! | `POST /studies`                | Submit a study spec (full or shortcut form; see [`crate::api`]). Tenant from the `X-Tenant` header (default `anon`). `202` with `{"job":…}`; `429` when the queue rejects. |
-//! | `GET /studies/{id}`            | One status + progress snapshot. |
+//! | `GET /studies/{id}`            | One status + progress snapshot, plus the submitting request's id and the job's scoped counter snapshot (`"metrics"`, empty until the job runs or when metrics are off). |
 //! | `GET /studies/{id}/progress`   | Same snapshot; with `?stream=1`, a close-delimited JSONL stream of snapshots until the job settles. |
 //! | `GET /studies/{id}/result`     | Block (up to `?wait_ms`, default 10 min) for the result. `200` with the records JSONL on success — byte-identical to the CLI run of the same spec; `202` while still running; `410` for cancelled/shed; `500` for failed. |
 //! | `POST /studies/{id}/cancel`    | Cooperative cancel. |
-//! | `GET /stats`                   | Global obs counters + progress counts. |
+//! | `GET /metrics`                 | Prometheus text exposition of the whole obs registry (counters, gauges, histograms, live per-job scoped series as labels). |
+//! | `GET /stats`                   | Scheduler state (`queue_depth`, `in_flight`, per-worker `deque_lens`, lifetime `tenants_served`) + global obs counters + progress counts. |
 //! | `GET /healthz`                 | Liveness probe. |
 //!
 //! Every exchange is one request, one response, connection closed — no
 //! keep-alive state to manage across tenants.
+//!
+//! # Observability
+//!
+//! Each request gets a request id — the inbound `X-Request-Id` header when
+//! present, else a generated `req-{n}` — which is recorded on submitted jobs
+//! and echoed in their views. With tracing on, every request opens an
+//! `http.request` span and submitted jobs parent their root span under it,
+//! so one submission produces a single span tree from socket accept down to
+//! the deepest execution shard. With a sink installed, each request also
+//! emits (and flushes) one `{"type":"access",…}` JSONL line. With metrics
+//! on, per-endpoint status-class counters (`http_requests_{endpoint}_{class}`)
+//! and the `http_request_us` latency histogram tick. Accepted connections
+//! carry read/write timeouts ([`ServerConfig::read_timeout`] /
+//! [`ServerConfig::write_timeout`]) so a stalled client cannot pin a handler
+//! thread forever.
 
 use crate::api;
 use crate::http::{read_request, write_response, write_stream_head, Request};
 use crate::sched::SchedConfig;
-use crate::scheduler::{JobPhase, JobView, Scheduler, SubmitError};
+use crate::scheduler::{JobPhase, JobView, SchedStats, Scheduler, SubmitError};
 use hammervolt_core::exec::ExecConfig;
 use hammervolt_core::job::ProgressSnapshot;
+use hammervolt_obs::{histogram_record, metrics, prometheus, Span};
 use std::io::{self, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often streaming progress emits a snapshot and the accept loop polls
 /// for shutdown.
@@ -38,13 +55,35 @@ const DEFAULT_WAIT: Duration = Duration::from_secs(600);
 /// Everything the server needs: scheduler sizing and the execution-engine
 /// template shared by all jobs (cache directory, per-job worker count,
 /// checkpoint policy).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Scheduler sizing and overflow policy.
     pub sched: SchedConfig,
     /// Engine configuration every job runs under.
     pub exec: ExecConfig,
+    /// Per-read socket timeout on accepted connections (`None` blocks
+    /// forever). Bounds how long a slow or silent client can hold a handler
+    /// thread while sending its request.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket timeout on accepted connections (`None` blocks
+    /// forever). Bounds a client that accepts the connection but never
+    /// drains the response.
+    pub write_timeout: Option<Duration>,
 }
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            sched: SchedConfig::default(),
+            exec: ExecConfig::default(),
+            read_timeout: Some(Duration::from_secs(10)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Monotonic source for generated request ids (`req-{n}`).
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// A running study server. Dropping it (or calling [`Server::shutdown`])
 /// stops accepting connections and drains the scheduler.
@@ -66,6 +105,7 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let timeouts = (config.read_timeout, config.write_timeout);
         let sched = Arc::new(Scheduler::start(config.sched, config.exec));
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
@@ -73,7 +113,7 @@ impl Server {
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("hv-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &sched, &stop))
+                .spawn(move || accept_loop(&listener, &sched, &stop, timeouts))
                 .expect("spawn accept loop")
         };
         Ok(Server {
@@ -117,11 +157,18 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, sched: &Arc<Scheduler>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    sched: &Arc<Scheduler>,
+    stop: &Arc<AtomicBool>,
+    timeouts: (Option<Duration>, Option<Duration>),
+) {
     loop {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(timeouts.0);
+                let _ = stream.set_write_timeout(timeouts.1);
                 let sched = Arc::clone(sched);
                 let _ = std::thread::Builder::new()
                     .name("hv-serve-conn".to_string())
@@ -147,20 +194,110 @@ fn accept_loop(listener: &TcpListener, sched: &Arc<Scheduler>, stop: &Arc<Atomic
 fn handle_connection(sched: &Scheduler, stream: TcpStream) -> io::Result<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut out = stream;
+    let started = Instant::now();
     let request = match read_request(&mut reader) {
         Ok(Some(req)) => req,
         Ok(None) => return Ok(()),
         Err(e) => {
-            return write_response(
+            let rid = next_request_id();
+            let result = write_response(
                 &mut out,
                 400,
                 "Bad Request",
                 "application/json",
                 api::error_body(&e.to_string()).as_bytes(),
             );
+            finish_request("bad_request", "?", "?", "anon", &rid, 400, started);
+            return result;
         }
     };
-    route(sched, &request, &mut out)
+    let rid = request
+        .header("x-request-id")
+        .filter(|v| !v.is_empty())
+        .map_or_else(next_request_id, str::to_string);
+    let tenant = request.header("x-tenant").unwrap_or("anon").to_string();
+    let mut span = Span::begin("http.request");
+    span.field_str("method", &request.method);
+    span.field_str("path", &request.path);
+    span.field_str("request_id", &rid);
+    let result = route(sched, &request, &mut out, span.id(), &rid);
+    drop(span);
+    // An Err here means the socket died mid-response; log it as status 0 so
+    // the access log still accounts for the request.
+    let status = *result.as_ref().unwrap_or(&0);
+    finish_request(
+        endpoint_label(&request.method, &request.path),
+        &request.method,
+        &request.path,
+        &tenant,
+        &rid,
+        status,
+        started,
+    );
+    result.map(|_| ())
+}
+
+fn next_request_id() -> String {
+    format!("req-{}", REQUEST_SEQ.fetch_add(1, Ordering::Relaxed) + 1)
+}
+
+/// The bounded per-endpoint label used in metric names — one label per
+/// route, never derived from raw client input.
+fn endpoint_label(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/stats") => "stats",
+        ("GET", "/metrics") => "metrics",
+        ("POST", "/studies") => "submit",
+        (method, path) => match (method, study_target(path).map(|(_, action)| action)) {
+            ("GET", Some(None)) => "status",
+            ("GET", Some(Some("progress"))) => "progress",
+            ("GET", Some(Some("result"))) => "result",
+            ("POST", Some(Some("cancel"))) => "cancel",
+            _ => "other",
+        },
+    }
+}
+
+/// Per-request bookkeeping: status-class counter, latency histogram, and one
+/// flushed `{"type":"access",…}` JSONL line through the installed sink.
+fn finish_request(
+    endpoint: &str,
+    method: &str,
+    path: &str,
+    tenant: &str,
+    request_id: &str,
+    status: u16,
+    started: Instant,
+) {
+    let dur_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    if hammervolt_obs::metrics_enabled() {
+        let class = match status {
+            200..=299 => "2xx",
+            300..=399 => "3xx",
+            400..=499 => "4xx",
+            500..=599 => "5xx",
+            _ => "err",
+        };
+        metrics::counter_named(&format!("http_requests_{endpoint}_{class}")).add(1);
+        histogram_record!("http_request_us", dur_us);
+    }
+    if hammervolt_obs::sink_installed() {
+        let line = format!(
+            "{{\"type\":\"access\",\"t_us\":{},\"method\":\"{}\",\"path\":\"{}\",\"status\":{},\"dur_us\":{},\"request_id\":\"{}\",\"tenant\":\"{}\"}}",
+            hammervolt_obs::epoch_us(),
+            api::json_escape(method),
+            api::json_escape(path),
+            status,
+            dur_us,
+            api::json_escape(request_id),
+            api::json_escape(tenant),
+        );
+        hammervolt_obs::emit_event(&line);
+        // One flush per request: the serve process is typically killed by
+        // signal, and buffered access lines would vanish with it.
+        hammervolt_obs::flush_sink();
+    }
 }
 
 /// Splits `/studies/{id}[/{action}]` into the id and optional action.
@@ -173,13 +310,31 @@ fn study_target(path: &str) -> Option<(u64, Option<&str>)> {
     id_part.parse().ok().map(|id| (id, action))
 }
 
-fn route(sched: &Scheduler, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+/// Dispatches one request; every handler returns the HTTP status it wrote so
+/// the caller can attribute counters and the access log.
+fn route(
+    sched: &Scheduler,
+    req: &Request,
+    out: &mut TcpStream,
+    trace_parent: u64,
+    request_id: &str,
+) -> io::Result<u16> {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => write_response(out, 200, "OK", "application/json", b"{\"ok\":true}"),
-        ("GET", "/stats") => {
-            write_response(out, 200, "OK", "application/json", stats_body().as_bytes())
+        ("GET", "/healthz") => {
+            write_response(out, 200, "OK", "application/json", b"{\"ok\":true}")?;
+            Ok(200)
         }
-        ("POST", "/studies") => submit(sched, req, out),
+        ("GET", "/metrics") => {
+            let body = prometheus::render();
+            write_response(out, 200, "OK", "text/plain; version=0.0.4", body.as_bytes())?;
+            Ok(200)
+        }
+        ("GET", "/stats") => {
+            let body = stats_body(sched);
+            write_response(out, 200, "OK", "application/json", body.as_bytes())?;
+            Ok(200)
+        }
+        ("POST", "/studies") => submit(sched, req, out, trace_parent, request_id),
         (method, path) => {
             if let Some((id, action)) = study_target(path) {
                 return match (method, action) {
@@ -195,65 +350,91 @@ fn route(sched: &Scheduler, req: &Request, out: &mut TcpStream) -> io::Result<()
     }
 }
 
-fn not_found(out: &mut TcpStream) -> io::Result<()> {
+fn not_found(out: &mut TcpStream) -> io::Result<u16> {
     write_response(
         out,
         404,
         "Not Found",
         "application/json",
         api::error_body("no such resource").as_bytes(),
-    )
+    )?;
+    Ok(404)
 }
 
-fn submit(sched: &Scheduler, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+fn submit(
+    sched: &Scheduler,
+    req: &Request,
+    out: &mut TcpStream,
+    trace_parent: u64,
+    request_id: &str,
+) -> io::Result<u16> {
     let spec = match api::parse_spec(&req.body) {
         Ok(spec) => spec,
         Err(msg) => {
-            return write_response(
+            write_response(
                 out,
                 400,
                 "Bad Request",
                 "application/json",
                 api::error_body(&msg).as_bytes(),
-            );
+            )?;
+            return Ok(400);
         }
     };
     let tenant = req.header("x-tenant").unwrap_or("anon").to_string();
-    match sched.submit(&tenant, spec) {
+    match sched.submit_with(&tenant, spec, request_id, trace_parent) {
         Ok(id) => {
             let view = sched.view(id);
             let state = view.map_or("queued".to_string(), |v| v.phase.label().to_string());
             let hash = sched.view(id).map_or(0, |v| v.spec_hash);
-            let body =
-                format!("{{\"job\":{id},\"spec_hash\":\"{hash:016x}\",\"state\":\"{state}\"}}");
-            write_response(out, 202, "Accepted", "application/json", body.as_bytes())
+            let body = format!(
+                "{{\"job\":{id},\"spec_hash\":\"{hash:016x}\",\"state\":\"{state}\",\"request_id\":\"{}\"}}",
+                api::json_escape(request_id)
+            );
+            write_response(out, 202, "Accepted", "application/json", body.as_bytes())?;
+            Ok(202)
         }
-        Err(SubmitError::QueueFull) => write_response(
-            out,
-            429,
-            "Too Many Requests",
-            "application/json",
-            api::error_body("queue full").as_bytes(),
-        ),
-        Err(SubmitError::ShuttingDown) => write_response(
-            out,
-            503,
-            "Service Unavailable",
-            "application/json",
-            api::error_body("shutting down").as_bytes(),
-        ),
+        Err(SubmitError::QueueFull) => {
+            write_response(
+                out,
+                429,
+                "Too Many Requests",
+                "application/json",
+                api::error_body("queue full").as_bytes(),
+            )?;
+            Ok(429)
+        }
+        Err(SubmitError::ShuttingDown) => {
+            write_response(
+                out,
+                503,
+                "Service Unavailable",
+                "application/json",
+                api::error_body("shutting down").as_bytes(),
+            )?;
+            Ok(503)
+        }
     }
 }
 
 fn view_body(view: &JobView) -> String {
     let mut body = format!(
-        "{{\"job\":{},\"spec_hash\":\"{:016x}\",\"state\":\"{}\",\"subscribers\":{},\"progress\":{}",
+        "{{\"job\":{},\"spec_hash\":\"{:016x}\",\"state\":\"{}\",\"subscribers\":{},\"request_id\":\"{}\",\"progress\":{}",
         view.id,
         view.spec_hash,
         view.phase.label(),
         view.subscribers,
+        api::json_escape(&view.request_id),
         progress_body(&view.progress),
     );
+    body.push_str(",\"metrics\":{");
+    for (i, (name, value)) in view.metrics.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\":{value}", api::json_escape(name)));
+    }
+    body.push('}');
     if let JobPhase::Failed(msg) = &view.phase {
         body.push_str(&format!(",\"error\":\"{}\"", api::json_escape(msg)));
     }
@@ -265,20 +446,23 @@ fn progress_body(p: &ProgressSnapshot) -> String {
     serde_json::to_string(p).expect("snapshot serializes")
 }
 
-fn status(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<()> {
+fn status(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<u16> {
     match sched.view(id) {
-        Some(view) => write_response(
-            out,
-            200,
-            "OK",
-            "application/json",
-            view_body(&view).as_bytes(),
-        ),
+        Some(view) => {
+            write_response(
+                out,
+                200,
+                "OK",
+                "application/json",
+                view_body(&view).as_bytes(),
+            )?;
+            Ok(200)
+        }
         None => not_found(out),
     }
 }
 
-fn progress(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<()> {
+fn progress(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<u16> {
     if req.query_param("stream") != Some("1") {
         return status(sched, id, out);
     }
@@ -292,17 +476,17 @@ fn progress(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> i
         writeln!(out, "{}", view_body(&view))?;
         out.flush()?;
         if view.phase.is_settled() {
-            return Ok(());
+            return Ok(200);
         }
         std::thread::sleep(POLL);
         match sched.view(id) {
             Some(v) => view = v,
-            None => return Ok(()),
+            None => return Ok(200),
         }
     }
 }
 
-fn result(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<()> {
+fn result(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io::Result<u16> {
     let wait = req
         .query_param("wait_ms")
         .and_then(|v| v.parse::<u64>().ok())
@@ -311,58 +495,96 @@ fn result(sched: &Scheduler, req: &Request, id: u64, out: &mut TcpStream) -> io:
         return not_found(out);
     };
     match (&view.phase, output) {
-        (JobPhase::Done, Some(output)) => write_response(
-            out,
-            200,
-            "OK",
-            "application/x-ndjson",
-            output.records_jsonl.as_bytes(),
-        ),
-        (JobPhase::Failed(msg), _) => write_response(
-            out,
-            500,
-            "Internal Server Error",
-            "application/json",
-            api::error_body(msg).as_bytes(),
-        ),
-        (JobPhase::Cancelled, _) => write_response(
-            out,
-            410,
-            "Gone",
-            "application/json",
-            api::error_body("job was cancelled").as_bytes(),
-        ),
-        (JobPhase::Shed, _) => write_response(
-            out,
-            410,
-            "Gone",
-            "application/json",
-            api::error_body("job was shed from the queue; resubmit").as_bytes(),
-        ),
-        _ => write_response(
-            out,
-            202,
-            "Accepted",
-            "application/json",
-            view_body(&view).as_bytes(),
-        ),
+        (JobPhase::Done, Some(output)) => {
+            write_response(
+                out,
+                200,
+                "OK",
+                "application/x-ndjson",
+                output.records_jsonl.as_bytes(),
+            )?;
+            Ok(200)
+        }
+        (JobPhase::Failed(msg), _) => {
+            write_response(
+                out,
+                500,
+                "Internal Server Error",
+                "application/json",
+                api::error_body(msg).as_bytes(),
+            )?;
+            Ok(500)
+        }
+        (JobPhase::Cancelled, _) => {
+            write_response(
+                out,
+                410,
+                "Gone",
+                "application/json",
+                api::error_body("job was cancelled").as_bytes(),
+            )?;
+            Ok(410)
+        }
+        (JobPhase::Shed, _) => {
+            write_response(
+                out,
+                410,
+                "Gone",
+                "application/json",
+                api::error_body("job was shed from the queue; resubmit").as_bytes(),
+            )?;
+            Ok(410)
+        }
+        _ => {
+            write_response(
+                out,
+                202,
+                "Accepted",
+                "application/json",
+                view_body(&view).as_bytes(),
+            )?;
+            Ok(202)
+        }
     }
 }
 
-fn cancel(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<()> {
+fn cancel(sched: &Scheduler, id: u64, out: &mut TcpStream) -> io::Result<u16> {
     if sched.cancel(id) {
-        write_response(out, 200, "OK", "application/json", b"{\"cancelled\":true}")
+        write_response(out, 200, "OK", "application/json", b"{\"cancelled\":true}")?;
+        Ok(200)
     } else {
         not_found(out)
     }
 }
 
-/// `{"counters":{…},"progress":{…}}` from the global obs registries — the
-/// same counters the run manifest reports, served live.
-fn stats_body() -> String {
+/// `{"scheduler":{…},"counters":{…},"progress":{…}}`: scheduler-derived
+/// numbers read under the scheduling lock (`queue_depth` — queued and
+/// unclaimed; `in_flight` — claimed, still running; `deque_lens` — queued
+/// length per worker deque; `tenants_served` — jobs claimed per tenant over
+/// the scheduler's lifetime), then the global obs counters the run manifest
+/// reports and the live progress counts.
+fn stats_body(sched: &Scheduler) -> String {
+    let stats: SchedStats = sched.stats();
     let counters = hammervolt_obs::metrics::counters_snapshot();
     let progress = hammervolt_obs::progress::snapshot();
-    let mut body = String::from("{\"counters\":{");
+    let mut body = format!(
+        "{{\"scheduler\":{{\"queue_depth\":{},\"in_flight\":{},\"deque_lens\":[",
+        stats.queue_depth, stats.in_flight
+    );
+    for (i, len) in stats.deque_lens.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&len.to_string());
+    }
+    body.push_str("],\"tenants_served\":{");
+    for (i, (tenant, served)) in stats.tenants_served.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!("\"{}\":{served}", api::json_escape(tenant)));
+    }
+    body.push_str("}},\"counters\":{");
     for (i, (name, value)) in counters.iter().enumerate() {
         if i > 0 {
             body.push(',');

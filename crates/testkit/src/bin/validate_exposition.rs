@@ -1,0 +1,315 @@
+//! Validator for Prometheus text-exposition output (`GET /metrics`).
+//!
+//! ```text
+//! validate-exposition <metrics.txt>
+//! ```
+//!
+//! Checks, against the text exposition format version 0.0.4:
+//!
+//! - every non-comment line parses as `name[{labels}] value`;
+//! - metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` and label names
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`, with label values quoted and only the
+//!   `\\`/`\"`/`\n` escapes used;
+//! - every sample's base name was declared by a preceding `# TYPE` line,
+//!   `# TYPE` names are never repeated, and the declared type is one of
+//!   `counter`, `gauge`, `histogram`;
+//! - counter and histogram sample values are non-negative integers, gauges
+//!   are integers;
+//! - each histogram series (per label set) has ascending `le` bounds with
+//!   non-decreasing cumulative counts, ends in `le="+Inf"`, and its `+Inf`
+//!   count equals the matching `_count` sample.
+//!
+//! Exit status: 0 when everything validates, 1 on any defect (each printed
+//! as `FAIL <detail>`), 2 on usage errors.
+
+use std::collections::BTreeMap;
+
+const USAGE: &str = "usage: validate-exposition <metrics.txt>";
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    /// Label pairs in file order, `le` included.
+    labels: Vec<(String, String)>,
+    value: String,
+}
+
+/// Parses `name{k="v",…} value`, reporting defects into `errors`.
+fn parse_sample(line: &str, line_no: usize, errors: &mut Vec<String>) -> Option<Sample> {
+    let mut fail = |msg: String| errors.push(format!("line {line_no}: {msg}"));
+    let (head, value) = match line.rsplit_once(' ') {
+        Some((h, v)) if !h.is_empty() && !v.is_empty() => (h, v),
+        _ => {
+            fail("expected `name[{labels}] value`".to_string());
+            return None;
+        }
+    };
+    let (name, label_part) = match head.find('{') {
+        None => (head, None),
+        Some(at) => {
+            let Some(inner) = head[at..]
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+            else {
+                fail("unbalanced label braces".to_string());
+                return None;
+            };
+            (&head[..at], Some(inner))
+        }
+    };
+    if !valid_metric_name(name) {
+        fail(format!("invalid metric name {name:?}"));
+        return None;
+    }
+    let mut labels = Vec::new();
+    if let Some(inner) = label_part {
+        // Split on commas outside quotes; values may contain escaped quotes.
+        let mut rest = inner;
+        while !rest.is_empty() {
+            let Some(eq) = rest.find('=') else {
+                fail(format!("label pair missing `=` in {rest:?}"));
+                return None;
+            };
+            let key = &rest[..eq];
+            if !valid_label_name(key) {
+                fail(format!("invalid label name {key:?}"));
+                return None;
+            }
+            let after = &rest[eq + 1..];
+            if !after.starts_with('"') {
+                fail(format!("label {key:?} value is not quoted"));
+                return None;
+            }
+            let mut end = None;
+            let bytes = after.as_bytes();
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        match bytes.get(i + 1) {
+                            Some(b'\\' | b'"' | b'n') => {}
+                            _ => {
+                                fail(format!("label {key:?} uses an unknown escape"));
+                                return None;
+                            }
+                        }
+                        i += 2;
+                    }
+                    b'"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            let Some(end) = end else {
+                fail(format!("label {key:?} value is unterminated"));
+                return None;
+            };
+            labels.push((key.to_string(), after[1..end].to_string()));
+            rest = &after[end + 1..];
+            rest = rest.strip_prefix(',').unwrap_or(rest);
+        }
+    }
+    Some(Sample {
+        name: name.to_string(),
+        labels,
+        value: value.to_string(),
+    })
+}
+
+/// The `# TYPE`-declared base name a sample belongs to: histogram samples
+/// report under `{base}_bucket`/`{base}_sum`/`{base}_count`.
+fn base_name<'a>(sample: &'a str, types: &BTreeMap<String, String>) -> Option<(&'a str, bool)> {
+    if types.contains_key(sample) {
+        return Some((sample, false));
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return Some((base, true));
+            }
+        }
+    }
+    None
+}
+
+fn check(text: &str, errors: &mut Vec<String>) -> (usize, usize) {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    // (histogram base, labels-without-le) -> [(le, cumulative count)]
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut buckets: BTreeMap<SeriesKey, Vec<(String, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<SeriesKey, u64> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let fields: Vec<&str> = comment.split_whitespace().collect();
+            if fields.first() != Some(&"TYPE") {
+                continue; // HELP and free comments are fine.
+            }
+            match fields.as_slice() {
+                ["TYPE", name, kind] => {
+                    if !valid_metric_name(name) {
+                        errors.push(format!("line {line_no}: invalid TYPE name {name:?}"));
+                    }
+                    if !matches!(*kind, "counter" | "gauge" | "histogram") {
+                        errors.push(format!("line {line_no}: unknown TYPE kind {kind:?}"));
+                    }
+                    if types
+                        .insert((*name).to_string(), (*kind).to_string())
+                        .is_some()
+                    {
+                        errors.push(format!("line {line_no}: duplicate TYPE for {name:?}"));
+                    }
+                }
+                _ => errors.push(format!("line {line_no}: malformed TYPE comment")),
+            }
+            continue;
+        }
+        let Some(sample) = parse_sample(line, line_no, errors) else {
+            continue;
+        };
+        samples += 1;
+        let Some((base, is_histogram_part)) = base_name(&sample.name, &types) else {
+            errors.push(format!(
+                "line {line_no}: sample {:?} has no preceding TYPE declaration",
+                sample.name
+            ));
+            continue;
+        };
+        let declared = types[base].clone();
+        let int_value = sample.value.parse::<u64>();
+        match declared.as_str() {
+            "gauge" if sample.value.parse::<i64>().is_err() => {
+                errors.push(format!(
+                    "line {line_no}: gauge value {:?} is not an integer",
+                    sample.value
+                ));
+            }
+            "gauge" => {}
+            _ if int_value.is_err() => errors.push(format!(
+                "line {line_no}: value {:?} is not a non-negative integer",
+                sample.value
+            )),
+            _ => {}
+        }
+        if declared == "histogram" && !is_histogram_part {
+            errors.push(format!(
+                "line {line_no}: histogram {base:?} sample lacks a _bucket/_sum/_count suffix"
+            ));
+        }
+        if sample.name.ends_with("_bucket") && is_histogram_part {
+            let mut labels = sample.labels.clone();
+            let le = match labels.iter().position(|(k, _)| k == "le") {
+                Some(at) => labels.remove(at).1,
+                None => {
+                    errors.push(format!(
+                        "line {line_no}: _bucket sample without an le label"
+                    ));
+                    continue;
+                }
+            };
+            buckets
+                .entry((base.to_string(), labels))
+                .or_default()
+                .push((le, int_value.unwrap_or(0)));
+        } else if sample.name.ends_with("_count") && is_histogram_part {
+            counts.insert(
+                (base.to_string(), sample.labels.clone()),
+                int_value.unwrap_or(0),
+            );
+        }
+    }
+    for ((base, labels), series) in &buckets {
+        let ctx = format!("histogram {base:?} {labels:?}");
+        match series.last() {
+            Some((le, inf_count)) if le == "+Inf" => {
+                match counts.get(&(base.clone(), labels.clone())) {
+                    Some(count) if count == inf_count => {}
+                    Some(count) => {
+                        errors.push(format!("{ctx}: +Inf bucket {inf_count} != _count {count}"))
+                    }
+                    None => errors.push(format!("{ctx}: no matching _count sample")),
+                }
+            }
+            _ => errors.push(format!("{ctx}: bucket series does not end in le=\"+Inf\"")),
+        }
+        let mut prev_bound: Option<f64> = None;
+        let mut prev_count = 0u64;
+        for (le, count) in series {
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                match le.parse::<f64>() {
+                    Ok(b) => b,
+                    Err(_) => {
+                        errors.push(format!("{ctx}: unparseable le bound {le:?}"));
+                        continue;
+                    }
+                }
+            };
+            if let Some(prev) = prev_bound {
+                if bound <= prev {
+                    errors.push(format!("{ctx}: le bounds not ascending at {le:?}"));
+                }
+            }
+            if *count < prev_count {
+                errors.push(format!(
+                    "{ctx}: cumulative count decreases at le={le:?} ({prev_count} -> {count})"
+                ));
+            }
+            prev_bound = Some(bound);
+            prev_count = *count;
+        }
+    }
+    (samples, types.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let mut errors = Vec::new();
+    match std::fs::read_to_string(path) {
+        Err(e) => errors.push(format!("{path}: unreadable ({e})")),
+        Ok(text) => {
+            let (samples, types) = check(&text, &mut errors);
+            if samples == 0 {
+                errors.push(format!("{path}: contains no samples"));
+            }
+            println!("{path}: {samples} samples across {types} TYPE declarations");
+        }
+    }
+    if errors.is_empty() {
+        println!("ok");
+    } else {
+        for e in &errors {
+            println!("FAIL {e}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,9 @@
 //! lines carry a unique positive `id`, a non-empty `name`, and integer
 //! `start_us`/`dur_us`; every non-zero `parent` references a span id that
 //! exists somewhere in the file (children drop before their parents, so
-//! forward references are legal). An embedded `manifest` event is validated
+//! forward references are legal); `access` lines (the HTTP server's access
+//! log) carry string `method`/`path`/`request_id`/`tenant` and integer
+//! `t_us`/`status`/`dur_us`. An embedded `manifest` event is validated
 //! like a standalone manifest file.
 //!
 //! Manifest checks: `schema` is 1, `bin` is non-empty, `wall_us` is an
@@ -163,6 +165,22 @@ fn check_trace(text: &str, errors: &mut Vec<String>) -> (usize, usize) {
                     if as_str(v.field(key)).is_none() {
                         errors.push(format!(
                             "line {line_no}: warn field {key:?} must be a string"
+                        ));
+                    }
+                }
+            }
+            "access" => {
+                for key in ["method", "path", "request_id", "tenant"] {
+                    if as_str(v.field(key)).is_none() {
+                        errors.push(format!(
+                            "line {line_no}: access field {key:?} must be a string"
+                        ));
+                    }
+                }
+                for key in ["t_us", "status", "dur_us"] {
+                    if as_u64(v.field(key)).is_none() {
+                        errors.push(format!(
+                            "line {line_no}: access field {key:?} must be an unsigned integer"
                         ));
                     }
                 }

@@ -120,3 +120,30 @@ fn traced_sweeps_match_untraced_byte_for_byte() {
     }
     assert!(spans > 0, "a traced sweep must emit spans");
 }
+
+/// Metric scopes are part of the same side-channel contract: running the
+/// sweep with metrics on *and* a scope entered (as the study server does per
+/// job) must leave the payload byte-identical to a bare run, while the scope
+/// itself accumulates the engine's counters.
+#[test]
+fn scoped_sweeps_match_bare_byte_for_byte() {
+    let cfg = golden_config();
+    let bare = canon(&rowhammer_sweeps(&cfg, &ExecConfig::with_jobs(3)).expect("bare sweep"));
+
+    let scope = hammervolt_obs::scope::Scope::new(&[("job_id", "diff"), ("tenant", "oracle")]);
+    hammervolt_obs::set_metrics(true);
+    let scoped = {
+        let _guard = hammervolt_obs::scope::enter(&scope);
+        canon(&rowhammer_sweeps(&cfg, &ExecConfig::with_jobs(3)).expect("scoped sweep"))
+    };
+    hammervolt_obs::set_metrics(false);
+
+    assert_eq!(
+        bare, scoped,
+        "entering a metric scope must not change sweep output"
+    );
+    assert!(
+        scope.counter_value("exec_units") > 0,
+        "the scope must have absorbed the engine's unit counter"
+    );
+}

@@ -94,6 +94,7 @@ fn server(tag: &str, workers: usize, checkpoints: bool) -> (Server, PathBuf) {
             ..SchedConfig::default()
         },
         exec,
+        ..ServerConfig::default()
     };
     let server = Server::start("127.0.0.1:0", config).expect("bind ephemeral port");
     (server, dir)
@@ -276,6 +277,7 @@ fn queue_bound_rejects_with_429() {
             overflow: OverflowPolicy::Reject,
         },
         exec,
+        ..ServerConfig::default()
     };
     let server = Server::start("127.0.0.1:0", config).expect("bind");
     let addr = server.addr();
@@ -299,6 +301,303 @@ fn queue_bound_rejects_with_429() {
         "over-bound submission must be rejected: {}",
         String::from_utf8_lossy(&reply)
     );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Extracts the first `"key":"string"` value from a JSON body.
+fn json_str(body: &[u8], key: &str) -> String {
+    let text = std::str::from_utf8(body).expect("UTF-8 body");
+    let needle = format!("\"{key}\":\"");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no string {key:?} in {text}"));
+    text[at + needle.len()..]
+        .chars()
+        .take_while(|&c| c != '"')
+        .collect()
+}
+
+/// Serializes the tests that flip the process-wide metrics flag, so one
+/// cannot disable metrics mid-way through another's run.
+static METRICS_FLAG_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Two concurrent jobs each get their own metric scope: the scoped counter
+/// snapshot in `GET /studies/{id}` reflects only that job's execution, even
+/// though both ran in the same process at the same time with global metrics
+/// on.
+#[test]
+fn scoped_counters_do_not_bleed_between_concurrent_jobs() {
+    let _flag = METRICS_FLAG_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    hammervolt_obs::set_metrics(true);
+    let (server, dir) = server("scoped", 2, false);
+    let addr = server.addr();
+    // Different unit and module counts so attribution errors are visible in
+    // either direction: one module vs two.
+    let spec_a = small_spec(ModuleId::B3, 2);
+    let spec_b = JobSpec {
+        kind: SweepKind::Hammer,
+        config: StudyConfig {
+            rows_per_chunk: 2,
+            modules: vec![ModuleId::B0, ModuleId::B1],
+            ..StudyConfig::smoke()
+        },
+    };
+    let job_a = submit(addr, &spec_a);
+    let job_b = submit(addr, &spec_b);
+    for job in [job_a, job_b] {
+        let (status, _) = http(
+            addr,
+            "GET",
+            &format!("/studies/{job}/result?wait_ms=120000"),
+            "",
+        );
+        assert_eq!(status, 200);
+    }
+    let (_, view_a) = http(addr, "GET", &format!("/studies/{job_a}"), "");
+    let (_, view_b) = http(addr, "GET", &format!("/studies/{job_b}"), "");
+    let units_a = json_u64(&view_a, "units_total");
+    let units_b = json_u64(&view_b, "units_total");
+    assert_ne!(units_a, units_b, "specs must differ in unit count");
+    // exec_units/exec_modules appear only in the scoped "metrics" object
+    // (progress uses the units_* names), so a first-match scan is safe.
+    for (view, units, modules) in [(&view_a, units_a, 1), (&view_b, units_b, 2)] {
+        assert_eq!(
+            json_u64(view, "exec_units"),
+            units,
+            "scoped exec_units must equal the job's own unit count: {}",
+            String::from_utf8_lossy(view)
+        );
+        assert_eq!(json_u64(view, "exec_modules"), modules);
+    }
+    hammervolt_obs::set_metrics(false);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `GET /metrics` answers with parseable Prometheus text exposition carrying
+/// the scheduler gauges and per-job scoped series, and `GET /stats` reports
+/// the scheduler-derived numbers.
+#[test]
+fn metrics_endpoint_serves_prometheus_exposition() {
+    let _flag = METRICS_FLAG_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    hammervolt_obs::set_metrics(true);
+    let (server, dir) = server("metrics", 1, false);
+    let addr = server.addr();
+    let job = submit(addr, &small_spec(ModuleId::B1, 2));
+    let (status, _) = http(
+        addr,
+        "GET",
+        &format!("/studies/{job}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!(status, 200);
+
+    let (status, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).expect("exposition is UTF-8");
+    for needle in [
+        "# TYPE sched_queue_depth gauge",
+        "# TYPE sched_inflight gauge",
+        "# TYPE http_request_us histogram",
+        "http_request_us_bucket{le=\"+Inf\"}",
+        &format!("exec_units{{job_id=\"{job}\",sweep_kind=\"hammer\",tenant=\"anon\"}}"),
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+    // Every sample line is `name[{labels}] value` with a numeric value.
+    for line in text
+        .lines()
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+    {
+        let (_, value) = line.rsplit_once(' ').expect("sample has a value");
+        assert!(
+            value.parse::<i64>().is_ok(),
+            "non-integer sample value in {line:?}"
+        );
+    }
+
+    let (status, stats) = http(addr, "GET", "/stats", "");
+    assert_eq!(status, 200);
+    let stats = String::from_utf8(stats).expect("stats is UTF-8");
+    assert!(stats.contains("\"queue_depth\":0"), "stats: {stats}");
+    assert!(stats.contains("\"in_flight\":0"), "stats: {stats}");
+    assert!(stats.contains("\"anon\":1"), "tenants_served: {stats}");
+    hammervolt_obs::set_metrics(false);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Submissions carry the request id end to end: an inbound `X-Request-Id`
+/// shows up in the submit reply and the job view; without one the server
+/// generates a `req-{n}` id.
+#[test]
+fn request_ids_propagate_from_header_to_job_view() {
+    let (server, dir) = server("reqid", 1, false);
+    let addr = server.addr();
+    let spec_body = serde_json::to_string(&small_spec(ModuleId::B2, 2)).unwrap();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /studies HTTP/1.1\r\nHost: test\r\nX-Request-Id: trace-me-42\r\nContent-Length: {}\r\n\r\n{spec_body}",
+        spec_body.len()
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.contains("\"request_id\":\"trace-me-42\""), "{text}");
+    let body_at = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let job = json_u64(&raw[body_at..], "job");
+
+    let (_, view) = http(addr, "GET", &format!("/studies/{job}"), "");
+    assert_eq!(json_str(&view, "request_id"), "trace-me-42");
+
+    // A plain submission gets a generated id.
+    let job2 = submit(addr, &small_spec(ModuleId::B3, 2));
+    let (_, view2) = http(addr, "GET", &format!("/studies/{job2}"), "");
+    assert!(
+        json_str(&view2, "request_id").starts_with("req-"),
+        "generated id: {}",
+        String::from_utf8_lossy(&view2)
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An HTTP-submitted job produces one span tree: the submit request's
+/// `http.request` span is the root, the job's `job.run` span parents under
+/// it, and the engine's `exec.shard` spans are its descendants.
+#[test]
+fn submitted_jobs_trace_as_one_tree_rooted_at_the_request() {
+    let _flag = METRICS_FLAG_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let sink = std::sync::Arc::new(hammervolt_obs::MemorySink::new());
+    hammervolt_obs::set_sink(Some(sink.clone()));
+    hammervolt_obs::set_tracing(true);
+
+    let (server, dir) = server("tree", 1, false);
+    let addr = server.addr();
+    let spec_body = serde_json::to_string(&small_spec(ModuleId::B2, 2)).unwrap();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /studies HTTP/1.1\r\nHost: test\r\nX-Request-Id: tree-77\r\nContent-Length: {}\r\n\r\n{spec_body}",
+        spec_body.len()
+    )
+    .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let body_at = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+    let job = json_u64(&raw[body_at..], "job");
+    let (status, _) = http(
+        addr,
+        "GET",
+        &format!("/studies/{job}/result?wait_ms=120000"),
+        "",
+    );
+    assert_eq!(status, 200);
+
+    hammervolt_obs::set_tracing(false);
+    hammervolt_obs::set_sink(None);
+
+    // Rebuild the span forest and walk shard spans up to the request root.
+    let mut parents: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut root = 0u64;
+    let mut job_span = 0u64;
+    let mut shards: Vec<u64> = Vec::new();
+    for line in sink.lines() {
+        let v: serde::Value = serde_json::from_str(&line).expect("event line parses");
+        if let (serde::Value::Str(kind), serde::Value::Int(id), serde::Value::Int(parent)) =
+            (v.field("type"), v.field("id"), v.field("parent"))
+        {
+            if kind != "span" {
+                continue;
+            }
+            let (id, parent) = (*id as u64, *parent as u64);
+            parents.insert(id, parent);
+            match v.field("name") {
+                serde::Value::Str(name) if name == "http.request" => {
+                    if matches!(v.field("request_id"), serde::Value::Str(r) if r == "tree-77") {
+                        root = id;
+                    }
+                }
+                serde::Value::Str(name) if name == "job.run" && parent != 0 => job_span = id,
+                serde::Value::Str(name) if name == "exec.shard" => shards.push(id),
+                _ => {}
+            }
+        }
+    }
+    assert_ne!(root, 0, "no http.request span for the tagged submit");
+    assert_eq!(
+        parents.get(&job_span),
+        Some(&root),
+        "job.run must parent under the submitting request"
+    );
+    let descends_from_root = |mut id: u64| {
+        for _ in 0..64 {
+            if id == root {
+                return true;
+            }
+            id = parents.get(&id).copied().unwrap_or(0);
+            if id == 0 {
+                return false;
+            }
+        }
+        false
+    };
+    assert!(
+        shards.iter().any(|&s| descends_from_root(s)),
+        "no exec.shard span descends from the request root"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client that connects and then goes silent is cut off by the read
+/// timeout instead of pinning a handler thread forever.
+#[test]
+fn slow_clients_are_timed_out() {
+    let dir = temp_dir("slow");
+    let exec = ExecConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
+    };
+    let config = ServerConfig {
+        sched: SchedConfig {
+            workers: 1,
+            ..SchedConfig::default()
+        },
+        exec,
+        read_timeout: Some(std::time::Duration::from_millis(100)),
+        write_timeout: Some(std::time::Duration::from_millis(100)),
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: te").expect("send a partial request");
+    // No more bytes: the server's read must time out and close (possibly
+    // after answering 400 for the truncated request).
+    let started = std::time::Instant::now();
+    let mut rest = Vec::new();
+    stream
+        .read_to_end(&mut rest)
+        .expect("server closes the connection");
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "stalled request held the connection too long"
+    );
+
+    // The server is still healthy for well-behaved clients.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
