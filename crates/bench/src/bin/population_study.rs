@@ -1,0 +1,131 @@
+//! Population scale-out study: characterize a generated module fleet with
+//! adaptive sampling.
+//!
+//! Generates a `hammervolt_dram::population` fleet (defaults to 10,000
+//! modules) and streams it through the engine in fixed batches, stopping as
+//! soon as the cumulative §4.6 CV percentiles and the confidence interval
+//! on the mean `HC_first` ratio clear the stopping rule — demonstrating
+//! that a Table-3-scale conclusion generalizes to a fleet three orders of
+//! magnitude larger while measuring only a statistical prefix of it.
+//!
+//! Usage: `population_study [--size N] [--seed N] [--batch N] [--rows N]
+//! [--min-batches N]`; worker count / cache / resume come from
+//! `HAMMERVOLT_JOBS` / `HAMMERVOLT_CACHE_DIR` / `HAMMERVOLT_RESUME` like
+//! every other harness.
+
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_core::job::JobControl;
+use hammervolt_core::population::{population_key, population_run, PopulationConfig};
+use hammervolt_stats::table::AsciiTable;
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |x| format!("{x:.4}"))
+}
+
+fn main() {
+    let _obs = hammervolt_bench::obs_init(env!("CARGO_BIN_NAME"));
+    let args: Vec<String> = std::env::args().collect();
+    let size = parse_flag(&args, "--size").unwrap_or(10_000);
+    let seed = parse_flag(&args, "--seed").unwrap_or(1);
+    let mut config = PopulationConfig::smoke(size, seed);
+    if let Some(batch) = parse_flag(&args, "--batch") {
+        config.batch_size = batch;
+    }
+    if let Some(rows) = parse_flag(&args, "--rows") {
+        config.rows_per_module = rows as u32;
+    }
+    if let Some(min) = parse_flag(&args, "--min-batches") {
+        config.stopping.min_batches = min;
+    }
+    let exec = ExecConfig::from_env();
+    println!(
+        "population study: {} generated modules (seed {}), batches of {}, \
+         {} rows/module, key {:016x}\n",
+        size,
+        seed,
+        config.batch_size,
+        config.rows_per_module,
+        population_key(&config)
+    );
+    let ctl = JobControl::new();
+    let (records, summary) = match population_run(&config, &exec, &ctl) {
+        Ok(out) => out,
+        Err(err) => {
+            eprintln!("population study failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut t = AsciiTable::new(vec![
+        "batch".into(),
+        "modules".into(),
+        "mean HC ratio".into(),
+        "cv p90".into(),
+        "cv p95".into(),
+        "cv p99".into(),
+        "ci rel width".into(),
+        "sampled".into(),
+        "stop".into(),
+    ]);
+    for r in &records {
+        t.add_row(vec![
+            r.batch.to_string(),
+            r.modules.to_string(),
+            fmt_opt(r.mean_hc_ratio),
+            fmt_opt(r.cv_p90),
+            fmt_opt(r.cv_p95),
+            fmt_opt(r.cv_p99),
+            fmt_opt(r.ci_rel_width),
+            format!("{:.2}%", r.sampled_fraction * 100.0),
+            if r.converged { "yes" } else { "" }.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    let rule = &config.stopping;
+    println!(
+        "\nstopping rule: cv p90/p95/p99 ≤ {:.2}/{:.2}/{:.2}, \
+         {:.0}% CI within ±{:.1}% of mean, min {} batches",
+        rule.cv_p90,
+        rule.cv_p95,
+        rule.cv_p99,
+        rule.ci_level * 100.0,
+        rule.ci_rel_width * 50.0,
+        rule.min_batches
+    );
+    println!(
+        "{} after batch {}: measured {} of {} modules ({:.2}%; families A/B/C = {}/{}/{})",
+        if summary.converged {
+            "converged"
+        } else {
+            "fleet exhausted"
+        },
+        summary.stopped_at_batch,
+        summary.measured,
+        summary.size,
+        summary.measured as f64 / summary.size as f64 * 100.0,
+        summary.families.0,
+        summary.families.1,
+        summary.families.2,
+    );
+    if let (Some(mean), Some((lo, hi))) = (summary.mean_hc_ratio, summary.ci) {
+        println!(
+            "mean HC_first ratio at V_PPmin = {mean:.4}  ({:.0}% CI [{lo:.4}, {hi:.4}])",
+            rule.ci_level * 100.0
+        );
+    }
+    if let Some(mean) = summary.mean_ber_ratio {
+        println!("mean BER ratio at V_PPmin   = {mean:.4}");
+    }
+    if let Some((p90, p95, p99)) = summary.cv_percentiles {
+        let (r90, r95, r99) = hammervolt_bench::paper::CV_PERCENTILES;
+        println!("{}", hammervolt_bench::compare_line("CV p90", r90, p90));
+        println!("{}", hammervolt_bench::compare_line("CV p95", r95, p95));
+        println!("{}", hammervolt_bench::compare_line("CV p99", r99, p99));
+    }
+}

@@ -34,7 +34,11 @@ fn attack_with_refresh(id: ModuleId, attack: &Attack, budget: u64, refresh_burst
     let per_burst = budget / refresh_bursts as u64;
     let mut flips = 0;
     for i in 0..refresh_bursts {
-        flips = mount(
+        // mount() re-initializes the victim per burst, so each burst's flip
+        // count is the damage done between consecutive refreshes; summing
+        // them gives damage over the whole budget, comparable to the no-REF
+        // column at equal total activations.
+        flips += mount(
             &mut mc,
             0,
             victim,
@@ -49,10 +53,7 @@ fn attack_with_refresh(id: ModuleId, attack: &Attack, budget: u64, refresh_burst
             p.push(Instruction::Ref);
             mc.run(&p).unwrap();
         }
-        let _ = flips;
     }
-    // note: mount() re-initializes the victim per burst, so the last burst's
-    // flips represent steady-state damage between refreshes
     flips
 }
 
@@ -63,7 +64,7 @@ fn main() {
     let mut t = AsciiTable::new(vec![
         "attack".into(),
         "flips, no REF".into(),
-        "flips, REF every budget/8".into(),
+        "cumulative flips, REF every budget/8".into(),
     ]);
     for attack in [
         Attack::SingleSided,

@@ -117,6 +117,7 @@ pub fn mount(
         mc.init_row(bank, a, pattern.inverse().word())?;
     }
     let per_aggressor = budget / aggressors.len() as u64;
+    let remainder = budget % aggressors.len() as u64;
     // One interleaved loop over all aggressors, as a real attack would issue.
     let mut body = Vec::new();
     for &row in &aggressors {
@@ -125,13 +126,19 @@ pub fn mount(
     }
     let mut program = Program::new();
     program.push_loop(per_aggressor, body);
+    // The division remainder goes to the leading aggressors, one extra
+    // activation each, so the full budget is always spent.
+    for &row in aggressors.iter().take(remainder as usize) {
+        program.push(Instruction::Act { bank, row });
+        program.push(Instruction::Pre { bank });
+    }
     mc.run(&program)?;
     let readout = mc.read_row_conservative(bank, victim)?;
     let victim_flips = patterns::count_flips(&readout, pattern);
     let columns = readout.len() as f64;
     Ok(AttackOutcome {
         attack: attack.clone(),
-        activations: per_aggressor * aggressors.len() as u64,
+        activations: budget,
         victim_flips,
         victim_ber: victim_flips as f64 / (columns * 64.0),
     })
@@ -184,6 +191,29 @@ mod tests {
 
     #[test]
     fn budget_is_respected() {
+        // Budgets that do not divide the aggressor count must still be spent
+        // in full: the remainder lands on the leading aggressors. 600_001
+        // over 6 aggressors used to silently drop the odd activation.
+        for budget in [600_000u64, 600_001, 600_005] {
+            let mut mc = session(7);
+            let out = mount(
+                &mut mc,
+                0,
+                150,
+                &Attack::ManySided { pairs: 3 },
+                DataPattern::CheckerboardAa,
+                budget,
+            )
+            .unwrap();
+            assert_eq!(out.activations, budget);
+            assert_eq!(out.attack.label(), "3-pair many-sided");
+        }
+    }
+
+    #[test]
+    fn tiny_budget_below_aggressor_count_is_still_spent() {
+        // budget < aggressors.len(): the even split is zero, so the whole
+        // budget is remainder.
         let mut mc = session(7);
         let out = mount(
             &mut mc,
@@ -191,11 +221,10 @@ mod tests {
             150,
             &Attack::ManySided { pairs: 3 },
             DataPattern::CheckerboardAa,
-            600_000,
+            4,
         )
         .unwrap();
-        assert_eq!(out.activations, 600_000 / 6 * 6);
-        assert_eq!(out.attack.label(), "3-pair many-sided");
+        assert_eq!(out.activations, 4);
     }
 
     #[test]

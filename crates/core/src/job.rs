@@ -30,6 +30,7 @@
 
 use crate::error::StudyError;
 use crate::exec::{self, ExecConfig};
+use crate::population::{self, PopulationConfig};
 use crate::records::write_jsonl;
 use crate::study::StudyConfig;
 use hammervolt_obs::scope::Scope;
@@ -40,7 +41,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which sweep a job runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Population` carries a float-bearing config, so the enum is `Clone +
+/// PartialEq` rather than `Copy + Eq` like the registry sweeps alone would
+/// allow. Serde's externally-tagged representation keeps the existing
+/// variants' JSON unchanged, so pre-population spec hashes are stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SweepKind {
     /// Alg. 1 RowHammer ladder sweep.
     Hammer,
@@ -51,6 +57,8 @@ pub enum SweepKind {
     },
     /// Alg. 3 retention sweep.
     Retention,
+    /// Generated-population study with CV-convergence adaptive stopping.
+    Population(PopulationConfig),
 }
 
 impl SweepKind {
@@ -61,6 +69,7 @@ impl SweepKind {
             SweepKind::Hammer => "hammer",
             SweepKind::Trcd { .. } => "trcd",
             SweepKind::Retention => "retention",
+            SweepKind::Population(_) => "population",
         }
     }
 
@@ -80,6 +89,17 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
+    /// A population job. The `config` field is irrelevant to population
+    /// runs, so it is pinned to one canonical value — every submission of
+    /// an equal [`PopulationConfig`] hashes (and therefore dedups and
+    /// caches) identically.
+    pub fn population(cfg: PopulationConfig) -> JobSpec {
+        JobSpec {
+            kind: SweepKind::Population(cfg),
+            config: StudyConfig::smoke(),
+        }
+    }
+
     /// The spec's content hash: FNV-1a-64 over its exact JSON
     /// serialization. Two specs hash equal iff they serialize to the same
     /// bytes — the dedup and result-addressing key for schedulers.
@@ -110,7 +130,7 @@ impl JobSpec {
         span.field_str("spec_hash", &format!("{:016x}", self.spec_hash()));
         let _scope_guard = ctl.scope().map(hammervolt_obs::scope::enter);
         let mut buf: Vec<u8> = Vec::new();
-        match self.kind {
+        match &self.kind {
             SweepKind::Hammer => {
                 for sweep in exec::rowhammer_sweeps_ctl(&self.config, exec, ctl)? {
                     write_jsonl(&sweep.records, &mut buf).map_err(|e| {
@@ -121,7 +141,7 @@ impl JobSpec {
                 }
             }
             SweepKind::Trcd { levels_cap } => {
-                for sweep in exec::trcd_sweeps_ctl(&self.config, levels_cap, exec, ctl)? {
+                for sweep in exec::trcd_sweeps_ctl(&self.config, *levels_cap, exec, ctl)? {
                     write_jsonl(&sweep.records, &mut buf).map_err(|e| {
                         StudyError::InvalidConfig {
                             reason: format!("cannot serialize records: {e}"),
@@ -137,6 +157,16 @@ impl JobSpec {
                         }
                     })?;
                 }
+            }
+            SweepKind::Population(cfg) => {
+                let (records, summary) = population::population_run(cfg, exec, ctl)?;
+                // Payload: one line per batch, then the summary as the
+                // final line.
+                write_jsonl(&records, &mut buf)
+                    .and_then(|()| write_jsonl(std::slice::from_ref(&summary), &mut buf))
+                    .map_err(|e| StudyError::InvalidConfig {
+                        reason: format!("cannot serialize records: {e}"),
+                    })?;
             }
         }
         Ok(JobOutput {

@@ -31,6 +31,9 @@
 //!   snapshots) that the CLI's `--resume` and the study server build on,
 //! - [`attacks`] — the attack-pattern family (single-, double-, many-sided)
 //!   behind §4.2's effectiveness claim,
+//! - [`population`] — generated-fleet studies over
+//!   `hammervolt_dram::population` specs with CV-convergence adaptive
+//!   stopping,
 //! - [`recommend`] — §8's optimal-wordline-voltage selection (Table 3's
 //!   `V_PPrec`).
 //!
@@ -64,6 +67,7 @@ pub mod experiment;
 pub mod job;
 pub mod mitigation;
 pub mod patterns;
+pub mod population;
 pub mod recommend;
 pub mod records;
 pub mod significance;

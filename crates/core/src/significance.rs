@@ -38,14 +38,19 @@ impl SignificanceReport {
 /// repeated observations of one quantity (e.g. one row's BER across the ten
 /// iterations).
 ///
-/// Groups whose mean is zero (e.g. rows that never flipped) carry no
-/// variation information and are skipped, as are groups with fewer than two
-/// observations.
+/// Groups whose mean is at or near zero relative to the magnitude of their
+/// observations (e.g. rows that never flipped, or samples that cancel to
+/// rounding noise) carry no variation information — dividing by such a mean
+/// produces an exploding, meaningless CV — and are skipped, as are groups
+/// with fewer than two observations.
 ///
 /// # Errors
 ///
 /// Fails if no group is usable.
 pub fn analyze(groups: &[Vec<f64>]) -> Result<SignificanceReport, StudyError> {
+    // A mean this small relative to the largest observation is cancellation,
+    // not signal.
+    const REL_EPS: f64 = 1e-9;
     let mut cvs = Vec::new();
     for g in groups {
         if g.len() < 2 {
@@ -54,7 +59,8 @@ pub fn analyze(groups: &[Vec<f64>]) -> Result<SignificanceReport, StudyError> {
         let Ok(summary) = Summary::from_slice(g) else {
             continue;
         };
-        if summary.mean == 0.0 {
+        let scale = g.iter().fold(0.0_f64, |m, v| m.max(v.abs()));
+        if summary.mean.abs() <= REL_EPS * scale || scale == 0.0 {
             continue;
         }
         cvs.push(summary.coefficient_of_variation());
@@ -64,12 +70,13 @@ pub fn analyze(groups: &[Vec<f64>]) -> Result<SignificanceReport, StudyError> {
             reason: "no measurement group with nonzero mean and ≥2 observations".to_string(),
         });
     }
-    let p = |pct: f64| quantile::percentile(&cvs, pct).expect("non-empty validated");
+    // One sort for all three percentiles.
+    let ps = quantile::quantiles(&cvs, &[0.90, 0.95, 0.99]).expect("non-empty validated");
     Ok(SignificanceReport {
         groups: cvs.len(),
-        cv_p90: p(90.0),
-        cv_p95: p(95.0),
-        cv_p99: p(99.0),
+        cv_p90: ps[0],
+        cv_p95: ps[1],
+        cv_p99: ps[2],
         cvs,
     })
 }
@@ -104,6 +111,27 @@ mod tests {
             vec![4.0, 6.0],      // usable
         ];
         let r = analyze(&groups).unwrap();
+        assert_eq!(r.groups, 1);
+    }
+
+    #[test]
+    fn near_zero_mean_groups_skipped() {
+        // Regression: a group whose samples cancel to rounding noise used to
+        // pass the exact `mean == 0.0` check and contribute a CV of ~1e16,
+        // blowing up every percentile.
+        let cancel = vec![1.0, -1.0 + 1e-12];
+        let groups = vec![cancel, vec![4.0, 6.0]];
+        let r = analyze(&groups).unwrap();
+        assert_eq!(r.groups, 1, "cancelling group must be skipped");
+        assert!(
+            r.cv_p99 < 1.0,
+            "p99 {} polluted by near-zero mean",
+            r.cv_p99
+        );
+        // Tiny but self-consistent magnitudes are still usable: near-zero is
+        // relative to the group's own scale, not absolute.
+        let tiny = vec![1e-300, 2e-300, 3e-300];
+        let r = analyze(&[tiny]).unwrap();
         assert_eq!(r.groups, 1);
     }
 

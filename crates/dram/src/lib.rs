@@ -58,6 +58,7 @@ pub mod mapping;
 pub mod module;
 pub mod ondie_ecc;
 pub mod physics;
+pub mod population;
 pub mod registry;
 pub mod spd;
 pub mod timing;

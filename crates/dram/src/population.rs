@@ -1,0 +1,435 @@
+//! Generative module populations: synthesize A/B/C-family modules at scale.
+//!
+//! The registry enumerates the paper's thirty Table-3 modules; this module
+//! turns those thirty calibration records into per-manufacturer parameter
+//! *distributions* ([`FamilyDistribution`]) and generates fresh
+//! [`ModuleSpec`]s from them. Generation is a pure function of
+//! `(population seed, module index)` — no state, no enumeration — so a
+//! population of millions of modules costs nothing until an index is
+//! actually instantiated, mirroring how the device model itself derives
+//! per-cell parameters lazily from `(row, cell, salt)`.
+
+use crate::hash;
+use crate::registry::{self, ModuleId, ModuleSpec};
+use crate::vendor::{Manufacturer, WeakCluster};
+use serde::{Deserialize, Serialize};
+
+// Distinct salt constants so every drawn parameter consumes an independent
+// hash stream.
+const SALT_MODULE: u64 = 0x9060_0000_0000_0001;
+const SALT_FAMILY: u64 = 0x9060_0000_0000_0002;
+const SALT_SEED: u64 = 0x9060_0000_0000_0003;
+const SALT_HC_NOM: u64 = 0x9060_0000_0000_0010;
+const SALT_BER_NOM: u64 = 0x9060_0000_0000_0011;
+const SALT_HC_MULT: u64 = 0x9060_0000_0000_0012;
+const SALT_BER_RATIO: u64 = 0x9060_0000_0000_0013;
+const SALT_VPP_MIN: u64 = 0x9060_0000_0000_0014;
+const SALT_TRCD_BASE: u64 = 0x9060_0000_0000_0015;
+const SALT_TRCD_MIN: u64 = 0x9060_0000_0000_0016;
+const SALT_WEAK64: u64 = 0x9060_0000_0000_0017;
+
+/// Inclusive parameter range observed across one family's registry specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParamRange {
+    /// Smallest observed value.
+    pub lo: f64,
+    /// Largest observed value.
+    pub hi: f64,
+}
+
+impl ParamRange {
+    fn fit(values: impl Iterator<Item = f64>) -> ParamRange {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ParamRange { lo, hi }
+    }
+
+    /// Uniform draw in `[lo, hi)` (degenerate ranges return `lo`).
+    pub fn sample(&self, seed: u64) -> f64 {
+        hash::uniform(seed, self.lo, self.hi)
+    }
+
+    /// Log-uniform draw — appropriate for scale parameters like `HC_first`
+    /// and BER whose registry values span orders of magnitude.
+    pub fn sample_log(&self, seed: u64) -> f64 {
+        hash::uniform(seed, self.lo.ln(), self.hi.ln()).exp()
+    }
+
+    /// Whether `v` lies within the fitted range (closed interval).
+    pub fn contains(&self, v: f64) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Per-manufacturer generation model fitted from the ten registry specs of
+/// that family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyDistribution {
+    /// The family this distribution describes.
+    pub mfr: Manufacturer,
+    /// `HC_first` at nominal `V_PP` (log-uniform; activations).
+    pub hc_first_nominal: ParamRange,
+    /// BER at nominal `V_PP` (log-uniform).
+    pub ber_nominal: ParamRange,
+    /// Module-level `HC_first` multiplier at `V_PPmin`.
+    pub hc_multiplier: ParamRange,
+    /// Module-level BER ratio at `V_PPmin`.
+    pub ber_ratio: ParamRange,
+    /// `V_PPmin` (V), quantized to the 0.1 V grid the paper sweeps.
+    pub vpp_min: ParamRange,
+    /// `t_RCD` requirement at nominal `V_PP` (ns).
+    pub trcd_base_ns: ParamRange,
+    /// `t_RCD` requirement at `V_PPmin` (ns).
+    pub trcd_at_vppmin_ns: ParamRange,
+    /// Fraction of the family's modules that flip at the 64 ms window at
+    /// `V_PPmin` (Obsv. 13: 0/10 for A, 3/10 for B, 4/10 for C).
+    pub weak64_fraction: f64,
+    /// The family's Fig. 11a weak-cluster structure (empty for Mfr. A).
+    pub cluster64: Vec<WeakCluster>,
+    /// Registry archetype supplying the non-generated metadata (geometry,
+    /// organization, model string).
+    archetype: ModuleId,
+}
+
+impl FamilyDistribution {
+    /// Fits the distribution from the family's ten registry specs.
+    pub fn fit(mfr: Manufacturer) -> FamilyDistribution {
+        let specs: Vec<ModuleSpec> = ModuleId::ALL
+            .iter()
+            .filter(|id| id.manufacturer() == mfr)
+            .map(|&id| registry::spec(id))
+            .collect();
+        let range = |f: &dyn Fn(&ModuleSpec) -> f64| ParamRange::fit(specs.iter().map(f));
+        let weak = specs.iter().filter(|s| s.flips_at_64ms()).count();
+        let cluster64 = specs
+            .iter()
+            .find(|s| s.flips_at_64ms())
+            .map(|s| s.cluster64.clone())
+            .unwrap_or_default();
+        let archetype = match mfr {
+            Manufacturer::A => ModuleId::A0,
+            Manufacturer::B => ModuleId::B0,
+            Manufacturer::C => ModuleId::C0,
+        };
+        FamilyDistribution {
+            mfr,
+            hc_first_nominal: range(&|s| s.hc_first_nominal),
+            ber_nominal: range(&|s| s.ber_nominal),
+            hc_multiplier: range(&|s| s.hc_multiplier_target()),
+            ber_ratio: range(&|s| s.ber_ratio_at_vppmin()),
+            vpp_min: range(&|s| s.vpp_min),
+            trcd_base_ns: range(&|s| s.trcd.base_ns),
+            trcd_at_vppmin_ns: range(&|s| {
+                s.trcd.base_ns + s.trcd.slope_ns * (2.5 - s.vpp_min).powi(2)
+            }),
+            weak64_fraction: weak as f64 / specs.len() as f64,
+            cluster64,
+            archetype,
+        }
+    }
+
+    /// The family's registry archetype: supplies module metadata that the
+    /// distribution does not generate.
+    pub fn archetype(&self) -> ModuleId {
+        self.archetype
+    }
+
+    /// Generates a synthetic spec from a per-module base seed. Pure: the
+    /// same `base` always yields the same spec.
+    pub fn generate(&self, base: u64) -> ModuleSpec {
+        let draw = |salt: u64| hash::combine(base, salt);
+        let hc_nominal = self.hc_first_nominal.sample_log(draw(SALT_HC_NOM));
+        let ber_nominal = self.ber_nominal.sample_log(draw(SALT_BER_NOM));
+        let hc_multiplier = self.hc_multiplier.sample(draw(SALT_HC_MULT));
+        let ber_ratio = self.ber_ratio.sample(draw(SALT_BER_RATIO));
+        // Snap to the paper's 0.1 V sweep grid, then clamp back into the
+        // fitted range (rounding can step just outside it).
+        let vpp_min = ((self.vpp_min.sample(draw(SALT_VPP_MIN)) * 10.0).round() / 10.0)
+            .clamp(self.vpp_min.lo, self.vpp_min.hi);
+        let trcd_base = self.trcd_base_ns.sample(draw(SALT_TRCD_BASE));
+        // t_RCD never improves under reduced wordline voltage (§6.1).
+        let trcd_at_min = self
+            .trcd_at_vppmin_ns
+            .sample(draw(SALT_TRCD_MIN))
+            .max(trcd_base);
+        let weak = hash::uniform01(draw(SALT_WEAK64)) < self.weak64_fraction;
+        let dv = 2.5 - vpp_min;
+        let mut spec = registry::spec(self.archetype);
+        spec.dimm_model = match self.mfr {
+            Manufacturer::A => "HV-POP-A",
+            Manufacturer::B => "HV-POP-B",
+            Manufacturer::C => "HV-POP-C",
+        };
+        spec.die_revision = None;
+        spec.mfr_date = None;
+        spec.hc_first_nominal = hc_nominal;
+        spec.ber_nominal = ber_nominal;
+        spec.vpp_min = vpp_min;
+        spec.hc_first_at_vppmin = hc_nominal * hc_multiplier;
+        spec.ber_at_vppmin = ber_nominal * ber_ratio;
+        // The recommended operating point coincides with V_PPmin, as it does
+        // for most Table-3 rows; the device model calibrates only through
+        // the nominal and V_PPmin endpoints.
+        spec.vpp_rec = vpp_min;
+        spec.hc_first_at_rec = spec.hc_first_at_vppmin;
+        spec.ber_at_rec = spec.ber_at_vppmin;
+        spec.trcd.base_ns = trcd_base;
+        spec.trcd.slope_ns = if dv > 0.0 {
+            (trcd_at_min - trcd_base) / (dv * dv)
+        } else {
+            0.0
+        };
+        spec.trcd.curve = 2.0;
+        spec.cluster64 = if weak {
+            self.cluster64.clone()
+        } else {
+            Vec::new()
+        };
+        spec
+    }
+}
+
+/// Relative weights of the three families in a generated population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FamilyMix {
+    /// Weight of Mfr. A modules.
+    pub a: u32,
+    /// Weight of Mfr. B modules.
+    pub b: u32,
+    /// Weight of Mfr. C modules.
+    pub c: u32,
+}
+
+impl FamilyMix {
+    /// Equal thirds, like the paper's 10/10/10 test pool.
+    pub fn uniform() -> FamilyMix {
+        FamilyMix { a: 1, b: 1, c: 1 }
+    }
+
+    fn total(&self) -> u64 {
+        self.a as u64 + self.b as u64 + self.c as u64
+    }
+
+    fn pick(&self, u: f64) -> Manufacturer {
+        let total = self.total() as f64;
+        let x = u * total;
+        if x < self.a as f64 {
+            Manufacturer::A
+        } else if x < (self.a + self.b) as f64 {
+            Manufacturer::B
+        } else {
+            Manufacturer::C
+        }
+    }
+}
+
+impl Default for FamilyMix {
+    fn default() -> Self {
+        FamilyMix::uniform()
+    }
+}
+
+/// A generated population: `size` modules drawn from the family mix, fully
+/// determined by `seed`. The spec is the *identity* of the population — two
+/// equal specs denote byte-identical fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PopulationSpec {
+    /// Relative family weights.
+    pub family_mix: FamilyMix,
+    /// Number of modules in the population.
+    pub size: u64,
+    /// Root seed; every module derives from `(seed, index)`.
+    pub seed: u64,
+}
+
+impl PopulationSpec {
+    /// Builds the sampler (fits the three family distributions once).
+    pub fn sampler(&self) -> PopulationSampler {
+        PopulationSampler {
+            spec: *self,
+            dists: Manufacturer::ALL.map(FamilyDistribution::fit),
+        }
+    }
+}
+
+/// Stateless generator over a [`PopulationSpec`]: every accessor is a pure
+/// function of `(spec, index)`.
+#[derive(Debug, Clone)]
+pub struct PopulationSampler {
+    spec: PopulationSpec,
+    dists: [FamilyDistribution; 3],
+}
+
+impl PopulationSampler {
+    /// The spec this sampler generates from.
+    pub fn spec(&self) -> &PopulationSpec {
+        &self.spec
+    }
+
+    /// The fitted distribution for one family.
+    pub fn distribution(&self, mfr: Manufacturer) -> &FamilyDistribution {
+        &self.dists[Manufacturer::ALL
+            .iter()
+            .position(|&m| m == mfr)
+            .expect("ALL")]
+    }
+
+    fn base(&self, index: u64) -> u64 {
+        hash::combine(self.spec.seed, SALT_MODULE ^ index)
+    }
+
+    /// Which family module `index` belongs to.
+    pub fn family_of(&self, index: u64) -> Manufacturer {
+        let u = hash::uniform01(hash::combine(self.base(index), SALT_FAMILY));
+        self.spec.family_mix.pick(u)
+    }
+
+    /// The synthetic spec of module `index`.
+    pub fn module_spec(&self, index: u64) -> ModuleSpec {
+        self.distribution(self.family_of(index))
+            .generate(self.base(index))
+    }
+
+    /// The device seed of module `index` (selects the specimen: all
+    /// cell-level randomness derives from it).
+    pub fn module_seed(&self, index: u64) -> u64 {
+        hash::combine(self.base(index), SALT_SEED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::module::DramModule;
+
+    fn spec3() -> PopulationSpec {
+        PopulationSpec {
+            family_mix: FamilyMix::uniform(),
+            size: 1000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn generation_is_pure_and_deterministic() {
+        let s1 = spec3().sampler();
+        let s2 = spec3().sampler();
+        for index in [0u64, 1, 17, 999, 1_000_000_000] {
+            assert_eq!(
+                s1.module_spec(index),
+                s2.module_spec(index),
+                "index {index}"
+            );
+            assert_eq!(s1.module_seed(index), s2.module_seed(index));
+            assert_eq!(s1.family_of(index), s2.family_of(index));
+        }
+        // Order independence: reading index 999 first changes nothing.
+        let a = s1.module_spec(999);
+        let _ = s1.module_spec(0);
+        assert_eq!(a, s1.module_spec(999));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let s1 = spec3().sampler();
+        let mut other = spec3();
+        other.seed = 43;
+        let s2 = other.sampler();
+        let differs = (0..20u64).any(|i| s1.module_spec(i) != s2.module_spec(i));
+        assert!(differs);
+    }
+
+    #[test]
+    fn generated_parameters_stay_in_fitted_ranges() {
+        let s = spec3().sampler();
+        for index in 0..500u64 {
+            let spec = s.module_spec(index);
+            let d = s.distribution(spec.mfr);
+            assert!(
+                d.hc_first_nominal.contains(spec.hc_first_nominal),
+                "{index}"
+            );
+            assert!(d.ber_nominal.contains(spec.ber_nominal), "{index}");
+            assert!(
+                d.hc_multiplier.contains(spec.hc_multiplier_target()),
+                "{index}"
+            );
+            assert!(d.ber_ratio.contains(spec.ber_ratio_at_vppmin()), "{index}");
+            assert!(d.vpp_min.contains(spec.vpp_min), "{index}");
+            // On the 0.1 V grid.
+            let snapped = (spec.vpp_min * 10.0).round() / 10.0;
+            assert!((spec.vpp_min - snapped).abs() < 1e-12, "{index}");
+            // t_RCD response never improves under reduced voltage.
+            assert!(spec.trcd.slope_ns >= 0.0, "{index}");
+        }
+    }
+
+    #[test]
+    fn family_mix_weights_are_respected() {
+        let spec = PopulationSpec {
+            family_mix: FamilyMix { a: 1, b: 1, c: 2 },
+            size: 4000,
+            seed: 7,
+        };
+        let s = spec.sampler();
+        let c = (0..4000u64)
+            .filter(|&i| s.family_of(i) == Manufacturer::C)
+            .count();
+        let frac = c as f64 / 4000.0;
+        assert!((frac - 0.5).abs() < 0.05, "C fraction {frac}");
+    }
+
+    #[test]
+    fn weak_cluster_incidence_matches_family() {
+        let s = spec3().sampler();
+        // Mfr. A never flips at 64 ms (Obsv. 13); B and C sometimes do.
+        let mut weak_b = 0;
+        let mut total_b = 0;
+        for index in 0..2000u64 {
+            let spec = s.module_spec(index);
+            match spec.mfr {
+                Manufacturer::A => assert!(spec.cluster64.is_empty()),
+                Manufacturer::B => {
+                    total_b += 1;
+                    if spec.flips_at_64ms() {
+                        weak_b += 1;
+                        assert_eq!(spec.cluster64.len(), 2);
+                    }
+                }
+                Manufacturer::C => {}
+            }
+        }
+        let frac = weak_b as f64 / total_b as f64;
+        assert!((frac - 0.3).abs() < 0.1, "B weak fraction {frac}");
+    }
+
+    #[test]
+    fn generated_specs_instantiate() {
+        let s = spec3().sampler();
+        for index in 0..6u64 {
+            let spec = s.module_spec(index);
+            let m = DramModule::with_geometry(spec, s.module_seed(index), Geometry::small_test());
+            assert!(m.is_ok(), "index {index}: {:?}", m.err());
+        }
+    }
+
+    #[test]
+    fn fitted_ranges_match_registry_extremes() {
+        let a = FamilyDistribution::fit(Manufacturer::A);
+        // §7: V_PPmin spans 1.4 V (A0) to 2.4 V (A5), both Mfr. A.
+        assert_eq!(a.vpp_min.lo, 1.4);
+        assert_eq!(a.vpp_min.hi, 2.4);
+        assert_eq!(a.weak64_fraction, 0.0);
+        let b = FamilyDistribution::fit(Manufacturer::B);
+        assert_eq!(b.weak64_fraction, 0.3);
+        assert_eq!(b.cluster64.len(), 2);
+        let c = FamilyDistribution::fit(Manufacturer::C);
+        assert_eq!(c.weak64_fraction, 0.4);
+        assert_eq!(c.cluster64.len(), 1);
+    }
+}

@@ -95,11 +95,22 @@ impl TrrEngine {
                 } else if self.table.len() < entries {
                     self.table.push((row, count));
                 } else {
-                    // Misra–Gries decrement: shrink everyone by the new count.
+                    // Misra–Gries decrement: shrink every entry by the table
+                    // minimum (capped at the incoming count). If the new row
+                    // out-hammers the minimum, at least one slot drops to zero
+                    // and the new row claims it with the remainder — so a
+                    // heavy hitter that starts after the table fills is still
+                    // sampled.
+                    let min = self.table.iter().map(|&(_, c)| c).min().unwrap_or(0);
+                    let dec = min.min(count);
                     for slot in &mut self.table {
-                        slot.1 = slot.1.saturating_sub(count);
+                        slot.1 -= dec;
                     }
                     self.table.retain(|(_, c)| *c > 0);
+                    let remainder = count - dec;
+                    if remainder > 0 && self.table.len() < entries {
+                        self.table.push((row, remainder));
+                    }
                 }
             }
         }
@@ -189,10 +200,44 @@ mod tests {
         let mut e = TrrEngine::new(TrrPolicy::FrequencyTable { entries: 2 }, 1);
         e.record_activations(1, 5);
         e.record_activations(2, 5);
-        e.record_activations(3, 100); // decrements 1 and 2 away ... eventually
+        e.record_activations(3, 100); // decrements 1 and 2 away, claims a slot
         e.record_activations(3, 100);
         let targets = e.take_refresh_targets();
         assert!(targets.len() <= 2);
+        assert!(
+            targets.contains(&3),
+            "the evicting heavy hitter must survive"
+        );
+    }
+
+    #[test]
+    fn frequency_table_samples_late_heavy_hitter() {
+        // Regression: the old eviction path decremented the table by the
+        // incoming count but never inserted the incoming row, so an attacker
+        // rotating onto a fresh aggressor after the table filled was
+        // invisible no matter how hard it hammered.
+        let mut e = TrrEngine::new(TrrPolicy::FrequencyTable { entries: 2 }, 1);
+        e.record_activations(1, 50);
+        e.record_activations(2, 50);
+        // Row 3 arrives late and hammers 20x harder than either resident.
+        e.record_activations(3, 1_000);
+        let targets = e.take_refresh_targets();
+        assert!(
+            targets.contains(&3),
+            "late-arriving heavy hitter must be sampled, got {targets:?}"
+        );
+    }
+
+    #[test]
+    fn frequency_table_light_newcomer_does_not_displace_heavies() {
+        // The flip side of Misra–Gries: a row weaker than the current table
+        // minimum only decrements the residents and is itself discarded.
+        let mut e = TrrEngine::new(TrrPolicy::FrequencyTable { entries: 2 }, 1);
+        e.record_activations(1, 10_000);
+        e.record_activations(2, 9_000);
+        e.record_activations(3, 5);
+        let targets = e.take_refresh_targets();
+        assert_eq!(targets, vec![1, 2]);
     }
 
     #[test]

@@ -15,8 +15,19 @@
 //!    submission reconstructs the *same* [`StudyConfig`] the CLI builds for
 //!    the same knobs, which is what makes HTTP results byte-identical to
 //!    CLI runs.
+//!
+//! Population studies have their own shortcut knobs:
+//! `{"kind":"population","size":10000,"seed":7,"batch_size":16,
+//! "rows_per_module":2,"mix":[1,1,1],"min_batches":3}` — everything but
+//! `kind` optional, defaults from
+//! [`hammervolt_core::population::PopulationConfig::smoke`]. The study
+//! config fields (`scale`, `rows_per_chunk`, `modules`) are ignored for
+//! population jobs: the spec is canonicalized through
+//! [`JobSpec::population`] so equal population configs dedup and cache
+//! identically no matter how they were submitted.
 
 use hammervolt_core::job::{JobSpec, SweepKind};
+use hammervolt_core::population::PopulationConfig;
 use hammervolt_core::study::StudyConfig;
 use hammervolt_dram::registry::ModuleId;
 use serde::Deserialize;
@@ -29,6 +40,13 @@ struct ShortcutSpec {
     scale: Option<String>,
     rows_per_chunk: Option<u32>,
     modules: Option<Vec<String>>,
+    // Population-only knobs.
+    size: Option<u64>,
+    seed: Option<u64>,
+    batch_size: Option<u64>,
+    rows_per_module: Option<u32>,
+    mix: Option<(u32, u32, u32)>,
+    min_batches: Option<u64>,
 }
 
 /// Parses a submission body into a [`JobSpec`]; `Err` carries a
@@ -46,6 +64,23 @@ pub fn parse_spec(body: &[u8]) -> Result<JobSpec, String> {
             levels_cap: shortcut.levels_cap.unwrap_or(4),
         },
         "retention" => SweepKind::Retention,
+        "population" => {
+            let mut cfg =
+                PopulationConfig::smoke(shortcut.size.unwrap_or(64), shortcut.seed.unwrap_or(0));
+            if let Some(batch) = shortcut.batch_size {
+                cfg.batch_size = batch;
+            }
+            if let Some(rows) = shortcut.rows_per_module {
+                cfg.rows_per_module = rows;
+            }
+            if let Some((a, b, c)) = shortcut.mix {
+                cfg.population.family_mix = hammervolt_dram::population::FamilyMix { a, b, c };
+            }
+            if let Some(min) = shortcut.min_batches {
+                cfg.stopping.min_batches = min;
+            }
+            return Ok(JobSpec::population(cfg));
+        }
         other => return Err(format!("unknown sweep kind {other:?}")),
     };
     // Mirror the CLI's HAMMERVOLT_SCALE mapping exactly (smoke / paper /
@@ -141,6 +176,30 @@ mod tests {
         // trcd defaults to the CLI's levels cap.
         let trcd = parse_spec(br#"{"kind":"trcd"}"#).unwrap();
         assert_eq!(trcd.kind, SweepKind::Trcd { levels_cap: 4 });
+    }
+
+    #[test]
+    fn population_shortcut_canonicalizes() {
+        let parsed = parse_spec(
+            br#"{"kind":"population","size":100,"seed":7,"batch_size":10,"mix":[2,1,1],"min_batches":3}"#,
+        )
+        .unwrap();
+        let mut expected_cfg = PopulationConfig::smoke(100, 7);
+        expected_cfg.batch_size = 10;
+        expected_cfg.population.family_mix =
+            hammervolt_dram::population::FamilyMix { a: 2, b: 1, c: 1 };
+        expected_cfg.stopping.min_batches = 3;
+        let expected = JobSpec::population(expected_cfg);
+        assert_eq!(parsed, expected);
+        assert_eq!(parsed.spec_hash(), expected.spec_hash());
+
+        // Study-config knobs are ignored: the canonical spec hashes the
+        // same no matter what rode along.
+        let with_noise = parse_spec(
+            br#"{"kind":"population","size":100,"seed":7,"batch_size":10,"mix":[2,1,1],"min_batches":3,"scale":"paper","rows_per_chunk":5}"#,
+        )
+        .unwrap();
+        assert_eq!(with_noise.spec_hash(), expected.spec_hash());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Conformance for population studies (`hammervolt_core::population`):
+//! generated-fleet runs must be byte-identical at any worker count —
+//! *including* the adaptive stopping batch — warm resubmissions must be
+//! served from the population cache without re-executing, and a cancelled
+//! run must resume from batch checkpoints re-running only unfinished
+//! batches.
+
+use hammervolt_core::error::StudyError;
+use hammervolt_core::exec::ExecConfig;
+use hammervolt_core::job::{JobControl, JobSpec};
+use hammervolt_core::population::{PopulationConfig, PopulationSummary};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("testkit-pop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fleet whose stopping rule converges well before exhaustion (the smoke
+/// config measures ~1 % of a 10,000-module fleet), so the tests exercise
+/// the adaptive stop, not fleet exhaustion.
+fn fleet_spec() -> JobSpec {
+    JobSpec::population(PopulationConfig::smoke(10_000, 1))
+}
+
+/// Parses the payload's final line as the run summary.
+fn summary_of(records_jsonl: &str) -> PopulationSummary {
+    let last = records_jsonl.lines().last().expect("payload has lines");
+    serde_json::from_str(last).expect("last line is the summary")
+}
+
+#[test]
+fn byte_identical_across_worker_counts_including_stopping_batch() {
+    let spec = fleet_spec();
+    let reference = spec
+        .run(&ExecConfig::serial(), &JobControl::new())
+        .expect("serial run succeeds");
+    let reference_summary = summary_of(&reference.records_jsonl);
+    assert!(
+        reference_summary.converged,
+        "the fleet spec must stop on convergence, not exhaustion"
+    );
+    assert!(
+        reference_summary.measured < reference_summary.size,
+        "adaptive stop must leave most of the fleet unmeasured"
+    );
+    for jobs in [2, 8] {
+        let out = spec
+            .run(&ExecConfig::with_jobs(jobs), &JobControl::new())
+            .unwrap_or_else(|e| panic!("jobs={jobs} run failed: {e}"));
+        assert_eq!(
+            out.records_jsonl, reference.records_jsonl,
+            "jobs={jobs} payload diverged from the serial reference"
+        );
+        assert_eq!(
+            summary_of(&out.records_jsonl).stopped_at_batch,
+            reference_summary.stopped_at_batch,
+            "jobs={jobs} stopped at a different batch"
+        );
+    }
+}
+
+#[test]
+fn warm_resubmission_is_served_from_population_cache() {
+    let dir = temp_dir("warm");
+    let exec = ExecConfig {
+        jobs: 2,
+        cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
+    };
+    let spec = fleet_spec();
+
+    let cold_ctl = JobControl::new();
+    let cold = spec.run(&exec, &cold_ctl).expect("cold run succeeds");
+    let cold_snap = cold_ctl.snapshot();
+    assert_eq!(cold_snap.cache_hits, 0);
+    assert_eq!(cold_snap.cache_misses, 1, "one population, one cold miss");
+    assert!(cold_snap.units_executed > 0);
+
+    let warm_ctl = JobControl::new();
+    let warm = spec.run(&exec, &warm_ctl).expect("warm run succeeds");
+    let warm_snap = warm_ctl.snapshot();
+    assert_eq!(
+        warm.records_jsonl, cold.records_jsonl,
+        "warm result must be byte-identical to the cold compute"
+    );
+    assert_eq!(
+        warm_snap.cache_hits, 1,
+        "warm run hits the population cache"
+    );
+    assert_eq!(
+        warm_snap.units_executed, 0,
+        "a cache hit must not re-execute any batch"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cancelled_population_resumes_from_batch_checkpoints() {
+    let dir = temp_dir("resume");
+    let exec = ExecConfig {
+        jobs: 1,
+        cache_dir: Some(dir.clone()),
+        ..ExecConfig::default()
+    }
+    .with_checkpoints(true);
+    let spec = fleet_spec();
+
+    // Cancel as soon as the first batch completes; cooperative cancellation
+    // lets the in-flight batch's modules finish but stores no checkpoint for
+    // it, so exactly `units_done` batches are restorable.
+    let ctl = JobControl::new();
+    let stop_watching = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let ctl = ctl.clone();
+        let stop = Arc::clone(&stop_watching);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if ctl.snapshot().units_done >= 1 {
+                    ctl.cancel.cancel();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        })
+    };
+    let result = spec.run(&exec, &ctl);
+    stop_watching.store(true, Ordering::Relaxed);
+    watcher.join().expect("watcher completes");
+    assert!(
+        matches!(result, Err(StudyError::Cancelled)),
+        "expected Cancelled, got {result:?}"
+    );
+    let cancelled = ctl.snapshot();
+    assert!(cancelled.units_done >= 1, "at least one batch finished");
+
+    // Resume: only the unfinished batches may re-execute.
+    let resume_ctl = JobControl::new();
+    let resumed = spec.run(&exec, &resume_ctl).expect("resume succeeds");
+    let snap = resume_ctl.snapshot();
+    assert_eq!(
+        snap.checkpoint_hits, cancelled.units_done,
+        "every finished batch must be restored from its checkpoint"
+    );
+    let clean = spec
+        .run(&ExecConfig::serial(), &JobControl::new())
+        .expect("clean run succeeds");
+    assert_eq!(
+        resumed.records_jsonl, clean.records_jsonl,
+        "resumed result must be byte-identical to a clean run"
+    );
+    let stopping_batches = summary_of(&clean.records_jsonl).stopped_at_batch;
+    assert!(
+        cancelled.units_done < stopping_batches,
+        "cancellation must land before the adaptive stop ({}/{stopping_batches})",
+        cancelled.units_done,
+    );
+    assert_eq!(
+        snap.units_executed,
+        stopping_batches - cancelled.units_done,
+        "only unfinished batches may re-execute"
+    );
+
+    // The population-level entry landed, so the now-redundant batch
+    // checkpoints were swept away.
+    let leftover_ckpts = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("ckpt-"))
+        .count();
+    assert_eq!(
+        leftover_ckpts, 0,
+        "batch checkpoints must be cleared once the population entry lands"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
