@@ -7,6 +7,11 @@
 //! loop. `sweep_unit` times one serial single-module Alg. 1 sweep through
 //! the execution engine, covering work-unit bring-up amortization.
 //!
+//! `blueprint_instantiate`, `find_vppmin`, and `pool_reset` price the three
+//! bring-up costs the session pool eliminates: the full pristine-arena
+//! clone, the descending V_PPmin ladder a memoized blueprint skips, and the
+//! O(touched-rows) recycle that replaces both on the steady path.
+//!
 //! `BENCH_hotpath.json` at the repository root records the median numbers
 //! of these benches before and after the arena rewrite; regenerate with
 //! `cargo bench -p hammervolt-bench --bench hotpath`.
@@ -17,6 +22,7 @@ use hammervolt_core::study::StudyConfig;
 use hammervolt_dram::geometry::Geometry;
 use hammervolt_dram::module::DramModule;
 use hammervolt_dram::registry::{self, ModuleId};
+use hammervolt_softmc::SoftMc;
 use std::hint::black_box;
 
 fn module() -> DramModule {
@@ -68,9 +74,68 @@ fn bench_sweep_unit(c: &mut Criterion) {
     });
 }
 
+/// The same single-module sweep with the cross-job blueprint cache on (the
+/// study server's steady state): per-module calibration and the `V_PPmin`
+/// ladder are paid once ever, so iterations measure pure steady-state sweep
+/// work over pooled sessions.
+fn bench_sweep_unit_warm(c: &mut Criterion) {
+    let cfg = StudyConfig {
+        rows_per_chunk: 2,
+        ..StudyConfig::quick_subset(&[ModuleId::B3])
+    };
+    let exec = ExecConfig {
+        share_blueprints: true,
+        ..ExecConfig::serial()
+    };
+    c.bench_function("sweep_unit_warm", |b| {
+        b.iter(|| black_box(exec::rowhammer_sweep(&cfg, ModuleId::B3, &exec)))
+    });
+}
+
+/// The full pristine-arena clone a unit used to pay per chunk: one
+/// calibrated blueprint, `instantiate()` per iteration.
+fn bench_blueprint_instantiate(c: &mut Criterion) {
+    let cfg = StudyConfig::quick_subset(&[ModuleId::B3]);
+    let bp = cfg.blueprint(ModuleId::B3).unwrap();
+    c.bench_function("blueprint_instantiate", |b| {
+        b.iter(|| black_box(bp.instantiate()))
+    });
+}
+
+/// The descending V_PPmin ladder a unit used to run per chunk; reading the
+/// blueprint's memo replaces this entirely.
+fn bench_find_vppmin(c: &mut Criterion) {
+    let cfg = StudyConfig::quick_subset(&[ModuleId::B3]);
+    let bp = cfg.blueprint(ModuleId::B3).unwrap();
+    let mut mc = SoftMc::new(bp.instantiate());
+    c.bench_function("find_vppmin", |b| {
+        b.iter(|| black_box(mc.find_vppmin().unwrap()))
+    });
+}
+
+/// The steady-state replacement for both: recycle a session that just ran a
+/// representative unit's worth of work (writes, a hammer burst, a read)
+/// back to pristine in O(touched rows).
+fn bench_pool_reset(c: &mut Criterion) {
+    let cfg = StudyConfig::quick_subset(&[ModuleId::B3]);
+    let bp = cfg.blueprint(ModuleId::B3).unwrap();
+    let mut mc = SoftMc::new(bp.instantiate());
+    c.bench_function("pool_reset", |b| {
+        b.iter(|| {
+            mc.init_row(0, 100, 0xAAAA_AAAA_AAAA_AAAA).unwrap();
+            mc.init_row(0, 99, 0x5555_5555_5555_5555).unwrap();
+            mc.init_row(0, 101, 0x5555_5555_5555_5555).unwrap();
+            mc.hammer_double_sided(0, 99, 101, 10_000).unwrap();
+            black_box(mc.read_row_scratch(0, 100).unwrap());
+            mc.recycle();
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_hammer_loop, bench_sweep_unit
+    targets = bench_hammer_loop, bench_sweep_unit, bench_sweep_unit_warm,
+        bench_blueprint_instantiate, bench_find_vppmin, bench_pool_reset
 }
 criterion_main!(benches);

@@ -39,6 +39,40 @@ fn section(m: &Value, key: &str) -> Vec<(String, u64)> {
     out
 }
 
+/// Flattens the manifest's string-valued `annotations` object into sorted
+/// `(name, value)` pairs (config hash, worker count, `bringup_ratio`,
+/// pool/blueprint-cache totals, ...).
+fn annotations(m: &Value) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = m
+        .field("annotations")
+        .as_object()
+        .map(|entries| {
+            entries
+                .iter()
+                .filter_map(|(k, v)| match v {
+                    Value::Str(s) => Some((k.clone(), s.clone())),
+                    _ => None,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
+}
+
+/// Prints the annotations as a `name value` table when any are present.
+fn print_annotations(title: &str, rows: &[(String, String)]) {
+    if rows.is_empty() {
+        return;
+    }
+    println!("\n{title}");
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+    println!("{:width$}  value", "name");
+    for (name, value) in rows {
+        println!("{name:width$}  {value}");
+    }
+}
+
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: unreadable ({e})"))?;
     let v: Value =
@@ -148,6 +182,7 @@ fn main() {
             );
             print_single("phases (us)", &section(&manifest_a, "phases"));
             print_single("counters", &section(&manifest_a, "counters"));
+            print_annotations("annotations", &annotations(&manifest_a));
         }
         Some(path_b) => {
             let manifest_b = match load(&path_b) {
@@ -177,6 +212,8 @@ fn main() {
                 &section(&manifest_a, "counters"),
                 &section(&manifest_b, "counters"),
             );
+            print_annotations("annotations (a)", &annotations(&manifest_a));
+            print_annotations("annotations (b)", &annotations(&manifest_b));
         }
     }
 }
